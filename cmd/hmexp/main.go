@@ -1,0 +1,184 @@
+// Command hmexp regenerates the paper's tables and figures.
+//
+// Examples:
+//
+//	hmexp all                                # every table and figure, full fidelity
+//	hmexp -shrink 4 fig3 fig5                # two figures, quick mode
+//	hmexp -workloads bfs,xsbench -csv fig6
+//	hmexp -workloads bfs -plot cdf           # ASCII Figure 6 curve
+//	hmexp -parallel 4 all                    # figures rendered concurrently
+//
+// Flags must precede the figure identifiers (standard Go flag parsing).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"hetsim"
+	"hetsim/internal/experiments"
+	"hetsim/internal/plot"
+)
+
+func main() {
+	var (
+		shrink    = flag.Int("shrink", 1, "divide simulated work by this factor for quick runs")
+		workloads = flag.String("workloads", "", "comma-separated workload subset (default: the paper's 19)")
+		csv       = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		points    = flag.Int("points", 50, "sample points for the cdf command")
+		doPlot    = flag.Bool("plot", false, "render the cdf command as an ASCII chart")
+		parallel  = flag.Int("parallel", 1, "run this many figures concurrently")
+		outDir    = flag.String("out", "", "also write each figure's CSV to <out>/<id>.csv")
+	)
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Fprintf(os.Stderr, "usage: hmexp [flags] all | cdf | %s\n", strings.Join(heteromem.FigureIDs(), " | "))
+		os.Exit(2)
+	}
+
+	opts := heteromem.Options{Shrink: *shrink}
+	if *workloads != "" {
+		opts.Workloads = strings.Split(*workloads, ",")
+	}
+
+	var ids []string
+	for _, a := range args {
+		if a == "all" {
+			ids = append(ids, heteromem.FigureIDs()...)
+			continue
+		}
+		ids = append(ids, a)
+	}
+
+	render := func(id string) (string, error) {
+		var sb strings.Builder
+		if id == "cdf" {
+			wls := opts.Workloads
+			if len(wls) == 0 {
+				wls = []string{"bfs"}
+			}
+			for _, wl := range wls {
+				if *doPlot {
+					pts, err := cdfPoints(wl, *shrink)
+					if err != nil {
+						return "", err
+					}
+					sb.WriteString(plot.Line(fmt.Sprintf("CDF: %s (pages hot to cold)", wl), pts, 64, 16))
+					continue
+				}
+				tb, err := experiments.PrintCDF(wl, heteromem.Options{Shrink: *shrink}, *points)
+				if err != nil {
+					return "", err
+				}
+				writeTable(&sb, tb, *csv)
+			}
+			return sb.String(), nil
+		}
+		fig, err := heteromem.Figure(id, opts)
+		if err != nil {
+			return "", err
+		}
+		if *outDir != "" {
+			if err := os.MkdirAll(*outDir, 0o755); err != nil {
+				return "", err
+			}
+			path := filepath.Join(*outDir, id+".csv")
+			if err := os.WriteFile(path, []byte(fig.Table.CSV()), 0o644); err != nil {
+				return "", err
+			}
+		}
+		writeTable(&sb, fig.Table, *csv)
+		if !*csv {
+			for _, n := range fig.Notes {
+				fmt.Fprintln(&sb, "  note:", n)
+			}
+			if len(fig.Headline) > 0 {
+				fmt.Fprintln(&sb, "  headline:")
+				for _, k := range sortedKeys(fig.Headline) {
+					fmt.Fprintf(&sb, "    %-28s %.3f\n", k, fig.Headline[k])
+				}
+			}
+			fmt.Fprintln(&sb)
+		}
+		return sb.String(), nil
+	}
+
+	if *parallel <= 1 {
+		for _, id := range ids {
+			out, err := render(id)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Print(out)
+		}
+		return
+	}
+
+	// Render figures concurrently, printing in submission order. Each
+	// figure's simulations are independent and deterministic, so
+	// parallelism changes wall time only.
+	outs := make([]chan string, len(ids))
+	sem := make(chan struct{}, *parallel)
+	for i, id := range ids {
+		outs[i] = make(chan string, 1)
+		go func(i int, id string) {
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			out, err := render(id)
+			if err != nil {
+				out = fmt.Sprintf("hmexp: %s: %v\n", id, err)
+			}
+			outs[i] <- out
+		}(i, id)
+	}
+	for _, ch := range outs {
+		fmt.Print(<-ch)
+	}
+}
+
+func writeTable(sb *strings.Builder, tb *heteromem.Table, csv bool) {
+	if csv {
+		sb.WriteString(tb.CSV())
+		return
+	}
+	sb.WriteString(tb.String())
+}
+
+func cdfPoints(workload string, shrink int) ([][2]float64, error) {
+	res, err := heteromem.Profile(workload, heteromem.TrainDataset(), shrink)
+	if err != nil {
+		return nil, err
+	}
+	cdf := heteromem.PageCDF(res).CDF()
+	pts := make([][2]float64, 0, 101)
+	step := len(cdf) / 100
+	if step < 1 {
+		step = 1
+	}
+	for i := 0; i < len(cdf); i += step {
+		pts = append(pts, [2]float64{cdf[i].PageFrac, cdf[i].AccessFrac})
+	}
+	return pts, nil
+}
+
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hmexp:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,218 @@
+// Command hmsim runs one workload under one page placement policy on the
+// simulated heterogeneous-memory GPU system and prints the measured
+// performance and traffic breakdown.
+//
+// Examples:
+//
+//	hmsim -workload bfs -policy bw-aware
+//	hmsim -workload xsbench -policy ratio -ratio 30 -capacity 0.5
+//	hmsim -workload needle -policy oracle -capacity 0.1
+//	hmsim -workload bfs -trace bfs.trc          # record the access stream
+//	hmsim -replay bfs.trc -policy bw-aware      # replay it under a policy
+//	hmsim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hetsim"
+	"hetsim/internal/experiments"
+	"hetsim/internal/trace"
+	"hetsim/internal/workloads"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "bfs", "workload name (-list to enumerate)")
+		policy   = flag.String("policy", "bw-aware", "local | interleave | bw-aware | ratio | oracle | annotated")
+		ratio    = flag.Int("ratio", 30, "percent of pages placed in CO memory (ratio policy)")
+		capacity = flag.Float64("capacity", 0, "BO capacity as a fraction of the footprint (0 = unconstrained)")
+		shrink   = flag.Int("shrink", 1, "divide simulated work by this factor for quick runs")
+		dataset  = flag.String("dataset", "train", "input dataset: train | small | large | shifted")
+		eager    = flag.Bool("eager", false, "place pages at Malloc time instead of first touch")
+		seed     = flag.Int64("seed", 42, "placement RNG seed")
+		tracePth = flag.String("trace", "", "record the post-L1 access stream to this file")
+		replay   = flag.String("replay", "", "replay a recorded trace instead of a workload")
+		asJSON   = flag.Bool("json", false, "emit the result as JSON")
+		list     = flag.Bool("list", false, "list workloads and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("paper evaluation set (19):")
+		for _, n := range heteromem.Workloads() {
+			fmt.Println("  ", describeWorkload(n))
+		}
+		fmt.Println("extended:")
+		for _, n := range heteromem.AllWorkloads() {
+			if !contains(heteromem.Workloads(), n) {
+				fmt.Println("  ", describeWorkload(n))
+			}
+		}
+		return
+	}
+
+	ds, err := datasetByName(*dataset)
+	if err != nil {
+		fatal(err)
+	}
+	rc := heteromem.RunConfig{
+		Workload:       *workload,
+		Dataset:        ds,
+		PercentCO:      *ratio,
+		BOCapacityFrac: *capacity,
+		Shrink:         *shrink,
+		EagerPlacement: *eager,
+		Seed:           *seed,
+	}
+	rc.Policy, err = policyByName(*policy)
+	if err != nil {
+		fatal(err)
+	}
+	switch rc.Policy {
+	case heteromem.Oracle:
+		prof, err := heteromem.Profile(*workload, ds, *shrink)
+		if err != nil {
+			fatal(err)
+		}
+		rc.ProfileCounts = prof.PageCounts
+	case heteromem.Annotated:
+		hints, err := heteromem.AnnotatedHints(*workload, heteromem.TrainDataset(), ds, capOrDefault(*capacity), *shrink)
+		if err != nil {
+			fatal(err)
+		}
+		rc.Hints = hints
+	}
+
+	var res heteromem.Result
+	switch {
+	case *replay != "":
+		res, err = replayTrace(*replay, rc)
+	case *tracePth != "":
+		res, err = recordTrace(*tracePth, rc)
+	default:
+		res, err = heteromem.Run(rc)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if *asJSON {
+		if err := experiments.NewReport(res).WriteJSON(os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	fmt.Printf("workload           %s (dataset %s)\n", res.Workload, ds.Name)
+	fmt.Printf("policy             %s\n", res.Policy)
+	fmt.Printf("footprint          %.1f MB\n", float64(res.Footprint)/(1<<20))
+	fmt.Printf("runtime            %d cycles\n", res.Cycles)
+	fmt.Printf("performance        %.1f accesses/kcycle\n", res.Perf)
+	fmt.Printf("post-L1 accesses   %d\n", res.Accesses)
+	fmt.Printf("BO service share   %.1f%%\n", res.BOServed*100)
+	fmt.Printf("avg mem latency    %.0f cycles (p50<=%d p95<=%d p99<=%d)\n",
+		res.Mem.AvgLatency(), res.Mem.Latency.Percentile(0.50),
+		res.Mem.Latency.Percentile(0.95), res.Mem.Latency.Percentile(0.99))
+	fmt.Printf("L1 hit rate        %.1f%%\n", res.GPUStats.L1HitRate()*100)
+	fmt.Printf("pages BO/CO        %d / %d (fallbacks %d)\n",
+		res.Place.PagesPerZone[0], res.Place.PagesPerZone[1], res.Place.Fallbacks)
+}
+
+func recordTrace(path string, rc heteromem.RunConfig) (heteromem.Result, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return heteromem.Result{}, err
+	}
+	res, n, err := experiments.RecordTrace(rc, f)
+	if err != nil {
+		f.Close()
+		return heteromem.Result{}, err
+	}
+	if err := f.Close(); err != nil {
+		return heteromem.Result{}, err
+	}
+	fmt.Printf("recorded %d events to %s\n", n, path)
+	return res, nil
+}
+
+func replayTrace(path string, rc heteromem.RunConfig) (heteromem.Result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return heteromem.Result{}, err
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		return heteromem.Result{}, err
+	}
+	events, err := trace.ReadAll(r)
+	if err != nil {
+		return heteromem.Result{}, err
+	}
+	fmt.Printf("replaying %d events from %s\n", len(events), path)
+	return experiments.RunTrace(events, rc, trace.ReplayConfig{
+		Warps: 256, AccessesPerPhase: 8, MLP: 8,
+	})
+}
+
+func capOrDefault(c float64) float64 {
+	if c <= 0 {
+		return 1e9
+	}
+	return c
+}
+
+func policyByName(name string) (heteromem.PolicyKind, error) {
+	switch strings.ToLower(name) {
+	case "local":
+		return heteromem.Local, nil
+	case "interleave":
+		return heteromem.Interleave, nil
+	case "bw-aware", "bwaware", "bw":
+		return heteromem.BWAware, nil
+	case "ratio":
+		return heteromem.Ratio, nil
+	case "oracle":
+		return heteromem.Oracle, nil
+	case "annotated", "hinted":
+		return heteromem.Annotated, nil
+	default:
+		return 0, fmt.Errorf("unknown policy %q", name)
+	}
+}
+
+func datasetByName(name string) (heteromem.Dataset, error) {
+	if name == "train" || name == "" {
+		return heteromem.TrainDataset(), nil
+	}
+	for _, v := range heteromem.DatasetVariants() {
+		if v.Name == name {
+			return v, nil
+		}
+	}
+	return heteromem.Dataset{}, fmt.Errorf("unknown dataset %q", name)
+}
+
+func describeWorkload(name string) string {
+	spec, err := workloads.Build(name, workloads.Train())
+	if err != nil {
+		return name
+	}
+	return spec.Describe()
+}
+
+func contains(xs []string, s string) bool {
+	for _, x := range xs {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hmsim:", err)
+	os.Exit(1)
+}

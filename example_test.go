@@ -1,0 +1,65 @@
+package heteromem_test
+
+import (
+	"fmt"
+	"log"
+
+	"hetsim"
+)
+
+// Running one workload under the paper's BW-AWARE policy.
+func ExampleRun() {
+	res, err := heteromem.Run(heteromem.RunConfig{
+		Workload: "stencil",
+		Policy:   heteromem.BWAware,
+		Shrink:   16, // quick demo fidelity
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The policy spreads pages at the 200:80 bandwidth ratio, so the BO
+	// pool serves ~71% of traffic.
+	fmt.Printf("policy=%s BO-served=%.0f%%\n", res.Policy, res.BOServed*100)
+	// Output: policy=BW-AWARE BO-served=71%
+}
+
+// The GetAllocation hint computation of Figure 9: three annotated
+// structures on a machine whose BO pool holds only 2000 bytes.
+func ExampleComputeHints() {
+	sizes := []uint64{400, 1600, 1000}
+	hotness := []float64{2, 3, 1}
+	hints, err := heteromem.ComputeHints(sizes, hotness, 2000, 200.0/280.0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, h := range hints {
+		fmt.Printf("cudaMalloc #%d -> %s\n", i, h)
+	}
+	// Output:
+	// cudaMalloc #0 -> BO
+	// cudaMalloc #1 -> BO
+	// cudaMalloc #2 -> BW
+}
+
+// Regenerating a figure from the paper.
+func ExampleFigure() {
+	fig, err := heteromem.Figure("fig1", heteromem.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %d systems, desktop BW ratio %.1fx\n",
+		fig.ID, fig.Table.Rows(), fig.Headline["desktop_ratio"])
+	// Output: fig1: 3 systems, desktop BW ratio 2.5x
+}
+
+// Profiling a workload and reading its page CDF (the Figure 6 analysis).
+func ExampleProfile() {
+	res, err := heteromem.Profile("xsbench", heteromem.TrainDataset(), 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cdf := heteromem.PageCDF(res)
+	fmt.Printf("xsbench is skewed: hottest 10%% of pages carry >50%% of traffic: %v\n",
+		cdf.AccessFracFromHottest(0.10) > 0.5)
+	// Output: xsbench is skewed: hottest 10% of pages carry >50% of traffic: true
+}

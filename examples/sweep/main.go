@@ -1,0 +1,62 @@
+// Sweep: explore how the policy ranking shifts with the system's bandwidth
+// topology (Figure 1 x Figure 5). For each of the paper's three system
+// classes — mobile (WIO2+LPDDR4), desktop (GDDR5+DDR4), and HPC (HBM+DDR4)
+// — run one workload under LOCAL, INTERLEAVE, and BW-AWARE and print a CSV
+// a plotting tool can ingest.
+//
+//	go run ./examples/sweep [workload]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"hetsim"
+	"hetsim/internal/memsys"
+	"hetsim/internal/vm"
+)
+
+const shrink = 4
+
+func main() {
+	workload := "stencil"
+	if len(os.Args) > 1 {
+		workload = os.Args[1]
+	}
+
+	systems := []struct {
+		name   string
+		boGBps float64
+		coGBps float64
+	}{
+		{"mobile", 68, 21},
+		{"desktop", 200, 80},
+		{"hpc", 1000, 80},
+	}
+
+	fmt.Println("system,bo_gbps,co_gbps,policy,perf,vs_local")
+	for _, sys := range systems {
+		cfg := memsys.Table1Config()
+		cfg.SetZoneBandwidthGBps(vm.ZoneBO, sys.boGBps)
+		cfg.SetZoneBandwidthGBps(vm.ZoneCO, sys.coGBps)
+
+		var localPerf float64
+		for _, pk := range []heteromem.PolicyKind{heteromem.Local, heteromem.Interleave, heteromem.BWAware} {
+			res, err := heteromem.Run(heteromem.RunConfig{
+				Workload: workload,
+				Policy:   pk,
+				Mem:      cfg,
+				Shrink:   shrink,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if pk == heteromem.Local {
+				localPerf = res.Perf
+			}
+			fmt.Printf("%s,%.0f,%.0f,%s,%.1f,%.3f\n",
+				sys.name, sys.boGBps, sys.coGBps, res.Policy, res.Perf, res.Perf/localPerf)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+// Tracereplay: capture a workload's post-L1 access stream once, then
+// replay the identical stream under every placement policy — the classic
+// trace-driven-simulation workflow. Because the replayed stream is
+// byte-identical across policies, the comparison isolates placement from
+// any other source of variation.
+//
+//	go run ./examples/tracereplay [workload]
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"os"
+
+	"hetsim"
+	"hetsim/internal/experiments"
+	"hetsim/internal/trace"
+)
+
+func main() {
+	workload := "minife"
+	if len(os.Args) > 1 {
+		workload = os.Args[1]
+	}
+
+	// 1) Record.
+	var buf bytes.Buffer
+	_, n, err := experiments.RecordTrace(heteromem.RunConfig{
+		Workload: workload,
+		Policy:   heteromem.Local,
+		Shrink:   4,
+	}, &buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("recorded %d events (%.1f KB, %.2f bytes/event)\n\n",
+		n, float64(buf.Len())/1024, float64(buf.Len())/float64(n))
+
+	r, err := trace.NewReader(&buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	events, err := trace.ReadAll(r)
+	if err != nil {
+		log.Fatal(err)
+	}
+	replay := trace.ReplayConfig{Warps: 256, AccessesPerPhase: 8, MLP: 8}
+
+	// 2) Replay under each policy.
+	fmt.Println("policy       perf (acc/kcycle)   BO served")
+	var localPerf float64
+	for _, pk := range []heteromem.PolicyKind{heteromem.Local, heteromem.Interleave, heteromem.BWAware} {
+		res, err := experiments.RunTrace(events, heteromem.RunConfig{Policy: pk}, replay)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if pk == heteromem.Local {
+			localPerf = res.Perf
+		}
+		fmt.Printf("%-12s %8.1f  (%.2fx)   %5.1f%%\n", res.Policy, res.Perf, res.Perf/localPerf, res.BOServed*100)
+	}
+
+	// 3) Traces also support the two-pass oracle.
+	prof, err := experiments.RunTrace(events, heteromem.RunConfig{Policy: heteromem.Local}, replay)
+	if err != nil {
+		log.Fatal(err)
+	}
+	orc, err := experiments.RunTrace(events, heteromem.RunConfig{
+		Policy:         heteromem.Oracle,
+		ProfileCounts:  prof.PageCounts,
+		BOCapacityFrac: 0.1,
+	}, replay)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\noracle at 10%% BO capacity: %.1f acc/kcycle, BO serves %.1f%% of traffic\n",
+		orc.Perf, orc.BOServed*100)
+}

@@ -1,0 +1,193 @@
+// Package heteromem is the public API of hetsim, a simulator and policy
+// library reproducing "Page Placement Strategies for GPUs within
+// Heterogeneous Memory Systems" (Agarwal, Nellans, Stephenson, O'Connor,
+// Keckler — ASPLOS 2015).
+//
+// The library provides:
+//
+//   - the paper's page placement policies for bandwidth-asymmetric memory
+//     (LOCAL, INTERLEAVE, fixed xC-yB ratios, BW-AWARE, oracle, and
+//     profile-driven annotated placement),
+//   - a cycle-approximate simulation of the paper's evaluation platform (a
+//     Fermi-like GPU over a GDDR5 + DDR4 CC-NUMA memory system),
+//   - synthetic reconstructions of the paper's 19 evaluation workloads,
+//     plus the profiling toolchain (page CDFs, per-structure hotness,
+//     GetAllocation hints), and
+//   - runners that regenerate every table and figure of the evaluation.
+//
+// Quick start:
+//
+//	res, err := heteromem.Run(heteromem.RunConfig{
+//	    Workload: "bfs",
+//	    Policy:   heteromem.BWAware,
+//	})
+//	fmt.Println(res.Perf, res.BOServed)
+//
+// To regenerate a figure:
+//
+//	fig, err := heteromem.Figure("fig3", heteromem.Options{})
+//	fmt.Print(fig.Table)
+package heteromem
+
+import (
+	"fmt"
+	"io"
+
+	"hetsim/internal/core"
+	"hetsim/internal/experiments"
+	"hetsim/internal/metrics"
+	"hetsim/internal/profiler"
+	"hetsim/internal/trace"
+	"hetsim/internal/vm"
+	"hetsim/internal/workloads"
+)
+
+// Core types, re-exported from the implementation packages.
+type (
+	// RunConfig describes one simulation run (workload, policy, capacity
+	// constraint, memory/GPU configuration).
+	RunConfig = experiments.RunConfig
+	// Result is the outcome of one run.
+	Result = experiments.Result
+	// Options tunes a figure reproduction (workload subset, shrink).
+	Options = experiments.Options
+	// Fig is one reproduced table or figure.
+	Fig = experiments.Figure
+	// PolicyKind selects a placement policy.
+	PolicyKind = experiments.PolicyKind
+	// Dataset parameterizes workload inputs (sizes, skew, seed).
+	Dataset = workloads.Dataset
+	// Hint is a per-allocation placement annotation.
+	Hint = core.Hint
+	// SBIT is the System Bandwidth Information Table.
+	SBIT = core.SBIT
+	// PageProfile holds per-page DRAM access counts.
+	PageProfile = profiler.PageProfile
+	// StructureStat is a per-data-structure hotness profile entry.
+	StructureStat = profiler.StructureStat
+	// Table is a renderable result table (text or CSV).
+	Table = metrics.Table
+)
+
+// Placement policies.
+const (
+	Local      = experiments.LocalPolicy
+	Interleave = experiments.InterleavePolicy
+	BWAware    = experiments.BWAwarePolicy
+	Ratio      = experiments.RatioPolicy
+	Oracle     = experiments.OraclePolicy
+	Annotated  = experiments.HintedPolicy
+)
+
+// Placement hints for annotated allocation.
+const (
+	HintNone = core.HintNone
+	HintBO   = core.HintBO
+	HintCO   = core.HintCO
+	HintBW   = core.HintBW
+)
+
+// Run executes one workload under one placement policy on the simulated
+// heterogeneous-memory GPU system and returns the measured result.
+func Run(rc RunConfig) (Result, error) { return experiments.Run(rc) }
+
+// Profile runs a workload unconstrained under LOCAL placement and returns
+// the result with page-level and structure-level access counts — the
+// training pass for oracle and annotated placement.
+func Profile(workload string, ds Dataset, shrink int) (Result, error) {
+	return experiments.Profile(workload, ds, shrink)
+}
+
+// Figure regenerates one of the paper's tables or figures by identifier
+// (see FigureIDs).
+func Figure(id string, opts Options) (Fig, error) {
+	f, ok := experiments.ByID(id)
+	if !ok {
+		return Fig{}, fmt.Errorf("heteromem: unknown figure %q (have %v)", id, experiments.IDs())
+	}
+	return f(opts)
+}
+
+// FigureIDs lists the reproducible tables and figures in paper order.
+func FigureIDs() []string { return experiments.IDs() }
+
+// AllFigures regenerates every table and figure.
+func AllFigures(opts Options) ([]Fig, error) { return experiments.All(opts) }
+
+// Workloads lists the paper's 19-benchmark evaluation set.
+func Workloads() []string { return workloads.Names() }
+
+// AllWorkloads lists every available workload, including extensions.
+func AllWorkloads() []string { return workloads.AllNames() }
+
+// TrainDataset is the canonical input set used for profiling.
+func TrainDataset() Dataset { return workloads.Train() }
+
+// DatasetVariants are alternative input sets for robustness studies.
+func DatasetVariants() []Dataset { return workloads.Variants() }
+
+// AnnotatedHints computes §5.3 placement hints for a workload: profile on
+// trainDS, then combine the measured per-structure hotness with evalDS's
+// structure sizes and the BO capacity fraction of the Table 1 machine.
+func AnnotatedHints(workload string, trainDS, evalDS Dataset, boCapacityFrac float64, shrink int) ([]Hint, error) {
+	return experiments.AnnotatedHints(workload, trainDS, evalDS, boCapacityFrac, shrink)
+}
+
+// PageCDF computes the Figure 6 curve for a run's page counts.
+func PageCDF(res Result) PageProfile { return profiler.FromCounts(res.PageCounts) }
+
+// StructureProfile maps a run's page counts onto its data structures —
+// the Figure 7 analysis and the hotness source for annotations.
+func StructureProfile(res Result) []StructureStat {
+	return profiler.ProfileAllocations(res.PageCounts, res.Allocations, vm.DefaultPageSize)
+}
+
+// Table1SBIT returns the paper's simulated system topology (200 GB/s BO +
+// 80 GB/s CO behind a 100-cycle hop).
+func Table1SBIT() SBIT { return core.Table1SBIT() }
+
+// ComputeHints is the raw GetAllocation hint computation over explicit
+// size/hotness annotations (Figure 9).
+func ComputeHints(sizes []uint64, hotness []float64, boCapacityBytes uint64, boShare float64) ([]Hint, error) {
+	if len(sizes) != len(hotness) {
+		return nil, fmt.Errorf("heteromem: %d sizes but %d hotness values", len(sizes), len(hotness))
+	}
+	infos := make([]core.AllocationInfo, len(sizes))
+	for i := range sizes {
+		infos[i] = core.AllocationInfo{Size: sizes[i], Hotness: hotness[i]}
+	}
+	return core.ComputeHints(infos, boCapacityBytes, boShare)
+}
+
+// Report flattens a Result into a machine-readable summary.
+type Report = experiments.Report
+
+// NewReport builds the JSON-ready summary of a run.
+func NewReport(r Result) Report { return experiments.NewReport(r) }
+
+// TraceEvent is one recorded memory access.
+type TraceEvent = trace.Event
+
+// ReplayConfig shapes how a recorded trace is re-executed.
+type ReplayConfig = trace.ReplayConfig
+
+// RecordTrace runs a workload while streaming its post-L1 access trace to
+// w, returning the run result and the number of recorded events.
+func RecordTrace(rc RunConfig, w io.Writer) (Result, uint64, error) {
+	return experiments.RecordTrace(rc, w)
+}
+
+// ReadTrace decodes a recorded trace stream.
+func ReadTrace(r io.Reader) ([]TraceEvent, error) {
+	tr, err := trace.NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	return trace.ReadAll(tr)
+}
+
+// ReplayTrace re-executes a recorded access stream under a placement
+// policy (annotated placement excepted: traces carry no allocations).
+func ReplayTrace(events []TraceEvent, rc RunConfig, replay ReplayConfig) (Result, error) {
+	return experiments.RunTrace(events, rc, replay)
+}

@@ -1,0 +1,116 @@
+package heteromem
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestFacadeRun(t *testing.T) {
+	res, err := Run(RunConfig{Workload: "bfs", Policy: BWAware, Shrink: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Perf <= 0 {
+		t.Fatal("no performance measured")
+	}
+	if res.BOServed < 0.5 || res.BOServed > 0.95 {
+		t.Fatalf("BW-AWARE BOServed = %.3f, want roughly the bandwidth share", res.BOServed)
+	}
+}
+
+func TestFacadeFigure(t *testing.T) {
+	fig, err := Figure("fig1", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig.Table.Rows() != 3 {
+		t.Fatalf("fig1 rows = %d, want 3", fig.Table.Rows())
+	}
+	if _, err := Figure("nope", Options{}); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+}
+
+func TestFacadeWorkloadsAndDatasets(t *testing.T) {
+	if len(Workloads()) != 19 {
+		t.Fatalf("Workloads() = %d, want 19", len(Workloads()))
+	}
+	if len(AllWorkloads()) != 22 {
+		t.Fatalf("AllWorkloads() = %d, want 22", len(AllWorkloads()))
+	}
+	if TrainDataset().Name != "train" {
+		t.Fatal("train dataset misnamed")
+	}
+	if len(DatasetVariants()) < 3 {
+		t.Fatal("missing dataset variants")
+	}
+	if len(FigureIDs()) != 18 {
+		t.Fatalf("FigureIDs = %d, want 18", len(FigureIDs()))
+	}
+}
+
+func TestFacadeProfilePipeline(t *testing.T) {
+	res, err := Profile("xsbench", TrainDataset(), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cdf := PageCDF(res)
+	if cdf.Total == 0 {
+		t.Fatal("profile collected no page accesses")
+	}
+	stats := StructureProfile(res)
+	if len(stats) != 4 {
+		t.Fatalf("xsbench has %d structures, want 4", len(stats))
+	}
+	hints, err := AnnotatedHints("xsbench", TrainDataset(), TrainDataset(), 0.1, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hints) != 4 {
+		t.Fatalf("%d hints, want 4", len(hints))
+	}
+}
+
+func TestFacadeComputeHints(t *testing.T) {
+	hints, err := ComputeHints([]uint64{100, 200}, []float64{2, 1}, 1000, Table1SBIT().Share(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range hints {
+		if h != HintBW {
+			t.Fatalf("unconstrained hints = %v, want all BW", hints)
+		}
+	}
+	if _, err := ComputeHints([]uint64{1}, nil, 1, 0.5); err == nil {
+		t.Fatal("mismatched annotation arrays accepted")
+	}
+}
+
+func TestFacadeTraceAPIs(t *testing.T) {
+	var buf bytes.Buffer
+	res, n, err := RecordTrace(RunConfig{Workload: "histo", Policy: Local, Shrink: 16}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 || res.Perf <= 0 {
+		t.Fatal("record failed")
+	}
+	events, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint64(len(events)) != n {
+		t.Fatalf("decoded %d, recorded %d", len(events), n)
+	}
+	rep, err := ReplayTrace(events, RunConfig{Policy: BWAware}, ReplayConfig{Warps: 32, AccessesPerPhase: 8, MLP: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Perf <= 0 {
+		t.Fatal("replay failed")
+	}
+	report := NewReport(rep)
+	if report.Policy != "BW-AWARE" {
+		t.Fatalf("report policy %q", report.Policy)
+	}
+}

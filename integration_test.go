@@ -1,0 +1,239 @@
+package heteromem
+
+// Integration tests: end-to-end flows across the public API that exercise
+// several subsystems together (runtime + policies + memory system + GPU +
+// profiler + migration + tracing), at reduced fidelity so the suite stays
+// fast. The per-figure shape assertions live in internal/experiments.
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hetsim/internal/experiments"
+	"hetsim/internal/migrate"
+	"hetsim/internal/tlb"
+	"hetsim/internal/trace"
+)
+
+const integShrink = 16
+
+// The paper's core pipeline, end to end: unconstrained BW-AWARE wins,
+// constrained BW-AWARE degrades, the oracle recovers, and annotations
+// approach the oracle — all through the facade.
+func TestIntegrationPaperPipeline(t *testing.T) {
+	const wl = "xsbench"
+	run := func(rc RunConfig) Result {
+		t.Helper()
+		rc.Workload = wl
+		rc.Shrink = integShrink
+		res, err := Run(rc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	local := run(RunConfig{Policy: Local})
+	bw := run(RunConfig{Policy: BWAware})
+	if bw.Perf <= local.Perf {
+		t.Fatalf("BW-AWARE (%.1f) <= LOCAL (%.1f)", bw.Perf, local.Perf)
+	}
+
+	bwTight := run(RunConfig{Policy: BWAware, BOCapacityFrac: 0.1})
+	if bwTight.Perf >= bw.Perf {
+		t.Fatal("capacity constraint had no effect")
+	}
+
+	prof, err := Profile(wl, TrainDataset(), integShrink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orc := run(RunConfig{Policy: Oracle, ProfileCounts: prof.PageCounts, BOCapacityFrac: 0.1})
+	if orc.Perf <= bwTight.Perf {
+		t.Fatalf("oracle (%.1f) <= constrained BW-AWARE (%.1f)", orc.Perf, bwTight.Perf)
+	}
+
+	hints, err := AnnotatedHints(wl, TrainDataset(), TrainDataset(), 0.1, integShrink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ann := run(RunConfig{Policy: Annotated, Hints: hints, BOCapacityFrac: 0.1})
+	if ann.Perf < 0.95*bwTight.Perf {
+		t.Fatalf("annotated (%.1f) fell below BW-AWARE (%.1f)", ann.Perf, bwTight.Perf)
+	}
+	// The oracle is a near-upper-bound, not a guaranteed one: it
+	// optimizes the DRAM service ratio under a uniform-service model, so
+	// cache and queueing effects let annotated placement occasionally
+	// edge past it. Require only the right neighbourhood.
+	if ann.Perf > orc.Perf*1.25 {
+		t.Fatalf("annotated (%.1f) implausibly above oracle (%.1f)", ann.Perf, orc.Perf)
+	}
+}
+
+// Profile analysis chain: CDF + structure stats + hint derivation agree
+// with each other.
+func TestIntegrationProfileAnalysis(t *testing.T) {
+	prof, err := Profile("bfs", TrainDataset(), integShrink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cdf := PageCDF(prof)
+	if cdf.Total == 0 {
+		t.Fatal("no accesses profiled")
+	}
+	if cdf.AccessFracFromHottest(0.2) < 0.4 {
+		t.Fatalf("bfs hottest-20%% share = %.2f, want skew", cdf.AccessFracFromHottest(0.2))
+	}
+	stats := StructureProfile(prof)
+	var accSum float64
+	hottest := stats[0]
+	for _, s := range stats {
+		accSum += s.AccessFrac
+		if s.Hotness > hottest.Hotness {
+			hottest = s
+		}
+	}
+	if accSum < 0.999 || accSum > 1.001 {
+		t.Fatalf("structure access fractions sum to %.3f", accSum)
+	}
+	// bfs's per-byte hottest structures are the small mask/visited arrays.
+	switch hottest.Alloc.Label {
+	case "d_graph_visited", "d_updating_graph_mask", "d_cost", "d_graph_mask":
+	default:
+		t.Fatalf("hottest structure = %q, want one of the small hot arrays", hottest.Alloc.Label)
+	}
+}
+
+// Migration end to end through the public RunConfig, including lock and
+// copy-traffic accounting.
+func TestIntegrationMigration(t *testing.T) {
+	cfg := migrate.DefaultConfig()
+	cfg.EpochCycles = 2000
+	cfg.MinHeat = 4
+	res, err := Run(RunConfig{
+		Workload: "xsbench", Policy: BWAware,
+		BOCapacityFrac: 0.1, Migration: &cfg, Shrink: integShrink,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Migration.Epochs == 0 {
+		t.Fatal("migration engine never ran")
+	}
+	if res.Mem.MigratedPages != uint64(res.Migration.Promotions+res.Migration.Demotions) {
+		t.Fatalf("migrated pages %d != promotions %d + demotions %d",
+			res.Mem.MigratedPages, res.Migration.Promotions, res.Migration.Demotions)
+	}
+}
+
+// Trace record -> file on disk -> replay, through real file I/O.
+func TestIntegrationTraceFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wl.trc")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, n, err := experiments.RecordTrace(RunConfig{Workload: "histo", Policy: Local, Shrink: integShrink}, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := trace.NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := trace.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint64(len(events)) != n {
+		t.Fatalf("file holds %d events, recorded %d", len(events), n)
+	}
+	res, err := experiments.RunTrace(events, RunConfig{Policy: BWAware},
+		trace.ReplayConfig{Warps: 64, AccessesPerPhase: 8, MLP: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BOServed < 0.6 || res.BOServed > 0.85 {
+		t.Fatalf("replayed BOServed = %.3f", res.BOServed)
+	}
+}
+
+// TLB + page size through the facade: same workload, larger pages, fewer
+// walks.
+func TestIntegrationTLBPageSize(t *testing.T) {
+	tcfg := tlb.DefaultConfig()
+	missRate := func(pageSize uint64) float64 {
+		res, err := Run(RunConfig{
+			Workload: "xsbench", Policy: Local,
+			PageSize: pageSize, TLB: &tcfg, Shrink: integShrink,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := res.GPUStats.TLBHits + res.GPUStats.TLBMisses
+		if total == 0 {
+			t.Fatal("no TLB activity")
+		}
+		return float64(res.GPUStats.TLBMisses) / float64(total)
+	}
+	small := missRate(4096)
+	big := missRate(65536)
+	if big >= small {
+		t.Fatalf("64KB pages did not reduce TLB misses: %.3f vs %.3f", big, small)
+	}
+}
+
+// Determinism across the whole stack: identical configs produce identical
+// cycle counts for a sample of workloads and policies.
+func TestIntegrationDeterminism(t *testing.T) {
+	cases := []RunConfig{
+		{Workload: "bfs", Policy: BWAware},
+		{Workload: "sgemm", Policy: Local},
+		{Workload: "histo", Policy: Interleave, BOCapacityFrac: 0.3},
+	}
+	for _, rc := range cases {
+		rc.Shrink = integShrink
+		a, err := Run(rc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Run(rc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Cycles != b.Cycles || a.BOServed != b.BOServed || a.EnergyNJ != b.EnergyNJ {
+			t.Fatalf("%s/%s nondeterministic: %v vs %v cycles", rc.Workload, a.Policy, a.Cycles, b.Cycles)
+		}
+	}
+}
+
+// Energy accounting is consistent with traffic: a policy serving more
+// bytes from GDDR5 must burn more energy per byte.
+func TestIntegrationEnergyConsistency(t *testing.T) {
+	local, err := Run(RunConfig{Workload: "stencil", Policy: Local, Shrink: integShrink})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inter, err := Run(RunConfig{Workload: "stencil", Policy: Interleave, Shrink: integShrink})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if local.EnergyNJ <= 0 || inter.EnergyNJ <= 0 {
+		t.Fatal("energy not metered")
+	}
+	perByteLocal := local.EnergyNJ / float64(local.Mem.PerZone[0].BytesMoved+local.Mem.PerZone[1].BytesMoved)
+	perByteInter := inter.EnergyNJ / float64(inter.Mem.PerZone[0].BytesMoved+inter.Mem.PerZone[1].BytesMoved)
+	if perByteLocal <= perByteInter {
+		t.Fatalf("all-GDDR5 energy/byte %.4f not above 50/50 split %.4f", perByteLocal, perByteInter)
+	}
+}

@@ -1,0 +1,121 @@
+// Package acpi models the firmware-to-OS interface the paper's proposal
+// rides on. Linux today learns NUMA topology from the ACPI SRAT and memory
+// latencies from the SLIT (§2.2); the paper proposes a System Bandwidth
+// Information Table (SBIT) "much like there is already a ACPI System
+// Locality Information Table (SLIT)" (§3). This package serializes and
+// parses a textual SBIT (standing in for the binary ACPI encoding) and
+// derives a SLIT-style distance matrix from the zone latencies, so the OS
+// side of the stack consumes topology exactly the way the kernel would.
+package acpi
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"hetsim/internal/core"
+	"hetsim/internal/vm"
+)
+
+const header = "SBIT v1"
+
+// EncodeSBIT writes the table in a stable, line-oriented form:
+//
+//	SBIT v1
+//	zone <id> <name> bw_gbps=<f> latency_cycles=<d> capacity_bytes=<d>
+func EncodeSBIT(w io.Writer, t core.SBIT) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, header)
+	for _, z := range t.ZoneInfos {
+		fmt.Fprintf(bw, "zone %d %s bw_gbps=%g latency_cycles=%d capacity_bytes=%d\n",
+			z.Zone, z.Name, z.BandwidthGBps, z.LatencyCycles, z.CapacityBytes)
+	}
+	return bw.Flush()
+}
+
+// DecodeSBIT parses a table written by EncodeSBIT.
+func DecodeSBIT(r io.Reader) (core.SBIT, error) {
+	sc := bufio.NewScanner(r)
+	if !sc.Scan() {
+		return core.SBIT{}, fmt.Errorf("acpi: empty SBIT")
+	}
+	if sc.Text() != header {
+		return core.SBIT{}, fmt.Errorf("acpi: bad header %q", sc.Text())
+	}
+	var t core.SBIT
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 6 || fields[0] != "zone" {
+			return core.SBIT{}, fmt.Errorf("acpi: malformed zone line %q", line)
+		}
+		id, err := strconv.ParseUint(fields[1], 10, 8)
+		if err != nil || id >= vm.MaxZones {
+			return core.SBIT{}, fmt.Errorf("acpi: bad zone id %q", fields[1])
+		}
+		zi := core.ZoneInfo{Zone: vm.ZoneID(id), Name: fields[2]}
+		for _, kv := range fields[3:] {
+			k, v, ok := strings.Cut(kv, "=")
+			if !ok {
+				return core.SBIT{}, fmt.Errorf("acpi: bad attribute %q", kv)
+			}
+			switch k {
+			case "bw_gbps":
+				zi.BandwidthGBps, err = strconv.ParseFloat(v, 64)
+			case "latency_cycles":
+				zi.LatencyCycles, err = strconv.Atoi(v)
+			case "capacity_bytes":
+				zi.CapacityBytes, err = strconv.ParseUint(v, 10, 64)
+			default:
+				return core.SBIT{}, fmt.Errorf("acpi: unknown attribute %q", k)
+			}
+			if err != nil {
+				return core.SBIT{}, fmt.Errorf("acpi: bad value in %q: %v", kv, err)
+			}
+		}
+		t.ZoneInfos = append(t.ZoneInfos, zi)
+	}
+	if err := sc.Err(); err != nil {
+		return core.SBIT{}, err
+	}
+	if err := t.Validate(); err != nil {
+		return core.SBIT{}, err
+	}
+	return t, nil
+}
+
+// SLITLocal is the ACPI-defined distance of a zone to itself.
+const SLITLocal = 10
+
+// SLIT derives an ACPI-SLIT-style relative distance matrix from the SBIT's
+// extra-latency figures: distance[i][j] = 10 for i == j and
+// 10 + remote zone's extra latency scaled by cyclesPerUnit otherwise (the
+// kernel's convention that 20 means "twice local latency" maps to
+// cyclesPerUnit ~= local latency / 10). Indices follow the SBIT's zone
+// order.
+func SLIT(t core.SBIT, cyclesPerUnit int) [][]int {
+	if cyclesPerUnit <= 0 {
+		cyclesPerUnit = 10
+	}
+	n := len(t.ZoneInfos)
+	m := make([][]int, n)
+	for i := range m {
+		m[i] = make([]int, n)
+		for j := range m[i] {
+			if i == j {
+				m[i][j] = SLITLocal
+				continue
+			}
+			m[i][j] = SLITLocal + t.ZoneInfos[j].LatencyCycles/cyclesPerUnit
+		}
+	}
+	return m
+}

@@ -1,0 +1,112 @@
+package acpi
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"hetsim/internal/core"
+	"hetsim/internal/vm"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for _, tbl := range []core.SBIT{core.Table1SBIT(), core.HPCSBIT(), core.MobileSBIT()} {
+		var buf bytes.Buffer
+		if err := EncodeSBIT(&buf, tbl); err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeSBIT(&buf)
+		if err != nil {
+			t.Fatalf("decode: %v\nencoded:\n%s", err, buf.String())
+		}
+		if len(got.ZoneInfos) != len(tbl.ZoneInfos) {
+			t.Fatalf("zones = %d, want %d", len(got.ZoneInfos), len(tbl.ZoneInfos))
+		}
+		for i, z := range tbl.ZoneInfos {
+			if got.ZoneInfos[i] != z {
+				t.Fatalf("zone %d = %+v, want %+v", i, got.ZoneInfos[i], z)
+			}
+		}
+	}
+}
+
+func TestEncodeRejectsInvalid(t *testing.T) {
+	var buf bytes.Buffer
+	if err := EncodeSBIT(&buf, core.SBIT{}); err == nil {
+		t.Fatal("empty SBIT encoded")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"NOT A TABLE",
+		"SBIT v1\nzone x GDDR5 bw_gbps=1 latency_cycles=0 capacity_bytes=0",
+		"SBIT v1\nzone 0 GDDR5 bw_gbps=nope latency_cycles=0 capacity_bytes=0",
+		"SBIT v1\nzone 0 GDDR5 bw_gbps=1 latency_cycles=0",
+		"SBIT v1\nzone 0 GDDR5 bw_gbps=1 latency_cycles=0 wat=1",
+		"SBIT v1\nzone 0 GDDR5 bw_gbps=1 latency_cycles=0 capacity",
+		"SBIT v1\nzone 99 X bw_gbps=1 latency_cycles=0 capacity_bytes=0",
+		"SBIT v1", // no zones: fails SBIT validation
+	}
+	for _, c := range cases {
+		if _, err := DecodeSBIT(strings.NewReader(c)); err == nil {
+			t.Errorf("decoded invalid table %q", c)
+		}
+	}
+}
+
+func TestDecodeSkipsCommentsAndBlanks(t *testing.T) {
+	in := "SBIT v1\n\n# a comment\nzone 0 GDDR5 bw_gbps=200 latency_cycles=0 capacity_bytes=0\n"
+	got, err := DecodeSBIT(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.ZoneInfos) != 1 || got.ZoneInfos[0].Name != "GDDR5" {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestSLIT(t *testing.T) {
+	m := SLIT(core.Table1SBIT(), 10)
+	if len(m) != 2 {
+		t.Fatalf("SLIT size %d", len(m))
+	}
+	if m[0][0] != SLITLocal || m[1][1] != SLITLocal {
+		t.Fatal("diagonal not local distance")
+	}
+	// CO is 100 cycles away: 10 + 100/10 = 20, the classic "one hop" SLIT
+	// value.
+	if m[0][1] != 20 {
+		t.Fatalf("BO->CO distance = %d, want 20", m[0][1])
+	}
+	if m[1][0] != 10 {
+		t.Fatalf("CO->BO distance = %d, want 10 (BO adds no latency)", m[1][0])
+	}
+	// Degenerate scale defaults sanely.
+	m = SLIT(core.Table1SBIT(), 0)
+	if m[0][1] != 20 {
+		t.Fatalf("default scale distance = %d, want 20", m[0][1])
+	}
+}
+
+func TestDecodedTableDrivesPolicies(t *testing.T) {
+	// The decoded table must be usable end-to-end: build BW-AWARE from it.
+	var buf bytes.Buffer
+	if err := EncodeSBIT(&buf, core.Table1SBIT()); err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := DecodeSBIT(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := core.NewBWAware(tbl, 1)
+	counts := map[vm.ZoneID]int{}
+	for i := 0; i < 10000; i++ {
+		counts[p.Place(core.Request{})]++
+	}
+	frac := float64(counts[vm.ZoneBO]) / 10000
+	if frac < 0.68 || frac > 0.76 {
+		t.Fatalf("BW-AWARE from decoded SBIT placed %.3f in BO, want ~0.714", frac)
+	}
+}

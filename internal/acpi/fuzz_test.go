@@ -1,0 +1,23 @@
+package acpi
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzDecodeSBIT must never panic on arbitrary input and any successfully
+// decoded table must validate.
+func FuzzDecodeSBIT(f *testing.F) {
+	f.Add("SBIT v1\nzone 0 GDDR5 bw_gbps=200 latency_cycles=0 capacity_bytes=0\n")
+	f.Add("SBIT v1\n# comment\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, in string) {
+		tbl, err := DecodeSBIT(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if err := tbl.Validate(); err != nil {
+			t.Fatalf("decoded table does not validate: %v", err)
+		}
+	})
+}

@@ -1,0 +1,131 @@
+package cache
+
+import (
+	"fmt"
+
+	"hetsim/internal/sim"
+)
+
+// MSHR is a miss-status holding register file. Each entry tracks one
+// outstanding line fill; secondary misses to a pending line merge into the
+// existing entry instead of consuming a new one (and instead of issuing a
+// duplicate DRAM access), exactly as in the paper's GPGPU-Sim configuration
+// (128 entries per L2 slice).
+//
+// When the file is full, new primary misses must wait: AddWaiter queues the
+// request and the owner pops it when an entry frees. The backpressure this
+// creates is what couples memory latency to achievable throughput — the
+// mechanism behind the paper's observation that enough MSHRs hide the
+// interconnect hop to CPU-attached memory (§3.2.1).
+type MSHR struct {
+	capacity int
+	pending  map[uint64][]func(sim.Time)
+	stalled  []stalledReq
+	stats    MSHRStats
+}
+
+type stalledReq struct {
+	line  uint64
+	retry func()
+}
+
+// MSHRStats counts MSHR file activity.
+type MSHRStats struct {
+	Primary   uint64 // entry allocations
+	Merged    uint64 // secondary misses coalesced into a pending entry
+	FullStall uint64 // requests that found the file full
+	PeakUsed  int
+}
+
+// NewMSHR returns a file with the given entry capacity.
+func NewMSHR(capacity int) *MSHR {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("cache: MSHR capacity %d, must be positive", capacity))
+	}
+	return &MSHR{capacity: capacity, pending: make(map[uint64][]func(sim.Time), capacity)}
+}
+
+// Capacity returns the entry count.
+func (m *MSHR) Capacity() int { return m.capacity }
+
+// Used reports how many entries are live.
+func (m *MSHR) Used() int { return len(m.pending) }
+
+// Stats returns a copy of the counters.
+func (m *MSHR) Stats() MSHRStats { return m.stats }
+
+// Outcome of an Allocate call.
+type Outcome int
+
+// Allocate outcomes.
+const (
+	Allocated Outcome = iota // new entry created; caller must issue the fill
+	Merged                   // joined an in-flight fill; do not issue
+	Full                     // no entry available; caller must queue via Stall
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case Allocated:
+		return "Allocated"
+	case Merged:
+		return "Merged"
+	case Full:
+		return "Full"
+	default:
+		return fmt.Sprintf("Outcome(%d)", int(o))
+	}
+}
+
+// Allocate registers interest in a line fill. done is invoked with the fill
+// completion time when Fill is called for the line. On Full, done is NOT
+// registered; the caller should use Stall.
+func (m *MSHR) Allocate(line uint64, done func(sim.Time)) Outcome {
+	if waiters, ok := m.pending[line]; ok {
+		m.pending[line] = append(waiters, done)
+		m.stats.Merged++
+		return Merged
+	}
+	if len(m.pending) >= m.capacity {
+		m.stats.FullStall++
+		return Full
+	}
+	m.pending[line] = []func(sim.Time){done}
+	m.stats.Primary++
+	if len(m.pending) > m.stats.PeakUsed {
+		m.stats.PeakUsed = len(m.pending)
+	}
+	return Allocated
+}
+
+// Stall queues retry to be invoked when an entry frees. The retry callback
+// should re-attempt the whole access (the line may have been filled or
+// evicted meanwhile).
+func (m *MSHR) Stall(line uint64, retry func()) {
+	m.stalled = append(m.stalled, stalledReq{line: line, retry: retry})
+}
+
+// StallDepth reports how many requests are queued waiting for an entry.
+func (m *MSHR) StallDepth() int { return len(m.stalled) }
+
+// Fill completes the outstanding fill for line at time t: all merged
+// waiters are notified in registration order, the entry frees, and one
+// stalled request (if any) is retried.
+func (m *MSHR) Fill(line uint64, t sim.Time) {
+	waiters, ok := m.pending[line]
+	if !ok {
+		panic(fmt.Sprintf("cache: Fill for line %#x with no MSHR entry", line))
+	}
+	delete(m.pending, line)
+	for _, w := range waiters {
+		w(t)
+	}
+	// Wake exactly one stalled request per freed entry to preserve the
+	// structural hazard semantics.
+	if len(m.stalled) > 0 {
+		next := m.stalled[0]
+		copy(m.stalled, m.stalled[1:])
+		m.stalled = m.stalled[:len(m.stalled)-1]
+		next.retry()
+	}
+}

@@ -1,0 +1,126 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hetsim/internal/sim"
+)
+
+func TestMSHRAllocateMergeFill(t *testing.T) {
+	m := NewMSHR(4)
+	var times []sim.Time
+	note := func(ts sim.Time) { times = append(times, ts) }
+
+	if got := m.Allocate(10, note); got != Allocated {
+		t.Fatalf("first Allocate = %v, want Allocated", got)
+	}
+	if got := m.Allocate(10, note); got != Merged {
+		t.Fatalf("second Allocate same line = %v, want Merged", got)
+	}
+	if m.Used() != 1 {
+		t.Fatalf("Used = %d, want 1 (merged miss shares the entry)", m.Used())
+	}
+	m.Fill(10, 99)
+	if len(times) != 2 || times[0] != 99 || times[1] != 99 {
+		t.Fatalf("waiters notified %v, want [99 99]", times)
+	}
+	if m.Used() != 0 {
+		t.Fatalf("Used = %d after Fill, want 0", m.Used())
+	}
+}
+
+func TestMSHRFull(t *testing.T) {
+	m := NewMSHR(2)
+	m.Allocate(1, func(sim.Time) {})
+	m.Allocate(2, func(sim.Time) {})
+	if got := m.Allocate(3, func(sim.Time) {}); got != Full {
+		t.Fatalf("Allocate over capacity = %v, want Full", got)
+	}
+	// Merging into an existing entry must still work when full.
+	if got := m.Allocate(1, func(sim.Time) {}); got != Merged {
+		t.Fatalf("merge while full = %v, want Merged", got)
+	}
+	if got := m.Stats().FullStall; got != 1 {
+		t.Fatalf("FullStall = %d, want 1", got)
+	}
+}
+
+func TestMSHRStallRetryOnFill(t *testing.T) {
+	m := NewMSHR(1)
+	m.Allocate(1, func(sim.Time) {})
+	retried := 0
+	m.Stall(2, func() { retried++ })
+	m.Stall(3, func() { retried++ })
+	if m.StallDepth() != 2 {
+		t.Fatalf("StallDepth = %d, want 2", m.StallDepth())
+	}
+	m.Fill(1, 50)
+	if retried != 1 {
+		t.Fatalf("retried %d requests after one Fill, want exactly 1", retried)
+	}
+	if m.StallDepth() != 1 {
+		t.Fatalf("StallDepth = %d after one Fill, want 1", m.StallDepth())
+	}
+}
+
+func TestMSHRFillUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Fill of unknown line did not panic")
+		}
+	}()
+	NewMSHR(1).Fill(42, 0)
+}
+
+func TestMSHRZeroCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewMSHR(0) did not panic")
+		}
+	}()
+	NewMSHR(0)
+}
+
+func TestMSHRPeakUsed(t *testing.T) {
+	m := NewMSHR(8)
+	for i := uint64(0); i < 5; i++ {
+		m.Allocate(i, func(sim.Time) {})
+	}
+	m.Fill(0, 1)
+	m.Fill(1, 1)
+	if got := m.Stats().PeakUsed; got != 5 {
+		t.Fatalf("PeakUsed = %d, want 5", got)
+	}
+}
+
+// Property: every Allocated/Merged waiter is notified exactly once across
+// an arbitrary interleaving of allocations and fills.
+func TestPropertyAllWaitersNotified(t *testing.T) {
+	f := func(lines []uint8) bool {
+		m := NewMSHR(256)
+		notified := 0
+		expected := 0
+		live := make(map[uint64]bool)
+		for _, l := range lines {
+			line := uint64(l % 16)
+			if live[line] && l%3 == 0 {
+				m.Fill(line, sim.Time(l))
+				delete(live, line)
+				continue
+			}
+			switch m.Allocate(line, func(sim.Time) { notified++ }) {
+			case Allocated, Merged:
+				expected++
+				live[line] = true
+			}
+		}
+		for line := range live {
+			m.Fill(line, 0)
+		}
+		return notified == expected && m.Used() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,34 @@
+package core
+
+import "testing"
+
+// FuzzComputeHints: for arbitrary annotations the hint computation must
+// never panic, must return one hint per allocation, and BO-pinned bytes
+// must respect capacity.
+func FuzzComputeHints(f *testing.F) {
+	f.Add(uint64(100), uint64(200), 1.5, 2.5, uint64(150))
+	f.Add(uint64(0), uint64(0), 0.0, 0.0, uint64(0))
+	f.Fuzz(func(t *testing.T, s1, s2 uint64, h1, h2 float64, cap uint64) {
+		allocs := []AllocationInfo{{Size: s1 % (1 << 40), Hotness: h1}, {Size: s2 % (1 << 40), Hotness: h2}}
+		hints, err := ComputeHints(allocs, cap, 0.7)
+		if err != nil {
+			return // negative hotness etc.
+		}
+		if len(hints) != 2 {
+			t.Fatalf("%d hints", len(hints))
+		}
+		var bo uint64
+		allBW := true
+		for i, h := range hints {
+			if h == HintBO {
+				bo += allocs[i].Size
+			}
+			if h != HintBW {
+				allBW = false
+			}
+		}
+		if !allBW && bo > cap {
+			t.Fatalf("BO bytes %d exceed capacity %d", bo, cap)
+		}
+	})
+}

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"hetsim/internal/vm"
+)
+
+// PlaceStats records how a Placer distributed pages.
+type PlaceStats struct {
+	PagesPerZone [vm.MaxZones]int
+	Fallbacks    int // pages that missed their preferred zone on capacity
+	Total        int
+}
+
+// ZoneFraction reports the fraction of pages placed in z.
+func (s PlaceStats) ZoneFraction(z vm.ZoneID) float64 {
+	if s.Total == 0 {
+		return 0
+	}
+	return float64(s.PagesPerZone[z]) / float64(s.Total)
+}
+
+// Placer applies a Policy to an address space with capacity fallback: when
+// the preferred zone is full, the page spills to the remaining zones in
+// descending-bandwidth order (§5.2: "memory hints are honored unless the
+// memory pool is filled to capacity, in which case the allocator will fall
+// back to the alternate domain").
+type Placer struct {
+	Space    *vm.Space
+	Policy   Policy
+	Fallback []vm.ZoneID // zone preference order for spills
+	stats    PlaceStats
+}
+
+// NewPlacer builds a Placer whose spill order comes from the SBIT's
+// bandwidth ranking.
+func NewPlacer(space *vm.Space, policy Policy, sbit SBIT) *Placer {
+	return &Placer{Space: space, Policy: policy, Fallback: sbit.ZonesByBandwidth()}
+}
+
+// ErrNoMemory reports that every zone is full.
+var ErrNoMemory = errors.New("core: all memory zones full")
+
+// PlacePage places one virtual page, returning the zone it landed in.
+func (p *Placer) PlacePage(req Request) (vm.ZoneID, error) {
+	prefer := p.Policy.Place(req)
+	err := p.Space.MapPage(req.VPage, prefer)
+	if err == nil {
+		p.note(prefer, false)
+		return prefer, nil
+	}
+	if !errors.Is(err, vm.ErrZoneFull) {
+		return 0, err
+	}
+	for _, z := range p.Fallback {
+		if z == prefer {
+			continue
+		}
+		if err := p.Space.MapPage(req.VPage, z); err == nil {
+			p.note(z, true)
+			return z, nil
+		} else if !errors.Is(err, vm.ErrZoneFull) {
+			return 0, err
+		}
+	}
+	return 0, fmt.Errorf("%w: vpage %d", ErrNoMemory, req.VPage)
+}
+
+func (p *Placer) note(z vm.ZoneID, fell bool) {
+	p.stats.PagesPerZone[z]++
+	p.stats.Total++
+	if fell {
+		p.stats.Fallbacks++
+	}
+}
+
+// Stats returns a copy of the placement counters.
+func (p *Placer) Stats() PlaceStats { return p.stats }

@@ -1,0 +1,142 @@
+// Package core implements the paper's contribution: page placement policies
+// for bandwidth-asymmetric (heterogeneous) memory systems.
+//
+// It provides the System Bandwidth Information Table (SBIT) the paper
+// proposes as an ACPI extension, the placement policies it evaluates —
+// LOCAL, INTERLEAVE, fixed-ratio xC-yB, BW-AWARE, oracle, and
+// annotation-hinted — and the GetAllocation hint computation of §5.3 that
+// turns per-data-structure size and hotness annotations into placement
+// hints.
+package core
+
+import (
+	"fmt"
+
+	"hetsim/internal/vm"
+)
+
+// ZoneInfo describes one memory zone's performance characteristics, the
+// information the paper argues the OS must be given ("there is a need for a
+// new System Bandwidth Information Table (SBIT), much like the ACPI SLIT").
+type ZoneInfo struct {
+	Zone          vm.ZoneID
+	Name          string
+	BandwidthGBps float64
+	// LatencyCycles is extra access latency relative to GPU-local memory
+	// (e.g. the 100-cycle interconnect hop to CPU-attached memory).
+	LatencyCycles int
+	CapacityBytes uint64
+}
+
+// SBIT is the System Bandwidth Information Table: the bandwidth analogue of
+// the ACPI System Locality Information Table, enumerating each zone's
+// aggregate bandwidth so placement policies can balance traffic.
+type SBIT struct {
+	ZoneInfos []ZoneInfo
+}
+
+// Validate reports an error for empty or non-positive-bandwidth tables.
+func (s SBIT) Validate() error {
+	if len(s.ZoneInfos) == 0 {
+		return fmt.Errorf("core: SBIT has no zones")
+	}
+	for _, z := range s.ZoneInfos {
+		if z.BandwidthGBps < 0 {
+			return fmt.Errorf("core: zone %q bandwidth %g negative", z.Name, z.BandwidthGBps)
+		}
+	}
+	if s.TotalBandwidth() <= 0 {
+		return fmt.Errorf("core: SBIT total bandwidth is zero")
+	}
+	return nil
+}
+
+// TotalBandwidth is the aggregate bandwidth across all zones in GB/s.
+func (s SBIT) TotalBandwidth() float64 {
+	var t float64
+	for _, z := range s.ZoneInfos {
+		t += z.BandwidthGBps
+	}
+	return t
+}
+
+// Share returns zone z's fraction of aggregate bandwidth — the optimal
+// fraction of uniformly-accessed pages to place there (§3.1:
+// f_B = b_B / (b_B + b_C), generalized to N zones).
+func (s SBIT) Share(z vm.ZoneID) float64 {
+	total := s.TotalBandwidth()
+	if total == 0 {
+		return 0
+	}
+	for _, zi := range s.ZoneInfos {
+		if zi.Zone == z {
+			return zi.BandwidthGBps / total
+		}
+	}
+	return 0
+}
+
+// Info returns the entry for zone z, and whether it exists.
+func (s SBIT) Info(z vm.ZoneID) (ZoneInfo, bool) {
+	for _, zi := range s.ZoneInfos {
+		if zi.Zone == z {
+			return zi, true
+		}
+	}
+	return ZoneInfo{}, false
+}
+
+// ZonesByBandwidth returns zone IDs ordered from highest to lowest
+// bandwidth — the fallback order when a preferred zone is full.
+func (s SBIT) ZonesByBandwidth() []vm.ZoneID {
+	ids := make([]vm.ZoneID, len(s.ZoneInfos))
+	perm := make([]int, len(s.ZoneInfos))
+	for i := range perm {
+		perm[i] = i
+	}
+	// Insertion sort: the table is tiny and this avoids an import.
+	for i := 1; i < len(perm); i++ {
+		for j := i; j > 0 && s.ZoneInfos[perm[j]].BandwidthGBps > s.ZoneInfos[perm[j-1]].BandwidthGBps; j-- {
+			perm[j], perm[j-1] = perm[j-1], perm[j]
+		}
+	}
+	for i, p := range perm {
+		ids[i] = s.ZoneInfos[p].Zone
+	}
+	return ids
+}
+
+// Table1SBIT is the paper's simulated desktop-like system (Table 1):
+// 200 GB/s GPU-attached GDDR5 and 80 GB/s CPU-attached DDR4 behind a
+// 100-cycle interconnect hop; bandwidth ratio 2.5x.
+func Table1SBIT() SBIT {
+	return SBIT{ZoneInfos: []ZoneInfo{
+		{Zone: vm.ZoneBO, Name: "GDDR5", BandwidthGBps: 200, LatencyCycles: 0},
+		{Zone: vm.ZoneCO, Name: "DDR4", BandwidthGBps: 80, LatencyCycles: 100},
+	}}
+}
+
+// Figure1 system presets: bandwidth ratios of likely future systems from
+// the paper's motivation figure.
+
+// HPCSBIT models an HPC node: 4 HBM stacks (~1 TB/s) plus DDR4 memory
+// expanders contributing ~8% additional bandwidth.
+func HPCSBIT() SBIT {
+	return SBIT{ZoneInfos: []ZoneInfo{
+		{Zone: vm.ZoneBO, Name: "HBM", BandwidthGBps: 1000, LatencyCycles: 0},
+		{Zone: vm.ZoneCO, Name: "DDR4", BandwidthGBps: 80, LatencyCycles: 100},
+	}}
+}
+
+// DesktopSBIT models a discrete-GPU desktop: GDDR5 plus DDR4 (ratio 2.5x),
+// identical to Table1SBIT.
+func DesktopSBIT() SBIT { return Table1SBIT() }
+
+// MobileSBIT models a mobile SoC: Wide-IO2 plus LPDDR4, where the CO pool
+// adds ~31% bandwidth (the paper's mobile configuration).
+func MobileSBIT() SBIT {
+	return SBIT{ZoneInfos: []ZoneInfo{
+		{Zone: vm.ZoneBO, Name: "WIO2", BandwidthGBps: 68, LatencyCycles: 0},
+		{Zone: vm.ZoneCO, Name: "LPDDR4", BandwidthGBps: 21, LatencyCycles: 60},
+	}}
+}

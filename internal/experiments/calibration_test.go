@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"testing"
+
+	"hetsim/internal/memsys"
+	"hetsim/internal/vm"
+	"hetsim/internal/workloads"
+)
+
+// TestWorkloadClassCalibration is the calibration regression suite: every
+// registered workload's declared sensitivity class (Figure 2) must match
+// its measured behaviour. If a workload drifts out of its class after a
+// model change, the figure shapes silently rot — this test makes that
+// loud.
+func TestWorkloadClassCalibration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration sweep is slow")
+	}
+	const shrink = 8
+	for _, name := range workloads.AllNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			spec := workloads.MustBuild(name, workloads.Train())
+
+			base, err := Run(RunConfig{Workload: name, Policy: LocalPolicy, Shrink: shrink})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Bandwidth response: 2x BO bandwidth.
+			fast := memsys.Table1Config()
+			fast.ScaleZoneBandwidth(vm.ZoneBO, 2)
+			bw2x, err := Run(RunConfig{Workload: name, Policy: LocalPolicy, Mem: fast, Shrink: shrink})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Latency response: +400 cycles everywhere.
+			slow := memsys.Table1Config()
+			slow.GlobalExtraLatency = 400
+			lat400, err := Run(RunConfig{Workload: name, Policy: LocalPolicy, Mem: slow, Shrink: shrink})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			bwGain := bw2x.Perf / base.Perf
+			latKeep := lat400.Perf / base.Perf
+
+			switch spec.Class {
+			case workloads.BandwidthBound:
+				if bwGain < 1.25 {
+					t.Errorf("declared bandwidth-bound but 2x bandwidth gives only %.2fx", bwGain)
+				}
+				if latKeep < 0.80 {
+					t.Errorf("declared bandwidth-bound but +400cyc latency keeps only %.2f", latKeep)
+				}
+			case workloads.LatencyBound:
+				if latKeep > 0.60 {
+					t.Errorf("declared latency-bound but +400cyc keeps %.2f (insufficiently sensitive)", latKeep)
+				}
+				if bwGain > 1.25 {
+					t.Errorf("declared latency-bound but 2x bandwidth gives %.2fx (too bandwidth-hungry)", bwGain)
+				}
+			case workloads.ComputeBound:
+				if bwGain > 1.15 || latKeep < 0.90 {
+					t.Errorf("declared compute-bound but bw2x=%.2fx lat400=%.2f (should be flat)", bwGain, latKeep)
+				}
+			case workloads.Mixed:
+				// Mixed workloads just need to be non-degenerate.
+				if bwGain < 1.0 || latKeep <= 0 {
+					t.Errorf("mixed workload degenerate: bw2x=%.2fx lat400=%.2f", bwGain, latKeep)
+				}
+			}
+		})
+	}
+}
+
+// Quick shape checks for the extension experiments, so the figure bodies
+// stay exercised by the unit suite.
+func TestExtensionFigures(t *testing.T) {
+	opts := Options{Workloads: []string{"xsbench"}, Shrink: 16}
+
+	mig, err := FigMigration(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := mig.Headline["migration_vs_bwaware"]; v < 0.7 || v > 1.3 {
+		t.Errorf("migration gain %.2f implausible", v)
+	}
+
+	zones, err := FigZones(Options{Workloads: []string{"stencil"}, Shrink: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := zones.Headline["bwaware_vs_local"]; v < 1.2 {
+		t.Errorf("three-zone BW-AWARE vs LOCAL = %.2f, want > 1.2", v)
+	}
+
+	energy, err := FigEnergy(Options{Workloads: []string{"stencil"}, Shrink: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := energy.Headline["bwaware_edp_vs_local"]; v >= 1.0 {
+		t.Errorf("BW-AWARE EDP %.2f not below LOCAL", v)
+	}
+
+	phase, err := FigPhase(Options{Workloads: []string{"phased"}, Shrink: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := phase.Headline["phased_oracle_gain"]; v < 1.0 {
+		t.Errorf("phased oracle gain %.2f, want >= 1.0", v)
+	}
+
+	tlbFig, err := FigTLB(Options{Workloads: []string{"xsbench"}, Shrink: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := tlbFig.Headline["xsbench_4KB"]; v != 1.0 {
+		t.Errorf("4KB normalization = %.2f, want 1.0", v)
+	}
+
+	cpu, err := FigCPU(Options{Workloads: []string{"stencil"}, Shrink: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := cpu.Headline["contention_aware_gain"]; v < 1.0 {
+		t.Errorf("contention-aware gain %.2f, want >= 1.0", v)
+	}
+}

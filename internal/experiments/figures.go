@@ -1,0 +1,310 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hetsim/internal/core"
+	"hetsim/internal/gpu"
+	"hetsim/internal/memsys"
+	"hetsim/internal/metrics"
+	"hetsim/internal/vm"
+	"hetsim/internal/workloads"
+)
+
+// Options tunes an experiment reproduction.
+type Options struct {
+	// Workloads to include; nil means the paper's 19-benchmark set.
+	Workloads []string
+	// Shrink divides simulated work for quick runs (1 = full fidelity).
+	Shrink int
+	// Dataset defaults to the canonical training set.
+	Dataset workloads.Dataset
+}
+
+func (o Options) workloadList() []string {
+	if len(o.Workloads) > 0 {
+		return o.Workloads
+	}
+	return workloads.Names()
+}
+
+func (o Options) shrink() int {
+	if o.Shrink < 1 {
+		return 1
+	}
+	return o.Shrink
+}
+
+func (o Options) dataset() workloads.Dataset {
+	if o.Dataset.Name == "" {
+		return workloads.Train()
+	}
+	return o.Dataset
+}
+
+// Figure is one reproduced table or figure.
+type Figure struct {
+	ID    string
+	Title string
+	Table *metrics.Table
+	// Headline carries the figure's summary statistics, keyed by a short
+	// label, for EXPERIMENTS.md and for regression tests.
+	Headline map[string]float64
+	// Notes document deviations from the paper.
+	Notes []string
+}
+
+// Table1 reproduces the simulation-configuration table.
+func Table1(Options) (Figure, error) {
+	mc := memsys.Table1Config()
+	gc := gpu.Table1Config()
+	tb := metrics.NewTable("Table 1: Simulation environment", "parameter", "value")
+	tb.AddRow("Simulator", "hetsim (event-driven, cycle-approximate)")
+	tb.AddRow("GPU Arch", "GTX-480 Fermi-like")
+	tb.AddRow("GPU Cores", fmt.Sprintf("%d SMs @ 1.4GHz", gc.SMs))
+	tb.AddRow("Warps/SM", gc.WarpsPerSM)
+	tb.AddRow("L1 Caches", fmt.Sprintf("%dkB/SM, %dB lines, %d-way", gc.L1.SizeBytes>>10, gc.L1.LineBytes, gc.L1.Ways))
+	tb.AddRow("L2 Caches", fmt.Sprintf("Memory Side %dkB/DRAM Channel", mc.L2SliceBytes>>10))
+	tb.AddRow("L2 MSHRs", fmt.Sprintf("%d Entries/L2 Slice", mc.MSHRsPerSlice))
+	for _, z := range mc.Zones {
+		tb.AddRow(fmt.Sprintf("GPU-%s %s", zoneSide(z.Zone), z.Name),
+			fmt.Sprintf("%d channels, %.0fGB/sec aggregate", z.Channels, mc.ZoneBandwidthGBps(z.Zone)))
+	}
+	t := mc.Zones[0].DRAM.Timing
+	tb.AddRow("DRAM Timings", fmt.Sprintf("RCD=RP=%d,RC=%d,CL=WR=%d", t.RCD, t.RC, t.CL))
+	tb.AddRow("GPU-CPU Interconnect", fmt.Sprintf("%d GPU core cycles", mc.Zones[1].ExtraLatency))
+	return Figure{ID: "table1", Title: "Simulation environment", Table: tb}, nil
+}
+
+func zoneSide(z vm.ZoneID) string {
+	if z == vm.ZoneBO {
+		return "Local"
+	}
+	return "Remote"
+}
+
+// Fig1 reproduces the motivation figure: bandwidth ratios of likely future
+// heterogeneous memory systems (HPC, desktop, mobile).
+func Fig1(Options) (Figure, error) {
+	tb := metrics.NewTable("Figure 1: BW-Ratio of heterogeneous memory systems",
+		"system", "BO tech", "BO GB/s", "CO tech", "CO GB/s", "BW ratio", "CO adds")
+	head := map[string]float64{}
+	for _, sys := range []struct {
+		name string
+		sbit core.SBIT
+	}{
+		{"hpc", core.HPCSBIT()},
+		{"desktop", core.DesktopSBIT()},
+		{"mobile", core.MobileSBIT()},
+	} {
+		bo, _ := sys.sbit.Info(vm.ZoneBO)
+		co, _ := sys.sbit.Info(vm.ZoneCO)
+		ratio := bo.BandwidthGBps / co.BandwidthGBps
+		adds := co.BandwidthGBps / bo.BandwidthGBps
+		tb.AddRow(sys.name, bo.Name, bo.BandwidthGBps, co.Name, co.BandwidthGBps, ratio, adds)
+		head[sys.name+"_ratio"] = ratio
+	}
+	return Figure{ID: "fig1", Title: "BW ratios of future systems", Table: tb, Headline: head}, nil
+}
+
+// Fig2a reproduces the bandwidth-sensitivity study: per-workload
+// performance as the GPU-attached memory bandwidth scales from 0.5x to 2x,
+// with all pages LOCAL in BO (the paper's single-memory baseline sweep).
+func Fig2a(opts Options) (Figure, error) {
+	scales := []float64{0.5, 0.75, 1.0, 1.5, 2.0}
+	tb := metrics.NewTable("Figure 2a: GPU performance sensitivity to bandwidth",
+		"workload", "0.5x", "0.75x", "1x", "1.5x", "2x")
+	head := map[string]float64{}
+	var bwGain []float64
+	for _, wl := range opts.workloadList() {
+		perfs := make([]float64, len(scales))
+		var base float64
+		for i, sc := range scales {
+			cfg := memsys.Table1Config()
+			cfg.ScaleZoneBandwidth(vm.ZoneBO, sc)
+			r, err := Run(RunConfig{Workload: wl, Dataset: opts.dataset(), Policy: LocalPolicy, Mem: cfg, Shrink: opts.shrink()})
+			if err != nil {
+				return Figure{}, err
+			}
+			perfs[i] = r.Perf
+			if sc == 1.0 {
+				base = r.Perf
+			}
+		}
+		row := []interface{}{wl}
+		for _, p := range perfs {
+			row = append(row, p/base)
+		}
+		tb.AddRow(row...)
+		gain := perfs[len(perfs)-1] / base
+		head[wl+"_2x"] = gain
+		bwGain = append(bwGain, gain)
+	}
+	head["geomean_2x"] = metrics.Geomean(bwGain)
+	return Figure{ID: "fig2a", Title: "Bandwidth sensitivity", Table: tb, Headline: head}, nil
+}
+
+// Fig2b reproduces the latency-sensitivity study: per-workload performance
+// as a fixed latency is added to every memory access.
+func Fig2b(opts Options) (Figure, error) {
+	lats := []int64{0, 100, 200, 400}
+	tb := metrics.NewTable("Figure 2b: GPU performance sensitivity to latency",
+		"workload", "+0", "+100", "+200", "+400")
+	head := map[string]float64{}
+	var worst []float64
+	for _, wl := range opts.workloadList() {
+		var base float64
+		row := []interface{}{wl}
+		var last float64
+		for _, lat := range lats {
+			cfg := memsys.Table1Config()
+			cfg.GlobalExtraLatency += simTime(lat)
+			r, err := Run(RunConfig{Workload: wl, Dataset: opts.dataset(), Policy: LocalPolicy, Mem: cfg, Shrink: opts.shrink()})
+			if err != nil {
+				return Figure{}, err
+			}
+			if lat == 0 {
+				base = r.Perf
+			}
+			last = r.Perf / base
+			row = append(row, last)
+		}
+		tb.AddRow(row...)
+		head[wl+"_400"] = last
+		worst = append(worst, last)
+	}
+	head["geomean_400"] = metrics.Geomean(worst)
+	return Figure{ID: "fig2b", Title: "Latency sensitivity", Table: tb, Headline: head}, nil
+}
+
+// Fig3 reproduces the placement-ratio sweep: per-workload performance of
+// fixed xC-yB splits plus the LOCAL, INTERLEAVE, and BW-AWARE policies,
+// normalized to LOCAL, with unconstrained BO capacity.
+func Fig3(opts Options) (Figure, error) {
+	ratios := []int{0, 10, 30, 50, 70, 90, 100}
+	cols := []string{"workload"}
+	for _, r := range ratios {
+		cols = append(cols, fmt.Sprintf("%dC-%dB", r, 100-r))
+	}
+	cols = append(cols, "INTERLEAVE", "BW-AWARE")
+	tb := metrics.NewTable("Figure 3: performance across placement ratios (normalized to LOCAL)", cols...)
+
+	var bwVsLocal, bwVsInter []float64
+	head := map[string]float64{}
+	for _, wl := range opts.workloadList() {
+		local, err := Run(RunConfig{Workload: wl, Dataset: opts.dataset(), Policy: LocalPolicy, Shrink: opts.shrink()})
+		if err != nil {
+			return Figure{}, err
+		}
+		row := []interface{}{wl}
+		for _, pc := range ratios {
+			r, err := Run(RunConfig{Workload: wl, Dataset: opts.dataset(), Policy: RatioPolicy, PercentCO: pc, Shrink: opts.shrink()})
+			if err != nil {
+				return Figure{}, err
+			}
+			row = append(row, r.Perf/local.Perf)
+		}
+		inter, err := Run(RunConfig{Workload: wl, Dataset: opts.dataset(), Policy: InterleavePolicy, Shrink: opts.shrink()})
+		if err != nil {
+			return Figure{}, err
+		}
+		bw, err := Run(RunConfig{Workload: wl, Dataset: opts.dataset(), Policy: BWAwarePolicy, Shrink: opts.shrink()})
+		if err != nil {
+			return Figure{}, err
+		}
+		row = append(row, inter.Perf/local.Perf, bw.Perf/local.Perf)
+		tb.AddRow(row...)
+		bwVsLocal = append(bwVsLocal, bw.Perf/local.Perf)
+		bwVsInter = append(bwVsInter, bw.Perf/inter.Perf)
+		head[wl+"_bw_vs_local"] = bw.Perf / local.Perf
+	}
+	head["bwaware_vs_local"] = metrics.Geomean(bwVsLocal)
+	head["bwaware_vs_interleave"] = metrics.Geomean(bwVsInter)
+	return Figure{
+		ID: "fig3", Title: "Placement ratio sweep", Table: tb, Headline: head,
+		Notes: []string{"paper: BW-AWARE +18% vs LOCAL, +35% vs INTERLEAVE on average; peak near 30C-70B"},
+	}, nil
+}
+
+// Fig4 reproduces the capacity-constraint sweep: BW-AWARE performance as
+// the BO pool shrinks from 100% to 10% of the application footprint,
+// normalized per workload to the unconstrained run.
+func Fig4(opts Options) (Figure, error) {
+	fracs := []float64{1.0, 0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3, 0.2, 0.1}
+	cols := []string{"workload"}
+	for _, f := range fracs {
+		cols = append(cols, fmt.Sprintf("%.0f%%", f*100))
+	}
+	tb := metrics.NewTable("Figure 4: BW-AWARE performance vs BO capacity (fraction of footprint)", cols...)
+	head := map[string]float64{}
+	var at70, at10 []float64
+	for _, wl := range opts.workloadList() {
+		base, err := Run(RunConfig{Workload: wl, Dataset: opts.dataset(), Policy: BWAwarePolicy, Shrink: opts.shrink()})
+		if err != nil {
+			return Figure{}, err
+		}
+		row := []interface{}{wl}
+		for _, f := range fracs {
+			r, err := Run(RunConfig{Workload: wl, Dataset: opts.dataset(), Policy: BWAwarePolicy, BOCapacityFrac: f, Shrink: opts.shrink()})
+			if err != nil {
+				return Figure{}, err
+			}
+			rel := r.Perf / base.Perf
+			row = append(row, rel)
+			switch f {
+			case 0.7:
+				at70 = append(at70, rel)
+			case 0.1:
+				at10 = append(at10, rel)
+			}
+		}
+		tb.AddRow(row...)
+	}
+	head["geomean_at_70pct"] = metrics.Geomean(at70)
+	head["geomean_at_10pct"] = metrics.Geomean(at10)
+	return Figure{
+		ID: "fig4", Title: "Capacity sweep", Table: tb, Headline: head,
+		Notes: []string{"paper: near-peak performance down to ~70% capacity, falling off below"},
+	}, nil
+}
+
+// Fig5 reproduces the bandwidth-ratio sensitivity study: geomean
+// performance of LOCAL, INTERLEAVE, and BW-AWARE as the CO pool's
+// bandwidth grows from ~0 to parity with BO (200 GB/s), normalized to
+// LOCAL at each point.
+func Fig5(opts Options) (Figure, error) {
+	coBWs := []float64{5, 40, 80, 120, 160, 200}
+	tb := metrics.NewTable("Figure 5: policy comparison vs CO bandwidth (normalized to LOCAL)",
+		"CO GB/s", "LOCAL", "INTERLEAVE", "BW-AWARE")
+	head := map[string]float64{}
+	for _, cobw := range coBWs {
+		perf := map[PolicyKind][]float64{}
+		for _, wl := range opts.workloadList() {
+			for _, pk := range []PolicyKind{LocalPolicy, InterleavePolicy, BWAwarePolicy} {
+				cfg := memsys.Table1Config()
+				cfg.SetZoneBandwidthGBps(vm.ZoneCO, cobw)
+				r, err := Run(RunConfig{Workload: wl, Dataset: opts.dataset(), Policy: pk, Mem: cfg, Shrink: opts.shrink()})
+				if err != nil {
+					return Figure{}, err
+				}
+				perf[pk] = append(perf[pk], r.Perf)
+			}
+		}
+		n := len(perf[LocalPolicy])
+		ratioI := make([]float64, n)
+		ratioB := make([]float64, n)
+		for i := 0; i < n; i++ {
+			ratioI[i] = perf[InterleavePolicy][i] / perf[LocalPolicy][i]
+			ratioB[i] = perf[BWAwarePolicy][i] / perf[LocalPolicy][i]
+		}
+		gi := metrics.Geomean(ratioI)
+		gb := metrics.Geomean(ratioB)
+		tb.AddRow(fmt.Sprintf("%.0f", cobw), 1.0, gi, gb)
+		head[fmt.Sprintf("interleave_at_%.0f", cobw)] = gi
+		head[fmt.Sprintf("bwaware_at_%.0f", cobw)] = gb
+	}
+	return Figure{
+		ID: "fig5", Title: "BW-ratio sensitivity", Table: tb, Headline: head,
+		Notes: []string{"paper: BW-AWARE >= LOCAL everywhere and >= INTERLEAVE in all heterogeneous cases; INTERLEAVE catches up only at bandwidth symmetry"},
+	}, nil
+}

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"encoding/json"
+	"io"
+
+	"hetsim/internal/vm"
+)
+
+// Report is the machine-readable form of a Result, stable for downstream
+// tooling (dashboards, regression tracking). It flattens the interesting
+// counters and omits bulky per-page arrays.
+type Report struct {
+	Workload string  `json:"workload"`
+	Policy   string  `json:"policy"`
+	Cycles   int64   `json:"cycles"`
+	Perf     float64 `json:"perf_accesses_per_kcycle"`
+
+	FootprintBytes uint64 `json:"footprint_bytes"`
+	Accesses       uint64 `json:"post_l1_accesses"`
+
+	BOServedFrac float64 `json:"bo_served_frac"`
+	PagesBO      int     `json:"pages_bo"`
+	PagesCO      int     `json:"pages_co"`
+	Fallbacks    int     `json:"placement_fallbacks"`
+
+	AvgLatency float64 `json:"avg_latency_cycles"`
+	P50Latency uint64  `json:"p50_latency_cycles"`
+	P95Latency uint64  `json:"p95_latency_cycles"`
+	P99Latency uint64  `json:"p99_latency_cycles"`
+
+	L1HitRate  float64 `json:"l1_hit_rate"`
+	TLBHitRate float64 `json:"tlb_hit_rate,omitempty"`
+
+	EnergyMJ      float64 `json:"dram_energy_mj"`
+	MigratedPages uint64  `json:"migrated_pages,omitempty"`
+
+	Allocations []AllocationReport `json:"allocations,omitempty"`
+}
+
+// AllocationReport summarizes one data structure.
+type AllocationReport struct {
+	Label string `json:"label"`
+	Bytes uint64 `json:"bytes"`
+	Hint  string `json:"hint"`
+}
+
+// NewReport flattens a Result.
+func NewReport(r Result) Report {
+	rep := Report{
+		Workload:       r.Workload,
+		Policy:         r.Policy,
+		Cycles:         int64(r.Cycles),
+		Perf:           r.Perf,
+		FootprintBytes: r.Footprint,
+		Accesses:       r.Accesses,
+		BOServedFrac:   r.BOServed,
+		PagesBO:        r.Place.PagesPerZone[vm.ZoneBO],
+		PagesCO:        r.Place.PagesPerZone[vm.ZoneCO],
+		Fallbacks:      r.Place.Fallbacks,
+		AvgLatency:     r.Mem.AvgLatency(),
+		P50Latency:     r.Mem.Latency.Percentile(0.50),
+		P95Latency:     r.Mem.Latency.Percentile(0.95),
+		P99Latency:     r.Mem.Latency.Percentile(0.99),
+		L1HitRate:      r.GPUStats.L1HitRate(),
+		EnergyMJ:       r.EnergyNJ / 1e6,
+		MigratedPages:  r.Mem.MigratedPages,
+	}
+	if t := r.GPUStats.TLBHits + r.GPUStats.TLBMisses; t > 0 {
+		rep.TLBHitRate = float64(r.GPUStats.TLBHits) / float64(t)
+	}
+	for _, a := range r.Allocations {
+		rep.Allocations = append(rep.Allocations, AllocationReport{
+			Label: a.Label, Bytes: a.Size, Hint: a.Hint.String(),
+		})
+	}
+	return rep
+}
+
+// WriteJSON writes the report, indented, to w.
+func (rep Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

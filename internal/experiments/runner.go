@@ -1,0 +1,351 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation: it composes the workload generators, placement policies, GPU
+// model, and memory system into single simulation runs (Run) and into the
+// parameter sweeps behind each figure (Fig2a ... Fig11, Table1).
+package experiments
+
+import (
+	"fmt"
+
+	"hetsim/internal/core"
+	"hetsim/internal/gpu"
+	"hetsim/internal/gpurt"
+	"hetsim/internal/memsys"
+	"hetsim/internal/migrate"
+	"hetsim/internal/sim"
+	"hetsim/internal/tlb"
+	"hetsim/internal/trace"
+	"hetsim/internal/vm"
+	"hetsim/internal/workloads"
+)
+
+// PolicyKind selects the placement policy for a run.
+type PolicyKind int
+
+// Policies under evaluation.
+const (
+	LocalPolicy PolicyKind = iota
+	InterleavePolicy
+	BWAwarePolicy
+	RatioPolicy  // fixed xC-yB split; set PercentCO
+	OraclePolicy // requires ProfileCounts
+	HintedPolicy // requires Hints
+)
+
+func (k PolicyKind) String() string {
+	switch k {
+	case LocalPolicy:
+		return "LOCAL"
+	case InterleavePolicy:
+		return "INTERLEAVE"
+	case BWAwarePolicy:
+		return "BW-AWARE"
+	case RatioPolicy:
+		return "RATIO"
+	case OraclePolicy:
+		return "ORACLE"
+	case HintedPolicy:
+		return "ANNOTATED"
+	default:
+		return fmt.Sprintf("PolicyKind(%d)", int(k))
+	}
+}
+
+// RunConfig describes one simulation run.
+type RunConfig struct {
+	Workload string
+	Dataset  workloads.Dataset
+
+	Policy    PolicyKind
+	PercentCO int         // RatioPolicy only
+	Hints     []core.Hint // HintedPolicy: one per structure, program order
+	// ProfileCounts is the per-page hotness profile for OraclePolicy
+	// (obtained from a prior profiling Run on the same workload+dataset).
+	ProfileCounts []uint64
+
+	// BOCapacityFrac caps the BO zone at this fraction of the workload
+	// footprint; 0 or >= 1e9 means unconstrained. The paper's capacity
+	// studies use 0.1 (Figures 8, 10, 11) and a 0.1..1.0 sweep (Figure 4).
+	BOCapacityFrac float64
+
+	Mem memsys.Config // zero value means memsys.Table1Config()
+	GPU gpu.Config    // zero value means gpu.Table1Config()
+
+	// PageSize overrides the 4 kB OS page size (must be a power of two).
+	// Larger pages coarsen placement granularity — the page-size ablation.
+	PageSize uint64
+
+	// TLB, when non-nil, enables per-SM translation caches with walk
+	// stalls (disabled in the paper's substrate; used by the FigTLB
+	// page-size tradeoff extension).
+	TLB *tlb.Config
+
+	// CPUTrafficGBps injects background CPU traffic into the CO pool at
+	// this rate (the FigCPU contention extension). 0 disables.
+	CPUTrafficGBps float64
+
+	// Migration, when non-nil, enables the dynamic page-migration engine
+	// (the paper's §5.5 future work) with the given configuration.
+	Migration *migrate.Config
+
+	// EagerPlacement places pages at Malloc time instead of first touch.
+	// First touch (the default) matches Linux demand paging and is what
+	// the figures use; eager mode exists for the placement-moment
+	// ablation bench.
+	EagerPlacement bool
+
+	// Shrink divides simulated phases for fast tests (1 = full length).
+	Shrink int
+	Seed   int64
+
+	// traceWriter, when set (via RecordTrace), records the post-L1 access
+	// stream of the run.
+	traceWriter *trace.Writer
+}
+
+// Result summarizes one run.
+type Result struct {
+	Workload string
+	Policy   string
+	Cycles   sim.Time
+	// Perf is throughput in coalesced accesses per kilocycle; all figures
+	// report it normalized within the figure, as the paper does.
+	Perf        float64
+	Accesses    uint64
+	BOServed    float64 // fraction of post-L1 accesses served by BO
+	PageCounts  []uint64
+	Allocations []gpurt.Allocation
+	Mem         memsys.Stats
+	EnergyNJ    float64 // total DRAM access energy
+	Migration   migrate.Stats
+	Place       core.PlaceStats
+	GPUStats    gpu.Stats
+	Footprint   uint64
+}
+
+// SBITFor derives the System Bandwidth Information Table from a memory
+// configuration — the discovery step the paper assigns to ACPI or the GPU
+// runtime.
+func SBITFor(cfg memsys.Config) core.SBIT {
+	var t core.SBIT
+	for _, z := range cfg.Zones {
+		t.ZoneInfos = append(t.ZoneInfos, core.ZoneInfo{
+			Zone:          z.Zone,
+			Name:          z.Name,
+			BandwidthGBps: cfg.ZoneBandwidthGBps(z.Zone),
+			LatencyCycles: int(z.ExtraLatency),
+		})
+	}
+	return t
+}
+
+// Run executes one workload under one placement policy and returns the
+// measured result.
+func Run(rc RunConfig) (Result, error) {
+	spec, err := workloads.Build(rc.Workload, rc.Dataset)
+	if err != nil {
+		return Result{}, err
+	}
+	if rc.Shrink > 1 {
+		spec.Shrink(rc.Shrink)
+	}
+
+	memCfg := rc.Mem
+	if len(memCfg.Zones) == 0 {
+		memCfg = memsys.Table1Config()
+	}
+	gpuCfg := rc.GPU
+	if gpuCfg.SMs == 0 {
+		gpuCfg = gpu.Table1Config()
+	}
+	if rc.TLB != nil {
+		gpuCfg.TLB = rc.TLB
+	}
+	sbit := SBITFor(memCfg)
+
+	pageSize := rc.PageSize
+	if pageSize == 0 {
+		pageSize = vm.DefaultPageSize
+	}
+	gpuCfg.PageSize = pageSize
+
+	// Size the zones. CO is always unconstrained (it is the capacity
+	// pool); BO may be capped at a fraction of the footprint.
+	footPages := vm.PagesFor(spec.Footprint(), pageSize)
+	boPages := vm.Unlimited
+	if rc.BOCapacityFrac > 0 && rc.BOCapacityFrac < 1e9 {
+		boPages = int(rc.BOCapacityFrac*float64(footPages) + 0.5)
+		if boPages < 1 {
+			boPages = 1
+		}
+	}
+	// Build the zone table from the memory configuration (two zones for
+	// the Table 1 system; extension experiments add more). Only the BO
+	// zone is ever capacity constrained; every other pool is the capacity
+	// side of the system.
+	maxZone := 0
+	for _, z := range memCfg.Zones {
+		if int(z.Zone) > maxZone {
+			maxZone = int(z.Zone)
+		}
+	}
+	zcfgs := make([]vm.ZoneConfig, maxZone+1)
+	for i := range zcfgs {
+		zcfgs[i] = vm.ZoneConfig{Name: fmt.Sprintf("zone%d", i), CapacityPages: vm.Unlimited}
+	}
+	for _, z := range memCfg.Zones {
+		zcfgs[z.Zone].Name = z.Name
+	}
+	zcfgs[vm.ZoneBO].CapacityPages = boPages
+	space := vm.NewSpace(pageSize, zcfgs)
+
+	seed := rc.Seed
+	if seed == 0 {
+		seed = 42
+	}
+	policy, err := buildPolicy(rc, sbit, seed)
+	if err != nil {
+		return Result{}, err
+	}
+	placer := core.NewPlacer(space, policy, sbit)
+	var rt *gpurt.Runtime
+	if rc.EagerPlacement {
+		rt = gpurt.New(space, placer)
+	} else {
+		rt = gpurt.NewFirstTouch(space, placer)
+	}
+
+	var hints []core.Hint
+	if rc.Policy == HintedPolicy {
+		if len(rc.Hints) != len(spec.Structures) {
+			return Result{}, fmt.Errorf("experiments: %d hints for %d structures", len(rc.Hints), len(spec.Structures))
+		}
+		hints = rc.Hints
+	}
+	allocs, err := spec.Allocate(rt, hints)
+	if err != nil {
+		return Result{}, err
+	}
+
+	eng := sim.New()
+	mem, err := memsys.New(eng, space, memCfg)
+	if err != nil {
+		return Result{}, err
+	}
+	if rt.FirstTouch() {
+		mem.FaultHandler = rt.Fault
+	}
+	var gpuMem gpu.Memory = mem
+	if rc.traceWriter != nil {
+		gpuMem = &trace.Recorder{Mem: mem, W: rc.traceWriter}
+	}
+	g := gpu.New(eng, gpuMem, gpuCfg)
+	if rc.CPUTrafficGBps > 0 {
+		bg := memsys.NewBackgroundTraffic(eng, mem, vm.ZoneCO, rc.CPUTrafficGBps, seed)
+		bg.Active = func() bool { return g.Outstanding() > 0 }
+		bg.Start()
+	}
+	var mig *migrate.Engine
+	if rc.Migration != nil {
+		mig, err = migrate.New(eng, mem, *rc.Migration)
+		if err != nil {
+			return Result{}, err
+		}
+		mig.Active = func() bool { return g.Outstanding() > 0 }
+		mig.Start()
+	}
+	g.Launch(spec.Programs(allocs))
+	cycles := g.Run()
+	if cycles == 0 {
+		cycles = 1
+	}
+
+	st := mem.Stats()
+	var migStats migrate.Stats
+	if mig != nil {
+		migStats = mig.Stats()
+	}
+	return Result{
+		Migration:   migStats,
+		EnergyNJ:    mem.TotalEnergyNJ(),
+		Workload:    spec.Name,
+		Policy:      policyLabel(rc),
+		Cycles:      cycles,
+		Perf:        float64(spec.TotalAccesses()) / float64(cycles) * 1000,
+		Accesses:    st.Accesses,
+		BOServed:    mem.ZoneServiceFraction(vm.ZoneBO),
+		PageCounts:  append([]uint64(nil), mem.PageCounts()...),
+		Allocations: allocs,
+		Mem:         st,
+		Place:       placer.Stats(),
+		GPUStats:    g.Stats(),
+		Footprint:   spec.Footprint(),
+	}, nil
+}
+
+func policyLabel(rc RunConfig) string {
+	if rc.Policy == RatioPolicy {
+		return fmt.Sprintf("%dC-%dB", rc.PercentCO, 100-rc.PercentCO)
+	}
+	return rc.Policy.String()
+}
+
+func buildPolicy(rc RunConfig, sbit core.SBIT, seed int64) (core.Policy, error) {
+	switch rc.Policy {
+	case LocalPolicy:
+		// LOCAL allocates from the GPU's local zone: the highest-bandwidth
+		// pool in the table.
+		return core.Local{Zone: sbit.ZonesByBandwidth()[0]}, nil
+	case InterleavePolicy:
+		return core.NewInterleave(len(sbit.ZoneInfos)), nil
+	case BWAwarePolicy:
+		return core.NewBWAware(sbit, seed), nil
+	case RatioPolicy:
+		return core.NewRatio(rc.PercentCO, seed), nil
+	case OraclePolicy:
+		if rc.ProfileCounts == nil {
+			return nil, fmt.Errorf("experiments: OraclePolicy requires ProfileCounts")
+		}
+		assign := core.BuildOracleAssignment(rc.ProfileCounts, sbit.Share(vm.ZoneBO), oracleCap(rc))
+		return core.Oracle{Assignment: assign, Default: vm.ZoneCO}, nil
+	case HintedPolicy:
+		return core.NewHinted(core.NewBWAware(sbit, seed)), nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown policy %v", rc.Policy)
+	}
+}
+
+// oracleCap mirrors Run's BO sizing so the oracle assignment respects the
+// same capacity the allocator will see.
+func oracleCap(rc RunConfig) int {
+	if rc.BOCapacityFrac <= 0 || rc.BOCapacityFrac >= 1e9 {
+		return vm.Unlimited
+	}
+	spec, err := workloads.Build(rc.Workload, rc.Dataset)
+	if err != nil {
+		return vm.Unlimited
+	}
+	pageSize := rc.PageSize
+	if pageSize == 0 {
+		pageSize = vm.DefaultPageSize
+	}
+	footPages := vm.PagesFor(spec.Footprint(), pageSize)
+	cap := int(rc.BOCapacityFrac*float64(footPages) + 0.5)
+	if cap < 1 {
+		cap = 1
+	}
+	return cap
+}
+
+// Profile runs the workload once, unconstrained under LOCAL placement, and
+// returns the result carrying page counts and allocations — the paper's
+// first simulation pass for the oracle (§4.2) and the training run for
+// annotations (§5).
+func Profile(workload string, ds workloads.Dataset, shrink int) (Result, error) {
+	return Run(RunConfig{
+		Workload: workload,
+		Dataset:  ds,
+		Policy:   LocalPolicy,
+		Shrink:   shrink,
+	})
+}

@@ -1,0 +1,277 @@
+package experiments
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"hetsim/internal/vm"
+	"hetsim/internal/workloads"
+)
+
+// shrunk is the shrink factor for unit tests: runs in milliseconds while
+// keeping the qualitative orderings intact.
+const shrunk = 8
+
+func TestRunBasics(t *testing.T) {
+	r, err := Run(RunConfig{Workload: "hotspot", Policy: LocalPolicy, Shrink: shrunk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cycles <= 0 || r.Perf <= 0 {
+		t.Fatalf("degenerate result: %+v", r)
+	}
+	if r.BOServed != 1.0 {
+		t.Fatalf("LOCAL BOServed = %g, want 1.0", r.BOServed)
+	}
+	if r.Policy != "LOCAL" {
+		t.Fatalf("policy label %q", r.Policy)
+	}
+	if len(r.Allocations) == 0 || len(r.PageCounts) == 0 {
+		t.Fatal("missing profile data in result")
+	}
+}
+
+func TestRunUnknownWorkload(t *testing.T) {
+	if _, err := Run(RunConfig{Workload: "nope", Policy: LocalPolicy}); err == nil {
+		t.Fatal("unknown workload ran")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	a, err := Run(RunConfig{Workload: "bfs", Policy: BWAwarePolicy, Shrink: shrunk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(RunConfig{Workload: "bfs", Policy: BWAwarePolicy, Shrink: shrunk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cycles != b.Cycles || a.Accesses != b.Accesses {
+		t.Fatalf("nondeterministic: %d/%d vs %d/%d cycles/accesses", a.Cycles, a.Accesses, b.Cycles, b.Accesses)
+	}
+}
+
+func TestBWAwareBeatsLocalAndInterleaveOnBandwidthBound(t *testing.T) {
+	for _, wl := range []string{"hotspot", "stencil", "bfs"} {
+		local, err := Run(RunConfig{Workload: wl, Policy: LocalPolicy, Shrink: shrunk})
+		if err != nil {
+			t.Fatal(err)
+		}
+		inter, err := Run(RunConfig{Workload: wl, Policy: InterleavePolicy, Shrink: shrunk})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bw, err := Run(RunConfig{Workload: wl, Policy: BWAwarePolicy, Shrink: shrunk})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bw.Perf <= local.Perf {
+			t.Errorf("%s: BW-AWARE (%.1f) did not beat LOCAL (%.1f)", wl, bw.Perf, local.Perf)
+		}
+		if bw.Perf <= inter.Perf {
+			t.Errorf("%s: BW-AWARE (%.1f) did not beat INTERLEAVE (%.1f)", wl, bw.Perf, inter.Perf)
+		}
+		if local.Perf <= inter.Perf {
+			t.Errorf("%s: LOCAL (%.1f) did not beat INTERLEAVE (%.1f) on asymmetric memory", wl, local.Perf, inter.Perf)
+		}
+	}
+}
+
+func TestLocalWinsForLatencySensitive(t *testing.T) {
+	local, err := Run(RunConfig{Workload: "sgemm", Policy: LocalPolicy, Shrink: shrunk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bw, err := Run(RunConfig{Workload: "sgemm", Policy: BWAwarePolicy, Shrink: shrunk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bw.Perf >= local.Perf {
+		t.Fatalf("sgemm: BW-AWARE (%.1f) should lose to LOCAL (%.1f)", bw.Perf, local.Perf)
+	}
+	// The paper bounds the regression at ~12%; allow up to 30% here.
+	if bw.Perf < 0.70*local.Perf {
+		t.Fatalf("sgemm: BW-AWARE regression too large: %.2f of LOCAL", bw.Perf/local.Perf)
+	}
+}
+
+func TestComputeBoundInsensitive(t *testing.T) {
+	local, err := Run(RunConfig{Workload: "comd", Policy: LocalPolicy, Shrink: shrunk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inter, err := Run(RunConfig{Workload: "comd", Policy: InterleavePolicy, Shrink: shrunk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := inter.Perf / local.Perf
+	if ratio < 0.85 || ratio > 1.15 {
+		t.Fatalf("comd policy sensitivity %.2f, want ~1.0 (memory-insensitive)", ratio)
+	}
+}
+
+func TestBWAwareServiceFractionMatchesShare(t *testing.T) {
+	r, err := Run(RunConfig{Workload: "stencil", Policy: BWAwarePolicy, Shrink: shrunk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Streaming workload, uniform pages: service fraction should approach
+	// the bandwidth share 200/280 = 0.714.
+	if r.BOServed < 0.65 || r.BOServed > 0.78 {
+		t.Fatalf("BW-AWARE BO service fraction = %.3f, want ~0.714", r.BOServed)
+	}
+}
+
+func TestCapacityConstraintDegradesGracefully(t *testing.T) {
+	base, err := Run(RunConfig{Workload: "bfs", Policy: BWAwarePolicy, Shrink: shrunk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := base.Perf * 1.05
+	for _, frac := range []float64{0.7, 0.4, 0.1} {
+		r, err := Run(RunConfig{Workload: "bfs", Policy: BWAwarePolicy, BOCapacityFrac: frac, Shrink: shrunk})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Perf > prev*1.02 {
+			t.Fatalf("perf increased as capacity shrank to %.0f%%: %.1f > %.1f", frac*100, r.Perf, prev)
+		}
+		prev = r.Perf
+	}
+	tight, err := Run(RunConfig{Workload: "bfs", Policy: BWAwarePolicy, BOCapacityFrac: 0.1, Shrink: shrunk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight.Perf >= 0.9*base.Perf {
+		t.Fatalf("10%% capacity barely hurt bfs: %.2f of unconstrained", tight.Perf/base.Perf)
+	}
+}
+
+func TestOracleBeatsBWAwareUnderConstraint(t *testing.T) {
+	for _, wl := range []string{"bfs", "needle"} {
+		prof, err := Profile(wl, workloads.Train(), shrunk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bw, err := Run(RunConfig{Workload: wl, Policy: BWAwarePolicy, BOCapacityFrac: 0.1, Shrink: shrunk})
+		if err != nil {
+			t.Fatal(err)
+		}
+		orc, err := Run(RunConfig{Workload: wl, Policy: OraclePolicy, ProfileCounts: prof.PageCounts, BOCapacityFrac: 0.1, Shrink: shrunk})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if orc.Perf <= bw.Perf {
+			t.Errorf("%s: oracle (%.1f) did not beat BW-AWARE (%.1f) at 10%% capacity", wl, orc.Perf, bw.Perf)
+		}
+	}
+}
+
+func TestOracleRequiresProfile(t *testing.T) {
+	_, err := Run(RunConfig{Workload: "bfs", Policy: OraclePolicy, Shrink: shrunk})
+	if err == nil || !strings.Contains(err.Error(), "ProfileCounts") {
+		t.Fatalf("err = %v, want ProfileCounts requirement", err)
+	}
+}
+
+func TestHintedRequiresMatchingHints(t *testing.T) {
+	_, err := Run(RunConfig{Workload: "bfs", Policy: HintedPolicy, Shrink: shrunk})
+	if err == nil {
+		t.Fatal("hinted run without hints succeeded")
+	}
+}
+
+func TestAnnotatedAtLeastBWAware(t *testing.T) {
+	for _, wl := range []string{"bfs", "xsbench", "mummergpu"} {
+		hints, err := AnnotatedHints(wl, workloads.Train(), workloads.Train(), 0.1, shrunk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bw, err := Run(RunConfig{Workload: wl, Policy: BWAwarePolicy, BOCapacityFrac: 0.1, Shrink: shrunk})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ann, err := Run(RunConfig{Workload: wl, Policy: HintedPolicy, Hints: hints, BOCapacityFrac: 0.1, Shrink: shrunk})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ann.Perf < 0.97*bw.Perf {
+			t.Errorf("%s: annotated (%.1f) fell below BW-AWARE (%.1f)", wl, ann.Perf, bw.Perf)
+		}
+	}
+}
+
+func TestEagerPlacementOrderBias(t *testing.T) {
+	// bfs allocates its hot structures last; eager Malloc-order placement
+	// under a tight capacity locks them out of BO, while first-touch does
+	// not. This is the placement-moment ablation.
+	eager, err := Run(RunConfig{Workload: "bfs", Policy: BWAwarePolicy, BOCapacityFrac: 0.5, EagerPlacement: true, Shrink: shrunk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lazy, err := Run(RunConfig{Workload: "bfs", Policy: BWAwarePolicy, BOCapacityFrac: 0.5, Shrink: shrunk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lazy.Perf <= eager.Perf {
+		t.Fatalf("first-touch (%.1f) did not beat eager placement (%.1f) for late-hot bfs", lazy.Perf, eager.Perf)
+	}
+	if lazy.BOServed <= eager.BOServed {
+		t.Fatalf("first-touch BO service %.3f not above eager %.3f", lazy.BOServed, eager.BOServed)
+	}
+}
+
+func TestSBITForTable1(t *testing.T) {
+	sbit := SBITFor(memsysTable1())
+	if got := sbit.TotalBandwidth(); got < 279 || got > 281 {
+		t.Fatalf("SBIT total bandwidth = %g, want 280", got)
+	}
+	if got := sbit.Share(vm.ZoneBO); got < 0.71 || got > 0.72 {
+		t.Fatalf("BO share = %g, want 200/280", got)
+	}
+	co, ok := sbit.Info(vm.ZoneCO)
+	if !ok || co.LatencyCycles != 100 {
+		t.Fatalf("CO info = %+v, %v", co, ok)
+	}
+}
+
+func TestPolicyKindStrings(t *testing.T) {
+	for k, want := range map[PolicyKind]string{
+		LocalPolicy: "LOCAL", InterleavePolicy: "INTERLEAVE", BWAwarePolicy: "BW-AWARE",
+		RatioPolicy: "RATIO", OraclePolicy: "ORACLE", HintedPolicy: "ANNOTATED",
+		PolicyKind(99): "PolicyKind(99)",
+	} {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}
+
+func TestReportJSON(t *testing.T) {
+	res, err := Run(RunConfig{Workload: "bfs", Policy: BWAwarePolicy, Shrink: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := NewReport(res)
+	if rep.Workload != "bfs" || rep.Policy != "BW-AWARE" {
+		t.Fatalf("report identity: %+v", rep)
+	}
+	if rep.Perf <= 0 || rep.Cycles <= 0 || rep.P99Latency < rep.P50Latency {
+		t.Fatalf("report counters: %+v", rep)
+	}
+	if len(rep.Allocations) != 6 {
+		t.Fatalf("allocations = %d, want 6 (bfs structures)", len(rep.Allocations))
+	}
+	var buf strings.Builder
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal([]byte(buf.String()), &back); err != nil {
+		t.Fatalf("round trip: %v\n%s", err, buf.String())
+	}
+	if back.Perf != rep.Perf || back.Allocations[0].Label != rep.Allocations[0].Label {
+		t.Fatal("JSON round trip lost data")
+	}
+}

@@ -1,0 +1,59 @@
+package gpu
+
+import "sort"
+
+// Coalesce merges the per-lane byte addresses of one warp memory
+// instruction into the minimal set of line-sized transactions, exactly as
+// a GPU's coalescing unit does: lanes touching the same line share one
+// transaction; divergent lanes fan out into many. lineBytes must be a
+// power of two.
+//
+// The returned addresses are the unique line base addresses in ascending
+// order. A fully-coalesced warp (all lanes in one line) returns one
+// transaction; a fully-divergent gather returns one per lane.
+func Coalesce(laneAddrs []uint64, lineBytes uint64) []uint64 {
+	if len(laneAddrs) == 0 {
+		return nil
+	}
+	mask := ^(lineBytes - 1)
+	lines := make([]uint64, 0, len(laneAddrs))
+	for _, a := range laneAddrs {
+		lines = append(lines, a&mask)
+	}
+	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
+	out := lines[:1]
+	for _, l := range lines[1:] {
+		if l != out[len(out)-1] {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// CoalesceAccesses is Coalesce for Access values: the write flag of a
+// merged transaction is the OR of its lanes' flags (a transaction with any
+// store lane must write).
+func CoalesceAccesses(lanes []Access, lineBytes uint64) []Access {
+	if len(lanes) == 0 {
+		return nil
+	}
+	mask := ^(lineBytes - 1)
+	type lineInfo struct {
+		addr  uint64
+		write bool
+	}
+	byLine := make(map[uint64]lineInfo, len(lanes))
+	for _, l := range lanes {
+		base := l.VA & mask
+		info := byLine[base]
+		info.addr = base
+		info.write = info.write || l.Write
+		byLine[base] = info
+	}
+	out := make([]Access, 0, len(byLine))
+	for _, info := range byLine {
+		out = append(out, Access{VA: info.addr, Write: info.write})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].VA < out[j].VA })
+	return out
+}

@@ -1,0 +1,350 @@
+// Package gpu models a GPU's compute side at the fidelity the paper's
+// memory-placement study needs: a set of SMs, each multiplexing many warp
+// contexts that alternate compute phases with batches of coalesced memory
+// accesses. Warps hide memory latency by overlapping each other's phases —
+// exactly the property (§2.1, Figure 2) that makes GPU workloads
+// bandwidth-sensitive rather than latency-sensitive, until warp count or
+// per-warp memory-level parallelism (MLP) runs out.
+//
+// The model mirrors the paper's GTX-480-like configuration: 15 SMs with a
+// 16 kB write-evict L1 each, one memory instruction issued per SM cycle.
+package gpu
+
+import (
+	"fmt"
+
+	"hetsim/internal/cache"
+	"hetsim/internal/sim"
+	"hetsim/internal/tlb"
+)
+
+// Access is one coalesced memory access (one cache-line-worth of data for
+// the warp).
+type Access struct {
+	VA    uint64
+	Write bool
+}
+
+// Phase is one compute+memory step of a warp's execution. The warp
+// computes for ComputeCycles and issues Addrs, keeping at most MLP of them
+// outstanding (MLP <= 0 means unbounded: issue all back-to-back).
+//
+// When Overlap is false the phase is dependent: memory starts after the
+// compute finishes (pointer-chasing or operand-dependent kernels — this is
+// what makes a workload latency-sensitive). When Overlap is true, compute
+// and memory proceed concurrently and the phase ends when both finish
+// (software-pipelined/double-buffered kernels such as CoMD's force loops,
+// which is what makes them memory-insensitive).
+type Phase struct {
+	ComputeCycles sim.Time
+	Addrs         []Access
+	MLP           int
+	Overlap       bool
+}
+
+// WarpProgram yields the phases a warp executes. Implementations are
+// single-warp state machines; NextPhase is called once per phase.
+type WarpProgram interface {
+	NextPhase() (Phase, bool)
+}
+
+// Memory is the interface to the memory hierarchy below the L1
+// (package memsys implements it).
+type Memory interface {
+	Access(va uint64, write bool, done func())
+}
+
+// Config sizes the GPU.
+type Config struct {
+	SMs        int
+	WarpsPerSM int // concurrently resident warp contexts per SM
+	L1         cache.Config
+	L1Latency  sim.Time
+	// TLB, when non-nil, adds a per-SM translation cache: accesses whose
+	// page misses pay the configured walk latency before entering the
+	// memory hierarchy. Requires PageSize. Nil disables translation
+	// costs (the paper's GPGPU-Sim configuration).
+	TLB *tlb.Config
+	// PageSize is the OS page size for TLB indexing (default 4096).
+	PageSize uint64
+}
+
+// Table1Config returns the paper's simulated GPU: 15 SMs, 16 kB L1 per SM.
+// WarpsPerSM defaults to a Fermi-like 48 resident warps.
+func Table1Config() Config {
+	return Config{
+		SMs:        15,
+		WarpsPerSM: 48,
+		L1:         cache.Config{SizeBytes: 16 << 10, LineBytes: 128, Ways: 4},
+		L1Latency:  4,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.SMs <= 0:
+		return fmt.Errorf("gpu: SMs = %d, must be positive", c.SMs)
+	case c.WarpsPerSM <= 0:
+		return fmt.Errorf("gpu: WarpsPerSM = %d, must be positive", c.WarpsPerSM)
+	}
+	if c.TLB != nil {
+		if err := c.TLB.Validate(); err != nil {
+			return err
+		}
+	}
+	return c.L1.Validate()
+}
+
+// Stats aggregates GPU-side counters.
+type Stats struct {
+	WarpsCompleted int
+	Phases         uint64
+	MemRequests    uint64 // issued below coalescing (per line)
+	L1Hits         uint64
+	L1Misses       uint64
+	ComputeCycles  sim.Time // sum of all warps' compute phases
+	TLBHits        uint64
+	TLBMisses      uint64
+}
+
+// L1HitRate reports the aggregate L1 hit rate.
+func (s Stats) L1HitRate() float64 {
+	t := s.L1Hits + s.L1Misses
+	if t == 0 {
+		return 0
+	}
+	return float64(s.L1Hits) / float64(t)
+}
+
+type sm struct {
+	l1        *cache.Cache
+	tlb       *tlb.TLB // nil when translation costs are disabled
+	nextIssue sim.Time
+	pending   []WarpProgram // warps waiting for a free context
+	resident  int
+}
+
+// GPU executes warp programs against a memory system.
+type GPU struct {
+	cfg        Config
+	eng        *sim.Engine
+	mem        Memory
+	sms        []*sm
+	stats      Stats
+	live       int // warps launched and not yet finished
+	finishedAt sim.Time
+}
+
+// New builds a GPU. It panics on invalid configuration.
+func New(eng *sim.Engine, mem Memory, cfg Config) *GPU {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if cfg.PageSize == 0 {
+		cfg.PageSize = 4096
+	}
+	g := &GPU{cfg: cfg, eng: eng, mem: mem}
+	for i := 0; i < cfg.SMs; i++ {
+		s := &sm{l1: cache.New(cfg.L1)}
+		if cfg.TLB != nil {
+			s.tlb = tlb.New(*cfg.TLB)
+		}
+		g.sms = append(g.sms, s)
+	}
+	return g
+}
+
+// Stats returns a copy of the counters.
+func (g *GPU) Stats() Stats { return g.stats }
+
+// Launch schedules warp programs across the SMs round-robin. Programs
+// beyond the resident-warp capacity of an SM queue there and start as
+// contexts free, modelling thread-block scheduling.
+func (g *GPU) Launch(programs []WarpProgram) {
+	for i, p := range programs {
+		s := g.sms[i%len(g.sms)]
+		g.live++
+		if s.resident < g.cfg.WarpsPerSM {
+			s.resident++
+			g.startWarp(s, p)
+		} else {
+			s.pending = append(s.pending, p)
+		}
+	}
+}
+
+// Run executes until the event queue drains and returns the cycle the last
+// warp finished. Background actors (e.g. a migration engine) may keep the
+// queue alive past that point; their events still execute, but the
+// returned time is the application's completion time.
+func (g *GPU) Run() sim.Time {
+	end := g.eng.Run()
+	if g.live != 0 {
+		panic(fmt.Sprintf("gpu: %d warps still live after event queue drained", g.live))
+	}
+	if g.finishedAt > 0 {
+		return g.finishedAt
+	}
+	return end
+}
+
+// FinishTime reports when the last warp completed (0 while running).
+func (g *GPU) FinishTime() sim.Time { return g.finishedAt }
+
+// Outstanding reports warps launched but not yet finished.
+func (g *GPU) Outstanding() int { return g.live }
+
+func (g *GPU) startWarp(s *sm, p WarpProgram) {
+	w := &warp{gpu: g, sm: s, prog: p}
+	// Begin at the next cycle boundary; scheduling through the engine
+	// keeps launch-order determinism.
+	g.eng.After(0, w.nextPhase)
+}
+
+type warp struct {
+	gpu  *GPU
+	sm   *sm
+	prog WarpProgram
+
+	phase       Phase
+	issued      int
+	completed   int
+	computeDone bool
+	memDone     bool
+}
+
+func (w *warp) nextPhase() {
+	ph, ok := w.prog.NextPhase()
+	if !ok {
+		w.finish()
+		return
+	}
+	w.gpu.stats.Phases++
+	w.gpu.stats.ComputeCycles += ph.ComputeCycles
+	w.phase = ph
+	w.issued = 0
+	w.completed = 0
+	w.computeDone = false
+	w.memDone = len(ph.Addrs) == 0
+
+	wait := ph.ComputeCycles
+	if wait <= 0 && len(ph.Addrs) == 0 {
+		wait = 1 // guarantee forward progress on degenerate phases
+	}
+	if ph.Overlap {
+		// Compute and memory run concurrently.
+		w.gpu.eng.After(wait, func() {
+			w.computeDone = true
+			w.maybeAdvance()
+		})
+		if !w.memDone {
+			w.pump()
+		}
+		return
+	}
+	// Dependent phase: memory waits for the compute result.
+	w.gpu.eng.After(wait, func() {
+		w.computeDone = true
+		if w.memDone {
+			w.maybeAdvance()
+			return
+		}
+		w.pump()
+	})
+}
+
+func (w *warp) maybeAdvance() {
+	if w.computeDone && w.memDone {
+		w.nextPhase()
+	}
+}
+
+// pump issues requests up to the phase's MLP window.
+func (w *warp) pump() {
+	window := w.phase.MLP
+	if window <= 0 {
+		window = len(w.phase.Addrs)
+	}
+	for w.issued < len(w.phase.Addrs) && w.issued-w.completed < window {
+		a := w.phase.Addrs[w.issued]
+		w.issued++
+		w.issue(a)
+	}
+}
+
+// issue sends one access through the SM's single memory-issue port
+// (1 request/cycle) and the L1.
+func (w *warp) issue(a Access) {
+	g := w.gpu
+	t := g.eng.Now()
+	if w.sm.nextIssue > t {
+		t = w.sm.nextIssue
+	}
+	w.sm.nextIssue = t + 1
+	g.eng.At(t, func() {
+		g.stats.MemRequests++
+		if w.sm.tlb != nil {
+			vpage := a.VA / g.cfg.PageSize
+			if w.sm.tlb.Lookup(vpage) {
+				g.stats.TLBHits++
+			} else {
+				g.stats.TLBMisses++
+				// Page walk: stall this access, then re-enter below the
+				// (already-consumed) issue slot.
+				g.eng.After(sim.Time(g.cfg.TLB.WalkLatencyCycles), func() { w.access(a) })
+				return
+			}
+		}
+		w.access(a)
+	})
+}
+
+// access runs the post-translation L1/memory path.
+func (w *warp) access(a Access) {
+	g := w.gpu
+	if a.Write {
+		// Write-evict L1: writes invalidate locally and always go to
+		// the memory system.
+		w.sm.l1.Invalidate(a.VA)
+		g.stats.L1Misses++
+		g.mem.Access(a.VA, true, w.oneDone)
+		return
+	}
+	if w.sm.l1.Lookup(a.VA, false) {
+		g.stats.L1Hits++
+		g.eng.After(g.cfg.L1Latency, w.oneDone)
+		return
+	}
+	g.stats.L1Misses++
+	g.mem.Access(a.VA, false, func() {
+		w.sm.l1.Insert(a.VA, false)
+		w.oneDone()
+	})
+}
+
+func (w *warp) oneDone() {
+	w.completed++
+	if w.completed == len(w.phase.Addrs) {
+		w.memDone = true
+		w.maybeAdvance()
+		return
+	}
+	w.pump()
+}
+
+func (w *warp) finish() {
+	g := w.gpu
+	g.stats.WarpsCompleted++
+	g.live--
+	if g.live == 0 {
+		g.finishedAt = g.eng.Now()
+	}
+	if len(w.sm.pending) > 0 {
+		next := w.sm.pending[0]
+		w.sm.pending = w.sm.pending[1:]
+		g.startWarp(w.sm, next)
+		return
+	}
+	w.sm.resident--
+}

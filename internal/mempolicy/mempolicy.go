@@ -1,0 +1,189 @@
+// Package mempolicy is the Linux memory-policy front-end the paper builds
+// on (§2.2, §3.1, §5.2): per-process default policies set with
+// SetMempolicy (the analogue of set_mempolicy(2), including the paper's
+// proposed MPOL_BWAWARE mode) and per-virtual-address-range policies bound
+// with MBind (the analogue of mbind(2), which "the cudaMalloc routine uses
+// ... to perform placement of the data structure in the corresponding
+// memory").
+//
+// A Table resolves, for any faulting page, which placement policy governs
+// it: the innermost bound range if any, else the process default. The
+// GPU runtime layers its hint semantics on top of exactly this mechanism,
+// as the paper describes.
+package mempolicy
+
+import (
+	"fmt"
+	"sort"
+
+	"hetsim/internal/core"
+	"hetsim/internal/vm"
+)
+
+// Mode mirrors the Linux mempolicy modes plus the paper's addition.
+type Mode int
+
+// Policy modes.
+const (
+	// ModeDefault is MPOL_DEFAULT: allocate from the local NUMA zone.
+	ModeDefault Mode = iota
+	// ModeBind is MPOL_BIND: allocate only from the given zone.
+	ModeBind
+	// ModeInterleave is MPOL_INTERLEAVE: round-robin across zones.
+	ModeInterleave
+	// ModeBWAware is the paper's MPOL_BWAWARE: bandwidth-ratio placement.
+	ModeBWAware
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeDefault:
+		return "MPOL_DEFAULT"
+	case ModeBind:
+		return "MPOL_BIND"
+	case ModeInterleave:
+		return "MPOL_INTERLEAVE"
+	case ModeBWAware:
+		return "MPOL_BWAWARE"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// binding is one mbind'd range with its resolved policy.
+type binding struct {
+	start, end uint64 // [start, end) in bytes
+	mode       Mode
+	policy     core.Policy
+}
+
+// Table holds a process's memory policies.
+type Table struct {
+	sbit     core.SBIT
+	seed     int64
+	def      core.Policy
+	defMode  Mode
+	bindings []binding // sorted by start, non-overlapping
+}
+
+// NewTable creates a policy table with MPOL_DEFAULT (LOCAL to the
+// highest-bandwidth zone) as the process default.
+func NewTable(sbit core.SBIT, seed int64) (*Table, error) {
+	if err := sbit.Validate(); err != nil {
+		return nil, err
+	}
+	t := &Table{sbit: sbit, seed: seed}
+	t.def = core.Local{Zone: sbit.ZonesByBandwidth()[0]}
+	t.defMode = ModeDefault
+	return t, nil
+}
+
+// build resolves a mode (+ optional bind zone) into a policy instance.
+func (t *Table) build(mode Mode, zone vm.ZoneID) (core.Policy, error) {
+	switch mode {
+	case ModeDefault:
+		return core.Local{Zone: t.sbit.ZonesByBandwidth()[0]}, nil
+	case ModeBind:
+		if _, ok := t.sbit.Info(zone); !ok {
+			return nil, fmt.Errorf("mempolicy: bind to unknown zone %d", zone)
+		}
+		return core.Local{Zone: zone}, nil
+	case ModeInterleave:
+		return core.NewInterleave(len(t.sbit.ZoneInfos)), nil
+	case ModeBWAware:
+		return core.NewBWAware(t.sbit, t.seed), nil
+	default:
+		return nil, fmt.Errorf("mempolicy: unknown mode %v", mode)
+	}
+}
+
+// SetMempolicy sets the process-default policy — set_mempolicy(2). zone is
+// only used for ModeBind.
+func (t *Table) SetMempolicy(mode Mode, zone vm.ZoneID) error {
+	p, err := t.build(mode, zone)
+	if err != nil {
+		return err
+	}
+	t.def = p
+	t.defMode = mode
+	return nil
+}
+
+// DefaultMode reports the process-default mode.
+func (t *Table) DefaultMode() Mode { return t.defMode }
+
+// MBind binds [addr, addr+length) to a policy — mbind(2). Later bindings
+// replace the overlapped portions of earlier ones, as in Linux.
+func (t *Table) MBind(addr, length uint64, mode Mode, zone vm.ZoneID) error {
+	if length == 0 {
+		return fmt.Errorf("mempolicy: MBind with zero length")
+	}
+	p, err := t.build(mode, zone)
+	if err != nil {
+		return err
+	}
+	nb := binding{start: addr, end: addr + length, mode: mode, policy: p}
+
+	// Carve the new range out of existing bindings.
+	var out []binding
+	for _, b := range t.bindings {
+		switch {
+		case b.end <= nb.start || b.start >= nb.end:
+			out = append(out, b) // disjoint
+		default:
+			if b.start < nb.start {
+				left := b
+				left.end = nb.start
+				out = append(out, left)
+			}
+			if b.end > nb.end {
+				right := b
+				right.start = nb.end
+				out = append(out, right)
+			}
+		}
+	}
+	out = append(out, nb)
+	sort.Slice(out, func(i, j int) bool { return out[i].start < out[j].start })
+	t.bindings = out
+	return nil
+}
+
+// Bindings reports how many distinct bound ranges exist.
+func (t *Table) Bindings() int { return len(t.bindings) }
+
+// Lookup returns the policy and mode governing virtual address va.
+func (t *Table) Lookup(va uint64) (core.Policy, Mode) {
+	i := sort.Search(len(t.bindings), func(i int) bool { return t.bindings[i].end > va })
+	if i < len(t.bindings) && t.bindings[i].start <= va {
+		return t.bindings[i].policy, t.bindings[i].mode
+	}
+	return t.def, t.defMode
+}
+
+// Place chooses the zone for a faulting page, dispatching to the governing
+// policy — the page-fault-time hook the kernel's alloc_pages_vma performs.
+func (t *Table) Place(req core.Request, pageSize uint64) vm.ZoneID {
+	p, _ := t.Lookup(req.VPage * pageSize)
+	return p.Place(req)
+}
+
+// policyTable adapts Table to core.Policy so it can drive a core.Placer
+// directly.
+type policyTable struct {
+	t        *Table
+	pageSize uint64
+}
+
+// AsPolicy wraps the table as a core.Policy for a given page size.
+func (t *Table) AsPolicy(pageSize uint64) core.Policy {
+	return policyTable{t: t, pageSize: pageSize}
+}
+
+// Name implements core.Policy.
+func (p policyTable) Name() string { return "mempolicy" }
+
+// Place implements core.Policy.
+func (p policyTable) Place(req core.Request) vm.ZoneID {
+	return p.t.Place(req, p.pageSize)
+}

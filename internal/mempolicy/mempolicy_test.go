@@ -1,0 +1,201 @@
+package mempolicy
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hetsim/internal/core"
+	"hetsim/internal/vm"
+)
+
+func newTable(t *testing.T) *Table {
+	t.Helper()
+	tb, err := NewTable(core.Table1SBIT(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tb
+}
+
+func TestDefaultIsLocal(t *testing.T) {
+	tb := newTable(t)
+	if tb.DefaultMode() != ModeDefault {
+		t.Fatalf("default mode = %v", tb.DefaultMode())
+	}
+	for i := uint64(0); i < 100; i++ {
+		if z := tb.Place(core.Request{VPage: i}, 4096); z != vm.ZoneBO {
+			t.Fatalf("MPOL_DEFAULT placed page in zone %d, want BO (local)", z)
+		}
+	}
+}
+
+func TestNewTableRejectsBadSBIT(t *testing.T) {
+	if _, err := NewTable(core.SBIT{}, 1); err == nil {
+		t.Fatal("empty SBIT accepted")
+	}
+}
+
+func TestSetMempolicyBWAware(t *testing.T) {
+	tb := newTable(t)
+	if err := tb.SetMempolicy(ModeBWAware, 0); err != nil {
+		t.Fatal(err)
+	}
+	counts := map[vm.ZoneID]int{}
+	for i := uint64(0); i < 20000; i++ {
+		counts[tb.Place(core.Request{VPage: i}, 4096)]++
+	}
+	frac := float64(counts[vm.ZoneBO]) / 20000
+	if frac < 0.69 || frac < 0 || frac > 0.75 {
+		t.Fatalf("MPOL_BWAWARE BO fraction = %.3f, want ~200/280", frac)
+	}
+}
+
+func TestSetMempolicyBindAndErrors(t *testing.T) {
+	tb := newTable(t)
+	if err := tb.SetMempolicy(ModeBind, vm.ZoneCO); err != nil {
+		t.Fatal(err)
+	}
+	if z := tb.Place(core.Request{VPage: 5}, 4096); z != vm.ZoneCO {
+		t.Fatalf("MPOL_BIND(CO) placed in %d", z)
+	}
+	if err := tb.SetMempolicy(ModeBind, vm.ZoneID(6)); err == nil {
+		t.Fatal("bind to unknown zone accepted")
+	}
+	if err := tb.SetMempolicy(Mode(99), 0); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+}
+
+func TestMBindRanges(t *testing.T) {
+	tb := newTable(t)
+	// Bind [8192, 16384) to CO; everything else stays default (BO).
+	if err := tb.MBind(8192, 8192, ModeBind, vm.ZoneCO); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		va   uint64
+		want vm.ZoneID
+	}{
+		{0, vm.ZoneBO}, {8191, vm.ZoneBO}, {8192, vm.ZoneCO},
+		{12000, vm.ZoneCO}, {16383, vm.ZoneCO}, {16384, vm.ZoneBO},
+	}
+	for _, tc := range cases {
+		p, _ := tb.Lookup(tc.va)
+		if z := p.Place(core.Request{}); z != tc.want {
+			t.Errorf("va %d placed in %d, want %d", tc.va, z, tc.want)
+		}
+	}
+}
+
+func TestMBindOverlapReplaces(t *testing.T) {
+	tb := newTable(t)
+	tb.MBind(0, 100, ModeBind, vm.ZoneCO)
+	// New binding punches a hole in the middle.
+	tb.MBind(40, 20, ModeInterleave, 0)
+	if tb.Bindings() != 3 {
+		t.Fatalf("Bindings = %d, want 3 (split)", tb.Bindings())
+	}
+	_, m := tb.Lookup(10)
+	if m != ModeBind {
+		t.Fatalf("left fragment mode = %v", m)
+	}
+	_, m = tb.Lookup(50)
+	if m != ModeInterleave {
+		t.Fatalf("middle mode = %v", m)
+	}
+	_, m = tb.Lookup(90)
+	if m != ModeBind {
+		t.Fatalf("right fragment mode = %v", m)
+	}
+	// Full overwrite collapses everything.
+	tb.MBind(0, 1000, ModeBWAware, 0)
+	if tb.Bindings() != 1 {
+		t.Fatalf("Bindings = %d after full overwrite, want 1", tb.Bindings())
+	}
+}
+
+func TestMBindErrors(t *testing.T) {
+	tb := newTable(t)
+	if err := tb.MBind(0, 0, ModeBind, vm.ZoneBO); err == nil {
+		t.Fatal("zero-length mbind accepted")
+	}
+	if err := tb.MBind(0, 10, ModeBind, vm.ZoneID(7)); err == nil {
+		t.Fatal("mbind to unknown zone accepted")
+	}
+}
+
+func TestAsPolicy(t *testing.T) {
+	tb := newTable(t)
+	tb.MBind(0, 4096*10, ModeBind, vm.ZoneCO)
+	p := tb.AsPolicy(4096)
+	if p.Name() != "mempolicy" {
+		t.Fatalf("Name = %q", p.Name())
+	}
+	if z := p.Place(core.Request{VPage: 5}); z != vm.ZoneCO {
+		t.Fatalf("page 5 (bound range) placed in %d", z)
+	}
+	if z := p.Place(core.Request{VPage: 50}); z != vm.ZoneBO {
+		t.Fatalf("page 50 (default) placed in %d", z)
+	}
+}
+
+func TestModeStrings(t *testing.T) {
+	for m, want := range map[Mode]string{
+		ModeDefault: "MPOL_DEFAULT", ModeBind: "MPOL_BIND",
+		ModeInterleave: "MPOL_INTERLEAVE", ModeBWAware: "MPOL_BWAWARE",
+		Mode(42): "Mode(42)",
+	} {
+		if m.String() != want {
+			t.Errorf("%d.String() = %q, want %q", m, m.String(), want)
+		}
+	}
+}
+
+// Property: bindings never overlap and stay sorted, for any mbind sequence.
+func TestPropertyBindingsDisjoint(t *testing.T) {
+	f := func(ops []uint16) bool {
+		tb, err := NewTable(core.Table1SBIT(), 1)
+		if err != nil {
+			return false
+		}
+		for i, op := range ops {
+			start := uint64(op%1000) * 64
+			length := uint64(op/1000+1) * 64
+			mode := Mode(i % 4)
+			zone := vm.ZoneID(i % 2)
+			if err := tb.MBind(start, length, mode, zone); err != nil {
+				return false
+			}
+		}
+		prevEnd := uint64(0)
+		for _, b := range tb.bindings {
+			if b.start < prevEnd || b.end <= b.start {
+				return false
+			}
+			prevEnd = b.end
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the most recent binding covering an address always wins.
+func TestPropertyLastBindWins(t *testing.T) {
+	tb, err := NewTable(core.Table1SBIT(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Repeatedly bind overlapping ranges, tracking expectations coarsely.
+	tb.MBind(0, 1<<20, ModeBind, vm.ZoneCO)
+	tb.MBind(1<<10, 1<<19, ModeBind, vm.ZoneBO)
+	p, _ := tb.Lookup(1 << 12)
+	if z := p.Place(core.Request{}); z != vm.ZoneBO {
+		t.Fatalf("inner rebind did not win: zone %d", z)
+	}
+	p, _ = tb.Lookup(1 << 19)
+	if z := p.Place(core.Request{}); z != vm.ZoneBO {
+		t.Fatal("inner rebind end boundary wrong")
+	}
+}

@@ -1,0 +1,412 @@
+// Package memsys assembles the simulated heterogeneous memory system of
+// Table 1: per-zone DRAM channels fronted by memory-side L2 slices with
+// MSHR files, an interconnect hop for CPU-attached (CO) memory, and the
+// virtual-memory translation layer. It exposes one operation to the GPU
+// model — Access — and per-page DRAM access counts to the profiler.
+package memsys
+
+import (
+	"fmt"
+
+	"hetsim/internal/cache"
+	"hetsim/internal/dram"
+	"hetsim/internal/metrics"
+	"hetsim/internal/sim"
+	"hetsim/internal/vm"
+)
+
+// CoreClockGHz is the simulated GPU core clock (Table 1: 1.4 GHz); it
+// converts GB/s bandwidth figures into bytes/cycle.
+const CoreClockGHz = 1.4
+
+// BytesPerCycle converts a GB/s figure to bytes per core cycle.
+func BytesPerCycle(gbps float64) float64 { return gbps / CoreClockGHz }
+
+// ZoneConfig describes the hardware of one memory zone.
+type ZoneConfig struct {
+	Zone     vm.ZoneID
+	Name     string
+	Channels int
+	DRAM     dram.Config
+	// ExtraLatency is added to every access to this zone (the 100-cycle
+	// GPU-CPU interconnect hop for the CO zone in Table 1).
+	ExtraLatency sim.Time
+}
+
+// Config describes the whole memory system.
+type Config struct {
+	LineBytes       int // cache line and DRAM burst size
+	InterleaveBytes int // channel interleave granularity
+	L2SliceBytes    int // L2 capacity per DRAM channel
+	L2Ways          int
+	L2Latency       sim.Time // L2 lookup latency (charged to every access)
+	L2Replace       cache.Replacement
+	// DisableL2 removes the memory-side L2 entirely (MSHRs still merge
+	// duplicate in-flight fills) — the cache-filter ablation: page hotness
+	// is defined post-cache, so removing the L2 changes which pages look
+	// hot as well as performance.
+	DisableL2     bool
+	MSHRsPerSlice int
+	// GlobalExtraLatency is added to every memory access regardless of
+	// zone — the Figure 2b latency-sensitivity knob.
+	GlobalExtraLatency sim.Time
+	Zones              []ZoneConfig
+}
+
+// Table1Config returns the paper's simulated memory system: 8 GDDR5
+// channels totalling 200 GB/s on the GPU (BO), 4 DDR4 channels totalling
+// 80 GB/s on the CPU (CO) behind a 100-cycle hop, 128 kB of memory-side L2
+// with 128 MSHRs per channel, 128 B lines.
+func Table1Config() Config {
+	gddr5 := dram.Config{
+		Timing:        dram.Table1Timing(),
+		Banks:         16,
+		RowBytes:      2048,
+		BytesPerCycle: BytesPerCycle(25), // 25 GB/s x 8 channels = 200 GB/s
+		BurstBytes:    128,
+		Energy:        dram.GDDR5Energy(),
+	}
+	ddr4 := dram.Config{
+		Timing:        dram.Table1Timing(),
+		Banks:         16,
+		RowBytes:      2048,
+		BytesPerCycle: BytesPerCycle(20), // 20 GB/s x 4 channels = 80 GB/s
+		BurstBytes:    128,
+		Energy:        dram.DDR4Energy(),
+	}
+	return Config{
+		LineBytes:       128,
+		InterleaveBytes: 256,
+		L2SliceBytes:    128 << 10,
+		L2Ways:          8,
+		L2Latency:       20,
+		MSHRsPerSlice:   128,
+		Zones: []ZoneConfig{
+			{Zone: vm.ZoneBO, Name: "GDDR5", Channels: 8, DRAM: gddr5},
+			{Zone: vm.ZoneCO, Name: "DDR4", Channels: 4, DRAM: ddr4, ExtraLatency: 100},
+		},
+	}
+}
+
+// ZoneBandwidthGBps reports the aggregate bandwidth of zone z in GB/s.
+func (c Config) ZoneBandwidthGBps(z vm.ZoneID) float64 {
+	for _, zc := range c.Zones {
+		if zc.Zone == z {
+			return zc.DRAM.BytesPerCycle * float64(zc.Channels) * CoreClockGHz
+		}
+	}
+	return 0
+}
+
+// ScaleZoneBandwidth multiplies zone z's per-channel bandwidth by f —
+// the Figure 2a / Figure 5 sweep knob. f must be positive.
+func (c *Config) ScaleZoneBandwidth(z vm.ZoneID, f float64) {
+	if f <= 0 {
+		panic(fmt.Sprintf("memsys: bandwidth scale %g not positive", f))
+	}
+	for i := range c.Zones {
+		if c.Zones[i].Zone == z {
+			c.Zones[i].DRAM.BytesPerCycle *= f
+		}
+	}
+}
+
+// SetZoneBandwidthGBps sets zone z's aggregate bandwidth, spread evenly
+// over its channels.
+func (c *Config) SetZoneBandwidthGBps(z vm.ZoneID, gbps float64) {
+	if gbps <= 0 {
+		panic(fmt.Sprintf("memsys: bandwidth %g not positive", gbps))
+	}
+	for i := range c.Zones {
+		if c.Zones[i].Zone == z {
+			c.Zones[i].DRAM.BytesPerCycle = BytesPerCycle(gbps / float64(c.Zones[i].Channels))
+		}
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.LineBytes <= 0 || c.LineBytes&(c.LineBytes-1) != 0:
+		return fmt.Errorf("memsys: LineBytes %d must be a positive power of two", c.LineBytes)
+	case c.InterleaveBytes < c.LineBytes || c.InterleaveBytes&(c.InterleaveBytes-1) != 0:
+		return fmt.Errorf("memsys: InterleaveBytes %d must be a power of two >= LineBytes", c.InterleaveBytes)
+	case c.MSHRsPerSlice <= 0:
+		return fmt.Errorf("memsys: MSHRsPerSlice %d must be positive", c.MSHRsPerSlice)
+	case len(c.Zones) == 0:
+		return fmt.Errorf("memsys: no zones")
+	}
+	for _, z := range c.Zones {
+		if z.Channels <= 0 {
+			return fmt.Errorf("memsys: zone %q has %d channels", z.Name, z.Channels)
+		}
+		if err := z.DRAM.Validate(); err != nil {
+			return fmt.Errorf("memsys: zone %q: %w", z.Name, err)
+		}
+	}
+	return nil
+}
+
+// ZoneStats aggregates traffic counters for one zone.
+type ZoneStats struct {
+	Accesses   uint64 // post-L1 accesses routed to this zone
+	L2Hits     uint64
+	DRAMReads  uint64
+	DRAMWrites uint64
+	BytesMoved uint64
+}
+
+// Stats aggregates memory-system counters.
+type Stats struct {
+	Accesses      uint64 // total post-L1 accesses
+	TotalLatency  sim.Time
+	MigratedPages uint64
+	// Latency is the round-trip latency distribution (log-bucketed).
+	Latency metrics.Histogram
+	PerZone [vm.MaxZones]ZoneStats
+}
+
+// AvgLatency reports mean round-trip latency per access in cycles.
+func (s Stats) AvgLatency() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.TotalLatency) / float64(s.Accesses)
+}
+
+type slice struct {
+	l2   *cache.Cache
+	mshr *cache.MSHR
+	dram *dram.Channel
+}
+
+type zoneHW struct {
+	cfg    ZoneConfig
+	slices []*slice
+}
+
+// System is the simulated memory system below the SM L1s.
+type System struct {
+	cfg   Config
+	eng   *sim.Engine
+	space *vm.Space
+	zones map[vm.ZoneID]*zoneHW
+	// pageCounts[vpage] counts accesses served from DRAM-side (post L1+L2
+	// filtering at miss granularity) — the paper's page hotness metric.
+	pageCounts []uint64
+	stats      Stats
+
+	// FaultHandler, when set, is invoked on access to an unmapped page
+	// (first-touch placement). It must map the page or return an error;
+	// a nil handler makes unmapped accesses panic (eager mode).
+	FaultHandler func(vpage uint64) error
+
+	// locks holds per-vpage migration locks (see LockPage).
+	locks map[uint64]sim.Time
+}
+
+// New assembles a memory system over an engine and an address space.
+func New(eng *sim.Engine, space *vm.Space, cfg Config) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &System{cfg: cfg, eng: eng, space: space, zones: make(map[vm.ZoneID]*zoneHW)}
+	for _, zc := range cfg.Zones {
+		hw := &zoneHW{cfg: zc}
+		for i := 0; i < zc.Channels; i++ {
+			sl := &slice{
+				mshr: cache.NewMSHR(cfg.MSHRsPerSlice),
+				dram: dram.NewChannel(zc.DRAM),
+			}
+			if !cfg.DisableL2 {
+				sl.l2 = cache.New(cache.Config{
+					SizeBytes: cfg.L2SliceBytes,
+					LineBytes: cfg.LineBytes,
+					Ways:      cfg.L2Ways,
+					Replace:   cfg.L2Replace,
+					Seed:      int64(i),
+				})
+			}
+			hw.slices = append(hw.slices, sl)
+		}
+		s.zones[zc.Zone] = hw
+	}
+	return s, nil
+}
+
+// Config returns the system configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// Stats returns a copy of the counters.
+func (s *System) Stats() Stats { return s.stats }
+
+// PageCounts returns the per-virtual-page DRAM access counts accumulated so
+// far. The returned slice is live; callers must not modify it.
+func (s *System) PageCounts() []uint64 { return s.pageCounts }
+
+// ZoneServiceFraction reports the fraction of post-L1 accesses served by
+// zone z — the quantity BW-AWARE placement balances.
+func (s *System) ZoneServiceFraction(z vm.ZoneID) float64 {
+	if s.stats.Accesses == 0 {
+		return 0
+	}
+	return float64(s.stats.PerZone[z].Accesses) / float64(s.stats.Accesses)
+}
+
+// ZoneEnergyNJ reports zone z's accumulated DRAM access energy in
+// nanojoules.
+func (s *System) ZoneEnergyNJ(z vm.ZoneID) float64 {
+	hw := s.zones[z]
+	if hw == nil {
+		return 0
+	}
+	var nj float64
+	for _, sl := range hw.slices {
+		nj += sl.dram.EnergyNJ()
+	}
+	return nj
+}
+
+// TotalEnergyNJ reports the whole memory system's access energy. Zones are
+// summed in configuration order so the floating-point result is
+// deterministic run to run.
+func (s *System) TotalEnergyNJ() float64 {
+	var nj float64
+	for _, zc := range s.cfg.Zones {
+		nj += s.ZoneEnergyNJ(zc.Zone)
+	}
+	return nj
+}
+
+// SliceStats exposes one channel's component statistics for ablation
+// studies and tests.
+func (s *System) SliceStats(z vm.ZoneID, channel int) (cache.Stats, cache.MSHRStats, dram.Stats) {
+	sl := s.zones[z].slices[channel]
+	var cs cache.Stats
+	if sl.l2 != nil {
+		cs = sl.l2.Stats()
+	}
+	return cs, sl.mshr.Stats(), sl.dram.Stats()
+}
+
+// route picks the slice and channel-local address for a physical address.
+func (s *System) route(pa uint64) (*zoneHW, *slice, uint64) {
+	z := vm.ZoneOfPA(pa)
+	hw := s.zones[z]
+	if hw == nil {
+		panic(fmt.Sprintf("memsys: access to unconfigured zone %d (pa=%#x)", z, pa))
+	}
+	local := vm.ZoneOffset(pa)
+	il := uint64(s.cfg.InterleaveBytes)
+	nch := uint64(len(hw.slices))
+	chunk := local / il
+	ch := chunk % nch
+	chLocal := (chunk/nch)*il + local%il
+	return hw, hw.slices[ch], chLocal
+}
+
+// Access sends one post-L1 memory access for virtual address va into the
+// memory system at the current engine time. done fires at the completion
+// (data return) time. Access panics on unmapped addresses: the runtime maps
+// all pages at allocation time or on first touch, so a miss is a simulator
+// bug. Accesses to a page being migrated are deferred until the move
+// completes, then re-translated (the page has a new physical address).
+func (s *System) Access(va uint64, write bool, done func()) {
+	if d := s.lockDelay(s.space.PageOf(va)); d > 0 {
+		s.eng.After(d, func() { s.Access(va, write, done) })
+		return
+	}
+	pa, ok := s.space.Translate(va)
+	if !ok && s.FaultHandler != nil {
+		if err := s.FaultHandler(s.space.PageOf(va)); err != nil {
+			panic(fmt.Sprintf("memsys: page fault for va %#x failed: %v", va, err))
+		}
+		pa, ok = s.space.Translate(va)
+	}
+	if !ok {
+		panic(fmt.Sprintf("memsys: access to unmapped va %#x", va))
+	}
+	vpage := s.space.PageOf(va)
+	hw, sl, chAddr := s.route(pa)
+
+	start := s.eng.Now()
+	finish := func(t sim.Time) {
+		ret := t + hw.cfg.ExtraLatency // return trip of the hop is folded into one constant
+		s.eng.At(ret, func() {
+			lat := s.eng.Now() - start
+			s.stats.TotalLatency += lat
+			s.stats.Latency.Observe(uint64(lat))
+			done()
+		})
+	}
+
+	// The request reaches the L2 slice after the L2 pipeline latency, the
+	// global latency knob, and (for remote zones) the interconnect hop.
+	arrive := start + s.cfg.L2Latency + s.cfg.GlobalExtraLatency
+	s.eng.At(arrive, func() { s.sliceAccess(hw, sl, chAddr, vpage, write, finish) })
+}
+
+func (s *System) sliceAccess(hw *zoneHW, sl *slice, chAddr, vpage uint64, write bool, finish func(sim.Time)) {
+	z := hw.cfg.Zone
+	s.stats.Accesses++
+	s.stats.PerZone[z].Accesses++
+	s.stats.PerZone[z].BytesMoved += uint64(s.cfg.LineBytes)
+
+	if sl.l2 != nil && sl.l2.Lookup(chAddr, write) {
+		s.stats.PerZone[z].L2Hits++
+		finish(s.eng.Now())
+		return
+	}
+
+	// L2 miss: this access will be served from DRAM — the paper's page
+	// hotness event ("the number of accesses to that page that are served
+	// from DRAM"). Merged misses share a fill but still count: they were
+	// not absorbed by cache capacity.
+	s.countPage(vpage)
+
+	line := chAddr / uint64(s.cfg.LineBytes)
+	switch sl.mshr.Allocate(line, func(t sim.Time) { finish(t) }) {
+	case cache.Allocated:
+		doneT := sl.dram.Access(s.eng.Now(), chAddr, false) // line fill is a read
+		s.stats.PerZone[z].DRAMReads++
+		s.eng.At(doneT, func() {
+			if sl.l2 != nil {
+				victim := sl.l2.Insert(chAddr, write)
+				if victim.Valid && victim.Dirty {
+					// Write back the victim; fire-and-forget timing-wise
+					// but it occupies DRAM bandwidth.
+					sl.dram.Access(s.eng.Now(), victim.LineAddr*uint64(s.cfg.LineBytes), true)
+					s.stats.PerZone[z].DRAMWrites++
+				}
+			}
+			sl.mshr.Fill(line, s.eng.Now())
+		})
+	case cache.Merged:
+		// Ride the in-flight fill.
+	case cache.Full:
+		sl.mshr.Stall(line, func() {
+			// Retry the whole slice access; the line may now hit.
+			// Undo this attempt's accounting so the retry counts once.
+			s.stats.Accesses--
+			s.stats.PerZone[z].Accesses--
+			s.stats.PerZone[z].BytesMoved -= uint64(s.cfg.LineBytes)
+			s.uncountPage(vpage)
+			s.sliceAccess(hw, sl, chAddr, vpage, write, finish)
+		})
+	}
+}
+
+func (s *System) countPage(vpage uint64) {
+	if vpage >= uint64(len(s.pageCounts)) {
+		np := make([]uint64, vpage+1)
+		copy(np, s.pageCounts)
+		s.pageCounts = np
+	}
+	s.pageCounts[vpage]++
+}
+
+func (s *System) uncountPage(vpage uint64) {
+	if vpage < uint64(len(s.pageCounts)) && s.pageCounts[vpage] > 0 {
+		s.pageCounts[vpage]--
+	}
+}

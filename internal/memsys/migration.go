@@ -1,0 +1,103 @@
+package memsys
+
+import (
+	"hetsim/internal/sim"
+	"hetsim/internal/vm"
+)
+
+// Migration support for the memory system: the paper defers dynamic page
+// migration (§5.5) because software moves cost microseconds of lock
+// latency and several GB/s of copy bandwidth; package migrate implements
+// it as the called-out future work, and these hooks model those costs
+// faithfully:
+//
+//   - InvalidatePage drops a physical page's lines from the owning L2
+//     slices (the TLB-shootdown/cache-flush part of a move);
+//   - CopyPageTraffic charges the page copy to both zones' DRAM channels,
+//     so migrations steal real bandwidth from the application;
+//   - LockPage delays any access to a virtual page until the move
+//     completes (the paper's "several microseconds of latency between
+//     invalidation and first re-use").
+
+// InvalidatePage removes every cache line of the physical page starting at
+// oldPA from the L2 slices that could hold it, returning how many live
+// lines were dropped. Dirty victims are written back to DRAM.
+func (s *System) InvalidatePage(oldPA uint64, pageSize uint64) int {
+	dropped := 0
+	for off := uint64(0); off < pageSize; off += uint64(s.cfg.LineBytes) {
+		pa := oldPA + off
+		hw, sl, chAddr := s.route(pa)
+		if sl.l2 == nil {
+			continue
+		}
+		present, dirty := sl.l2.Invalidate(chAddr)
+		if present {
+			dropped++
+			if dirty {
+				sl.dram.Access(s.eng.Now(), chAddr, true)
+				s.stats.PerZone[hw.cfg.Zone].DRAMWrites++
+			}
+		}
+	}
+	return dropped
+}
+
+// CopyPageTraffic models the DRAM traffic of copying one page from oldPA
+// to newPA: line-sized reads on the source channel and writes on the
+// destination channel. It returns the time the copy completes (the later
+// of the two streams).
+func (s *System) CopyPageTraffic(oldPA, newPA, pageSize uint64) sim.Time {
+	var done sim.Time
+	for off := uint64(0); off < pageSize; off += uint64(s.cfg.LineBytes) {
+		srcHW, srcSl, srcAddr := s.route(oldPA + off)
+		if t := srcSl.dram.Access(s.eng.Now(), srcAddr, false); t > done {
+			done = t
+		}
+		s.stats.PerZone[srcHW.cfg.Zone].DRAMReads++
+		dstHW, dstSl, dstAddr := s.route(newPA + off)
+		if t := dstSl.dram.Access(s.eng.Now(), dstAddr, true); t > done {
+			done = t
+		}
+		s.stats.PerZone[dstHW.cfg.Zone].DRAMWrites++
+	}
+	s.stats.MigratedPages++
+	return done
+}
+
+// LockPage blocks accesses to vpage until t; accesses arriving earlier are
+// deferred to t before entering the memory system.
+func (s *System) LockPage(vpage uint64, until sim.Time) {
+	if s.locks == nil {
+		s.locks = make(map[uint64]sim.Time)
+	}
+	if cur, ok := s.locks[vpage]; !ok || until > cur {
+		s.locks[vpage] = until
+	}
+}
+
+// lockDelay reports how long an access to vpage must wait, pruning expired
+// locks.
+func (s *System) lockDelay(vpage uint64) sim.Time {
+	if s.locks == nil {
+		return 0
+	}
+	until, ok := s.locks[vpage]
+	if !ok {
+		return 0
+	}
+	if until <= s.eng.Now() {
+		delete(s.locks, vpage)
+		return 0
+	}
+	return until - s.eng.Now()
+}
+
+// EpochPageCounts returns a copy of the per-page DRAM access counts and is
+// intended for migration engines that diff successive snapshots.
+func (s *System) EpochPageCounts() []uint64 {
+	return append([]uint64(nil), s.pageCounts...)
+}
+
+// Space exposes the address space the system translates through (the
+// migration engine remaps pages in it).
+func (s *System) Space() *vm.Space { return s.space }

@@ -1,0 +1,114 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Histogram is a log-scaled latency histogram: values land in
+// power-of-two buckets, so percentile queries are cheap and memory use is
+// constant regardless of sample count. Precision is the bucket width
+// (~2x), which is plenty for latency distributions spanning 20 to 20,000
+// cycles.
+type Histogram struct {
+	buckets [64]uint64
+	count   uint64
+	sum     float64
+	min     uint64
+	max     uint64
+}
+
+// Observe records one nonnegative sample.
+func (h *Histogram) Observe(v uint64) {
+	h.buckets[bucketOf(v)]++
+	h.count++
+	h.sum += float64(v)
+	if h.count == 1 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+func bucketOf(v uint64) int {
+	b := 0
+	for v > 0 {
+		v >>= 1
+		b++
+	}
+	if b >= 64 {
+		b = 63
+	}
+	return b
+}
+
+// bucketUpper is the largest value a bucket can hold.
+func bucketUpper(b int) uint64 {
+	if b == 0 {
+		return 0
+	}
+	if b >= 63 {
+		return math.MaxUint64
+	}
+	return 1<<b - 1
+}
+
+// Count reports how many samples were observed.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Mean reports the exact arithmetic mean of the samples.
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// Min and Max report the exact extremes.
+func (h *Histogram) Min() uint64 { return h.min }
+
+// Max reports the largest observed sample.
+func (h *Histogram) Max() uint64 { return h.max }
+
+// Percentile returns an upper bound for the p-th percentile (p in [0,1]),
+// accurate to the containing power-of-two bucket.
+func (h *Histogram) Percentile(p float64) uint64 {
+	if h.count == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	target := uint64(p * float64(h.count))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for b, c := range h.buckets {
+		cum += c
+		if cum >= target {
+			u := bucketUpper(b)
+			if u > h.max {
+				return h.max
+			}
+			return u
+		}
+	}
+	return h.max
+}
+
+// String summarizes the distribution.
+func (h *Histogram) String() string {
+	if h.count == 0 {
+		return "histogram: empty"
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "n=%d mean=%.1f min=%d p50<=%d p95<=%d p99<=%d max=%d",
+		h.count, h.Mean(), h.min, h.Percentile(0.50), h.Percentile(0.95), h.Percentile(0.99), h.max)
+	return sb.String()
+}

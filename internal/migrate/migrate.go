@@ -1,0 +1,239 @@
+// Package migrate implements dynamic page migration between memory zones —
+// the future work the paper explicitly defers in §5.5 ("further work is
+// needed to determine if there is significant value to justify the expense
+// of online profiling and page-migration for GPUs beyond improved initial
+// page allocation").
+//
+// The engine wakes every epoch, diffs the memory system's per-page DRAM
+// access counters to find the epoch's hot and cold pages, and swaps hot
+// CO-resident pages with cold BO-resident ones. Costs follow the paper's
+// measurements of Linux 3.16:
+//
+//   - a migrating page is locked for LockCycles ("several microseconds of
+//     latency between invalidation and first re-use"; 2 us at 1.4 GHz is
+//     2800 cycles), during which accesses to it stall;
+//   - the copy itself is charged to both zones' DRAM channels, so
+//     migrations steal real application bandwidth ("not possible to
+//     migrate pages ... at a rate faster than several GB/s");
+//   - a per-epoch page budget bounds the migration rate.
+//
+// The experiment in experiments.FigMigration compares BW-AWARE + migration
+// against annotated and oracle initial placement, quantifying the paper's
+// argument that good initial placement reduces the need for migration.
+package migrate
+
+import (
+	"fmt"
+	"sort"
+
+	"hetsim/internal/memsys"
+	"hetsim/internal/sim"
+	"hetsim/internal/vm"
+)
+
+// Config tunes the migration engine.
+type Config struct {
+	// EpochCycles between migration passes.
+	EpochCycles sim.Time
+	// PagesPerEpoch bounds how many pages may move per pass (the
+	// bandwidth cap: budget * pageSize / epoch is the migration rate).
+	PagesPerEpoch int
+	// LockCycles a page is inaccessible while moving.
+	LockCycles sim.Time
+	// MinHeat is the minimum epoch access count for a CO page to be worth
+	// promoting.
+	MinHeat uint64
+	// HysteresisFactor requires a promotion candidate to be at least this
+	// many times hotter than the demotion victim (default 2). Values <= 1
+	// allow equal-heat swaps, which ping-pong under symmetric traffic.
+	HysteresisFactor float64
+	// CooldownEpochs prevents a page that just moved from moving again
+	// for this many epochs (default 4), breaking promote/demote cycles.
+	CooldownEpochs int
+}
+
+// DefaultConfig matches the paper's cost measurements: 2 us lock
+// (2800 cycles at 1.4 GHz) and a budget that works out to a few GB/s.
+func DefaultConfig() Config {
+	return Config{
+		EpochCycles:      5000,
+		PagesPerEpoch:    128,
+		LockCycles:       2800,
+		MinHeat:          16,
+		HysteresisFactor: 3,
+		CooldownEpochs:   8,
+	}
+}
+
+func (c Config) hysteresis() float64 {
+	if c.HysteresisFactor <= 1 {
+		return 1
+	}
+	return c.HysteresisFactor
+}
+
+func (c Config) cooldown() int {
+	if c.CooldownEpochs < 0 {
+		return 0
+	}
+	return c.CooldownEpochs
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.EpochCycles <= 0:
+		return fmt.Errorf("migrate: EpochCycles %d must be positive", c.EpochCycles)
+	case c.PagesPerEpoch <= 0:
+		return fmt.Errorf("migrate: PagesPerEpoch %d must be positive", c.PagesPerEpoch)
+	case c.LockCycles < 0:
+		return fmt.Errorf("migrate: LockCycles %d negative", c.LockCycles)
+	}
+	return nil
+}
+
+// Stats counts engine activity.
+type Stats struct {
+	Epochs     int
+	Promotions int // CO -> BO moves
+	Demotions  int // BO -> CO moves (to make room)
+	Skipped    int // candidate promotions without a cold-enough victim
+}
+
+// Engine performs epoch-based hot/cold page exchange.
+type Engine struct {
+	cfg   Config
+	eng   *sim.Engine
+	mem   *memsys.System
+	space *vm.Space
+	// Active reports whether the application is still running; the engine
+	// stops rescheduling when it returns false so the simulation can
+	// drain. Defaults to "always active" until set.
+	Active func() bool
+
+	last      []uint64
+	lastMoved map[uint64]int // vpage -> epoch index of last move
+	stats     Stats
+}
+
+// New builds a migration engine over a memory system. Call Start to begin.
+func New(eng *sim.Engine, mem *memsys.System, cfg Config) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Engine{
+		cfg:       cfg,
+		eng:       eng,
+		mem:       mem,
+		space:     mem.Space(),
+		lastMoved: make(map[uint64]int),
+		Active:    func() bool { return true },
+	}, nil
+}
+
+// Stats returns a copy of the counters.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// Start schedules the first epoch.
+func (e *Engine) Start() {
+	e.eng.After(e.cfg.EpochCycles, e.epoch)
+}
+
+type pageHeat struct {
+	vpage uint64
+	heat  uint64
+}
+
+func (e *Engine) epoch() {
+	if !e.Active() {
+		return
+	}
+	e.stats.Epochs++
+	counts := e.mem.EpochPageCounts()
+	hot, cold := e.classify(counts)
+	e.exchange(hot, cold)
+	e.last = counts
+	e.eng.After(e.cfg.EpochCycles, e.epoch)
+}
+
+// classify splits this epoch's activity into promotion candidates (hot
+// pages in CO, hottest first) and demotion victims (coldest pages in BO).
+func (e *Engine) classify(counts []uint64) (hot, cold []pageHeat) {
+	for vp := uint64(0); vp < uint64(len(counts)); vp++ {
+		delta := counts[vp]
+		if int(vp) < len(e.last) {
+			delta -= e.last[vp]
+		}
+		z, ok := e.space.PageZone(vp)
+		if !ok {
+			continue
+		}
+		if last, moved := e.lastMoved[vp]; moved && e.stats.Epochs-last <= e.cfg.cooldown() {
+			continue // recently migrated: let it settle
+		}
+		switch z {
+		case vm.ZoneCO:
+			if delta >= e.cfg.MinHeat {
+				hot = append(hot, pageHeat{vp, delta})
+			}
+		case vm.ZoneBO:
+			cold = append(cold, pageHeat{vp, delta})
+		}
+	}
+	sort.Slice(hot, func(i, j int) bool { return hot[i].heat > hot[j].heat })
+	sort.Slice(cold, func(i, j int) bool { return cold[i].heat < cold[j].heat })
+	return hot, cold
+}
+
+// exchange promotes up to the epoch budget of hot pages, demoting cold BO
+// pages when BO is full. Each move locks the page and charges copy traffic.
+func (e *Engine) exchange(hot, cold []pageHeat) {
+	moved := 0
+	ci := 0
+	for _, h := range hot {
+		if moved >= e.cfg.PagesPerEpoch {
+			break
+		}
+		if e.space.ZoneFree(vm.ZoneBO) < 1 {
+			// Demote the coldest remaining BO page, but only when the
+			// candidate clearly dominates it (hysteresis). cold is sorted
+			// coldest-first and hot hottest-first, so the first failed
+			// dominance check ends the whole pass — no later pair can
+			// dominate either. Without this guard equal-heat pages swap
+			// back and forth every epoch.
+			if ci >= len(cold) ||
+				float64(h.heat) < e.cfg.hysteresis()*float64(cold[ci].heat)+float64(e.cfg.MinHeat) {
+				e.stats.Skipped++
+				break
+			}
+			e.move(cold[ci].vpage, vm.ZoneCO)
+			e.stats.Demotions++
+			ci++
+			moved++
+			if moved >= e.cfg.PagesPerEpoch {
+				break
+			}
+		}
+		e.move(h.vpage, vm.ZoneBO)
+		e.stats.Promotions++
+		moved++
+	}
+}
+
+// move migrates one page, modelling invalidation, copy traffic, and the
+// lock window.
+func (e *Engine) move(vpage uint64, to vm.ZoneID) {
+	ps := e.space.PageSize()
+	oldPA, newPA, err := e.space.Remap(vpage, to)
+	if err != nil || oldPA == newPA {
+		return
+	}
+	e.lastMoved[vpage] = e.stats.Epochs
+	e.mem.InvalidatePage(oldPA, ps)
+	copyDone := e.mem.CopyPageTraffic(oldPA, newPA, ps)
+	lockUntil := copyDone
+	if min := e.eng.Now() + e.cfg.LockCycles; min > lockUntil {
+		lockUntil = min
+	}
+	e.mem.LockPage(vpage, lockUntil)
+}

@@ -1,0 +1,198 @@
+package migrate
+
+import (
+	"testing"
+
+	"hetsim/internal/memsys"
+	"hetsim/internal/sim"
+	"hetsim/internal/vm"
+)
+
+func buildSystem(t *testing.T, boPages int) (*sim.Engine, *vm.Space, *memsys.System) {
+	t.Helper()
+	eng := sim.New()
+	space := vm.NewSpace(vm.DefaultPageSize, []vm.ZoneConfig{
+		{Name: "BO", CapacityPages: boPages},
+		{Name: "CO", CapacityPages: vm.Unlimited},
+	})
+	sys, err := memsys.New(eng, space, memsys.Table1Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, space, sys
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultConfig()
+	bad.EpochCycles = 0
+	if bad.Validate() == nil {
+		t.Fatal("zero epoch validated")
+	}
+	bad = DefaultConfig()
+	bad.PagesPerEpoch = 0
+	if bad.Validate() == nil {
+		t.Fatal("zero budget validated")
+	}
+	bad = DefaultConfig()
+	bad.LockCycles = -1
+	if bad.Validate() == nil {
+		t.Fatal("negative lock validated")
+	}
+	if _, err := New(sim.New(), nil, bad); err == nil {
+		t.Fatal("New accepted invalid config")
+	}
+}
+
+// Drive a hot page in CO and cold pages in BO; after an epoch the hot page
+// must be promoted (and a cold page demoted to make room).
+func TestPromotionAndDemotion(t *testing.T) {
+	eng, space, sys := buildSystem(t, 2)
+	// BO full with two cold pages; hot page lives in CO.
+	if err := space.MapPage(0, vm.ZoneBO); err != nil {
+		t.Fatal(err)
+	}
+	if err := space.MapPage(1, vm.ZoneBO); err != nil {
+		t.Fatal(err)
+	}
+	if err := space.MapPage(2, vm.ZoneCO); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := DefaultConfig()
+	cfg.EpochCycles = 1000
+	cfg.MinHeat = 4
+	m, err := New(eng, sys, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	active := true
+	m.Active = func() bool { return active }
+	m.Start()
+
+	// Generate DRAM traffic: hammer page 2 (distinct lines to defeat L2),
+	// touch page 0 lightly.
+	hotVA := uint64(2 * vm.DefaultPageSize)
+	for i := 0; i < 20; i++ {
+		sys.Access(hotVA+uint64(i%32)*128, false, func() {})
+	}
+	sys.Access(0, false, func() {})
+
+	eng.RunUntil(1500) // past the first epoch
+	z, ok := space.PageZone(2)
+	if !ok || z != vm.ZoneBO {
+		t.Fatalf("hot page in zone %d after epoch, want BO", z)
+	}
+	st := m.Stats()
+	if st.Promotions != 1 {
+		t.Fatalf("Promotions = %d, want 1", st.Promotions)
+	}
+	if st.Demotions != 1 {
+		t.Fatalf("Demotions = %d, want 1 (BO was full)", st.Demotions)
+	}
+	if sys.Stats().MigratedPages != 2 {
+		t.Fatalf("MigratedPages = %d, want 2", sys.Stats().MigratedPages)
+	}
+
+	active = false
+	eng.Run() // engine must stop rescheduling and drain
+	if eng.Pending() != 0 {
+		t.Fatal("events remain after Active went false")
+	}
+}
+
+func TestColdTrafficDoesNotMigrate(t *testing.T) {
+	eng, space, sys := buildSystem(t, 4)
+	space.MapPage(0, vm.ZoneCO)
+	cfg := DefaultConfig()
+	cfg.EpochCycles = 500
+	cfg.MinHeat = 50 // far above the traffic we generate
+	m, _ := New(eng, sys, cfg)
+	epochs := 0
+	m.Active = func() bool { epochs++; return epochs < 4 }
+	m.Start()
+	for i := 0; i < 10; i++ {
+		sys.Access(uint64(i)*128, false, func() {})
+	}
+	eng.Run()
+	if got := m.Stats().Promotions; got != 0 {
+		t.Fatalf("Promotions = %d for cold traffic, want 0", got)
+	}
+}
+
+// Accesses to a migrating page must be delayed past the lock window.
+func TestMigrationLocksPage(t *testing.T) {
+	eng, space, sys := buildSystem(t, 4)
+	space.MapPage(0, vm.ZoneCO)
+	cfg := DefaultConfig()
+	cfg.EpochCycles = 100
+	cfg.LockCycles = 5000
+	cfg.MinHeat = 2
+	m, _ := New(eng, sys, cfg)
+	fired := 0
+	m.Active = func() bool { fired++; return fired < 2 }
+	m.Start()
+
+	for i := 0; i < 8; i++ {
+		sys.Access(uint64(i)*128, false, func() {})
+	}
+	eng.RunUntil(100) // epoch fires, page 0 promoted and locked
+
+	var done sim.Time
+	sys.Access(0, false, func() { done = eng.Now() })
+	eng.Run()
+	if done < 5000 {
+		t.Fatalf("access to migrating page completed at %d, want >= lock window 5000", done)
+	}
+	z, _ := space.PageZone(0)
+	if z != vm.ZoneBO {
+		t.Fatalf("page zone %d, want BO", z)
+	}
+}
+
+// The copy traffic must occupy DRAM: migrated bytes appear in both zones'
+// counters.
+func TestCopyTrafficCharged(t *testing.T) {
+	eng, space, sys := buildSystem(t, 4)
+	space.MapPage(0, vm.ZoneCO)
+	before := sys.Stats()
+	if before.PerZone[vm.ZoneBO].DRAMWrites != 0 {
+		t.Fatal("unexpected initial writes")
+	}
+	oldPA, newPA, err := space.Remap(0, vm.ZoneBO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doneAt := sys.CopyPageTraffic(oldPA, newPA, vm.DefaultPageSize)
+	if doneAt <= 0 {
+		t.Fatal("copy completed instantly")
+	}
+	after := sys.Stats()
+	lines := uint64(vm.DefaultPageSize / 128)
+	if got := after.PerZone[vm.ZoneCO].DRAMReads - before.PerZone[vm.ZoneCO].DRAMReads; got != lines {
+		t.Fatalf("source reads = %d, want %d", got, lines)
+	}
+	if got := after.PerZone[vm.ZoneBO].DRAMWrites - before.PerZone[vm.ZoneBO].DRAMWrites; got != lines {
+		t.Fatalf("dest writes = %d, want %d", got, lines)
+	}
+	_ = eng
+}
+
+func TestInvalidatePageDropsLines(t *testing.T) {
+	eng, space, sys := buildSystem(t, 4)
+	space.MapPage(0, vm.ZoneBO)
+	// Warm four lines of the page into L2.
+	for i := 0; i < 4; i++ {
+		sys.Access(uint64(i)*128, false, func() {})
+	}
+	eng.Run()
+	pa, _ := space.Translate(0)
+	if got := sys.InvalidatePage(pa, vm.DefaultPageSize); got != 4 {
+		t.Fatalf("InvalidatePage dropped %d lines, want 4", got)
+	}
+	if got := sys.InvalidatePage(pa, vm.DefaultPageSize); got != 0 {
+		t.Fatalf("second invalidate dropped %d lines, want 0", got)
+	}
+}

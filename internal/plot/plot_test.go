@@ -1,0 +1,99 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLineBasic(t *testing.T) {
+	pts := [][2]float64{{0, 0}, {0.5, 0.8}, {1, 1}}
+	out := Line("cdf", pts, 40, 10)
+	if !strings.Contains(out, "cdf") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "*") {
+		t.Fatal("no curve drawn")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + height rows + axis + labels
+	if len(lines) != 1+10+2 {
+		t.Fatalf("rendered %d lines, want 13", len(lines))
+	}
+	if !strings.Contains(out, "1.00") || !strings.Contains(out, "0.00") {
+		t.Fatalf("missing axis labels:\n%s", out)
+	}
+}
+
+func TestLineDegenerate(t *testing.T) {
+	if out := Line("t", nil, 40, 10); !strings.Contains(out, "no data") {
+		t.Fatal("empty input not handled")
+	}
+	// Single point and flat lines must not divide by zero.
+	out := Line("t", [][2]float64{{1, 1}}, 40, 10)
+	if !strings.Contains(out, "*") {
+		t.Fatal("single point not plotted")
+	}
+	out = Line("t", [][2]float64{{0, 5}, {1, 5}}, 40, 10)
+	if !strings.Contains(out, "*") {
+		t.Fatal("flat line not plotted")
+	}
+}
+
+func TestLineClampsTinySizes(t *testing.T) {
+	out := Line("t", [][2]float64{{0, 0}, {1, 1}}, 1, 1)
+	if len(out) == 0 {
+		t.Fatal("no output for tiny size")
+	}
+}
+
+func TestLineMonotoneCurveShape(t *testing.T) {
+	// An increasing curve must place marks higher (earlier rows) as x grows.
+	pts := [][2]float64{{0, 0}, {1, 1}}
+	out := Line("", pts, 20, 10)
+	rows := strings.Split(out, "\n")
+	firstCol := -1
+	lastCol := -1
+	for i, row := range rows {
+		if strings.Contains(row, "*") {
+			if firstCol == -1 {
+				firstCol = i
+			}
+			lastCol = i
+		}
+	}
+	if firstCol >= lastCol {
+		t.Fatalf("increasing curve rendered flat (rows %d..%d):\n%s", firstCol, lastCol, out)
+	}
+}
+
+func TestBarBasic(t *testing.T) {
+	out := Bar("policies", []string{"LOCAL", "BW-AWARE"}, []float64{1.0, 1.4}, 20)
+	if !strings.Contains(out, "LOCAL") || !strings.Contains(out, "BW-AWARE") {
+		t.Fatal("labels missing")
+	}
+	// BW-AWARE bar must be longer.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	count := func(s string) int { return strings.Count(s, "#") }
+	if count(lines[2]) <= count(lines[1]) {
+		t.Fatalf("bar lengths wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "1.400") {
+		t.Fatal("values missing")
+	}
+}
+
+func TestBarEdgeCases(t *testing.T) {
+	if out := Bar("t", []string{"a"}, []float64{0, 1}, 10); !strings.Contains(out, "mismatch") {
+		t.Fatal("mismatch not reported")
+	}
+	out := Bar("t", []string{"a", "b"}, []float64{0, 0}, 10)
+	if strings.Count(out, "#") != 0 {
+		t.Fatal("zero values drew bars")
+	}
+	// Tiny positive values still get one mark.
+	out = Bar("t", []string{"a", "b"}, []float64{0.0001, 100}, 10)
+	rows := strings.Split(out, "\n")
+	if !strings.Contains(rows[1], "#") {
+		t.Fatalf("tiny value invisible:\n%s", out)
+	}
+}

@@ -1,0 +1,114 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine advances a virtual clock measured in GPU core cycles and fires
+// scheduled events in (time, insertion-order) order, so two runs with the
+// same inputs produce identical schedules. All higher-level models in this
+// repository (DRAM, caches, SMs) are driven by a single Engine.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a point in simulated time, in GPU core cycles.
+type Time int64
+
+// Forever is a time later than any reachable simulation time. It is useful
+// as an initial value for "earliest deadline" computations.
+const Forever Time = 1<<62 - 1
+
+// Event is a callback scheduled to fire at a fixed simulation time.
+type Event func()
+
+type scheduled struct {
+	at  Time
+	seq uint64 // insertion order; breaks ties deterministically
+	fn  Event
+}
+
+type eventHeap []scheduled
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(scheduled)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = scheduled{}
+	*h = old[:n-1]
+	return it
+}
+
+// Engine is a discrete-event simulator. The zero value is ready to use.
+type Engine struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	fired  uint64
+}
+
+// New returns a fresh Engine with the clock at zero.
+func New() *Engine { return &Engine{} }
+
+// Now reports the current simulation time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired reports how many events have been executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending reports how many events are waiting to fire.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// At schedules fn to run at absolute time t. Scheduling in the past panics:
+// it always indicates a modelling bug, never a recoverable condition.
+func (e *Engine) At(t Time, fn Event) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: event scheduled at %d, before now=%d", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.events, scheduled{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d cycles from now.
+func (e *Engine) After(d Time, fn Event) { e.At(e.now+d, fn) }
+
+// Step fires the single earliest event, advancing the clock to its time.
+// It reports whether an event was fired.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	it := heap.Pop(&e.events).(scheduled)
+	e.now = it.at
+	e.fired++
+	it.fn()
+	return true
+}
+
+// Run fires events until none remain and returns the final clock value.
+func (e *Engine) Run() Time {
+	for e.Step() {
+	}
+	return e.now
+}
+
+// RunUntil fires events with time <= deadline, leaves later events queued,
+// and advances the clock to min(deadline, last fired event time). It
+// reports whether any events remain queued.
+func (e *Engine) RunUntil(deadline Time) bool {
+	for len(e.events) > 0 && e.events[0].at <= deadline {
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+	return len(e.events) > 0
+}

@@ -1,0 +1,190 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroValueReady(t *testing.T) {
+	var e Engine
+	ran := false
+	e.At(0, func() { ran = true })
+	e.Run()
+	if !ran {
+		t.Fatal("event at t=0 did not run")
+	}
+}
+
+func TestOrdering(t *testing.T) {
+	e := New()
+	var got []Time
+	for _, at := range []Time{30, 10, 20, 10, 5} {
+		at := at
+		e.At(at, func() { got = append(got, at) })
+	}
+	e.Run()
+	want := []Time{5, 10, 10, 20, 30}
+	if len(got) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event %d fired at %d, want %d (full order %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+func TestTieBreakInsertionOrder(t *testing.T) {
+	e := New()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(42, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events fired out of insertion order: %v", got)
+		}
+	}
+}
+
+func TestAfterAdvancesClock(t *testing.T) {
+	e := New()
+	e.At(100, func() {
+		e.After(5, func() {
+			if e.Now() != 105 {
+				t.Errorf("Now() = %d inside nested event, want 105", e.Now())
+			}
+		})
+	})
+	end := e.Run()
+	if end != 105 {
+		t.Fatalf("Run() = %d, want 105", end)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	e := New()
+	e.At(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(5, func() {})
+	})
+	e.Run()
+}
+
+func TestRunUntil(t *testing.T) {
+	e := New()
+	fired := 0
+	for _, at := range []Time{1, 2, 3, 10, 20} {
+		e.At(at, func() { fired++ })
+	}
+	remaining := e.RunUntil(5)
+	if fired != 3 {
+		t.Fatalf("fired %d events by t=5, want 3", fired)
+	}
+	if !remaining {
+		t.Fatal("RunUntil reported no remaining events, want 2 remaining")
+	}
+	if e.Now() != 5 {
+		t.Fatalf("Now() = %d after RunUntil(5), want 5", e.Now())
+	}
+	if e.Pending() != 2 {
+		t.Fatalf("Pending() = %d, want 2", e.Pending())
+	}
+	if e.RunUntil(100) {
+		t.Fatal("events remain after RunUntil(100)")
+	}
+	if fired != 5 {
+		t.Fatalf("fired %d total events, want 5", fired)
+	}
+}
+
+func TestFiredCount(t *testing.T) {
+	e := New()
+	for i := 0; i < 7; i++ {
+		e.At(Time(i), func() {})
+	}
+	e.Run()
+	if e.Fired() != 7 {
+		t.Fatalf("Fired() = %d, want 7", e.Fired())
+	}
+}
+
+// Property: for any set of event times, events fire in nondecreasing time
+// order and the final clock equals the maximum scheduled time.
+func TestPropertyMonotonicFiring(t *testing.T) {
+	f := func(times []uint16) bool {
+		if len(times) == 0 {
+			return true
+		}
+		e := New()
+		var fired []Time
+		for _, u := range times {
+			at := Time(u)
+			e.At(at, func() { fired = append(fired, at) })
+		}
+		end := e.Run()
+		if !sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] }) {
+			return false
+		}
+		max := Time(0)
+		for _, u := range times {
+			if Time(u) > max {
+				max = Time(u)
+			}
+		}
+		return end == max && len(fired) == len(times)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: cascading events (each schedules a random follow-up) never
+// violate clock monotonicity.
+func TestPropertyCascade(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	e := New()
+	last := Time(-1)
+	var spawn func(depth int)
+	spawn = func(depth int) {
+		if e.Now() < last {
+			t.Fatalf("clock went backwards: %d after %d", e.Now(), last)
+		}
+		last = e.Now()
+		if depth == 0 {
+			return
+		}
+		n := rng.Intn(3)
+		for i := 0; i < n; i++ {
+			e.After(Time(rng.Intn(50)), func() { spawn(depth - 1) })
+		}
+	}
+	for i := 0; i < 20; i++ {
+		e.At(Time(rng.Intn(100)), func() { spawn(6) })
+	}
+	e.Run()
+}
+
+func BenchmarkEngine(b *testing.B) {
+	e := New()
+	rng := rand.New(rand.NewSource(7))
+	count := 0
+	var reschedule func()
+	reschedule = func() {
+		count++
+		if count < b.N {
+			e.After(Time(rng.Intn(100)+1), reschedule)
+		}
+	}
+	b.ResetTimer()
+	e.At(0, reschedule)
+	e.Run()
+}

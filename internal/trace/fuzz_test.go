@@ -1,0 +1,67 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// FuzzDecode feeds arbitrary bytes to the reader: it must never panic and
+// must either fail cleanly or produce a finite event stream.
+func FuzzDecode(f *testing.F) {
+	// Seed with a valid trace and a few corruptions.
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for i := 0; i < 10; i++ {
+		w.Write(Event{VA: uint64(i) * 128, Write: i%2 == 0})
+	}
+	w.Flush()
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("HTR\x01"))
+	f.Add([]byte("garbage"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for i := 0; i < 1<<16; i++ {
+			if _, err := r.Read(); err != nil {
+				if err != io.EOF && !bytes.Contains([]byte(err.Error()), []byte("trace:")) {
+					t.Fatalf("unexpected error type: %v", err)
+				}
+				return
+			}
+		}
+	})
+}
+
+// FuzzRoundTrip checks write->read identity for arbitrary event payloads.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add(uint64(0), uint64(128), true)
+	f.Add(uint64(1<<40), uint64(4), false)
+	f.Fuzz(func(t *testing.T, va1, va2 uint64, wr bool) {
+		events := []Event{{VA: va1, Write: wr}, {VA: va2, Write: !wr}}
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		for _, e := range events {
+			if err := w.Write(e); err != nil {
+				t.Fatal(err)
+			}
+		}
+		w.Flush()
+		r, err := NewReader(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadAll(r)
+		if err != nil || len(got) != 2 {
+			t.Fatalf("got %v, %v", got, err)
+		}
+		for i := range events {
+			if got[i] != events[i] {
+				t.Fatalf("round trip mismatch: %+v != %+v", got[i], events[i])
+			}
+		}
+	})
+}

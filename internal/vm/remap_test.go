@@ -1,0 +1,193 @@
+package vm
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestUnmapAndReuse(t *testing.T) {
+	s := twoZone(2, 2)
+	if err := s.MapPage(0, ZoneBO); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.MapPage(1, ZoneBO); err != nil {
+		t.Fatal(err)
+	}
+	// Zone full.
+	if err := s.MapPage(2, ZoneBO); !errors.Is(err, ErrZoneFull) {
+		t.Fatalf("err = %v, want full", err)
+	}
+	pa0, _ := s.Translate(0)
+	if err := s.Unmap(0); err != nil {
+		t.Fatal(err)
+	}
+	if s.ZoneUsed(ZoneBO) != 1 {
+		t.Fatalf("ZoneUsed = %d after Unmap, want 1", s.ZoneUsed(ZoneBO))
+	}
+	if _, ok := s.Translate(0); ok {
+		t.Fatal("unmapped page still translates")
+	}
+	// The freed physical page must be reusable.
+	if err := s.MapPage(2, ZoneBO); err != nil {
+		t.Fatal(err)
+	}
+	pa2, _ := s.Translate(2 * DefaultPageSize)
+	if pa2 != pa0 {
+		t.Fatalf("freed page not reused: got %#x, want %#x", pa2, pa0)
+	}
+}
+
+func TestUnmapErrors(t *testing.T) {
+	s := twoZone(2, 2)
+	if err := s.Unmap(0); err == nil {
+		t.Fatal("Unmap of unmapped page succeeded")
+	}
+	if err := s.Unmap(1 << 40); err == nil {
+		t.Fatal("Unmap far out of range succeeded")
+	}
+}
+
+func TestRemapMovesZone(t *testing.T) {
+	s := twoZone(4, 4)
+	s.MapPage(0, ZoneBO)
+	oldPA, newPA, err := s.Remap(0, ZoneCO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ZoneOfPA(oldPA) != ZoneBO || ZoneOfPA(newPA) != ZoneCO {
+		t.Fatalf("remap PAs: old in %d, new in %d", ZoneOfPA(oldPA), ZoneOfPA(newPA))
+	}
+	z, _ := s.PageZone(0)
+	if z != ZoneCO {
+		t.Fatalf("page zone = %d after remap, want CO", z)
+	}
+	if s.ZoneUsed(ZoneBO) != 0 || s.ZoneUsed(ZoneCO) != 1 {
+		t.Fatalf("usage BO=%d CO=%d, want 0/1", s.ZoneUsed(ZoneBO), s.ZoneUsed(ZoneCO))
+	}
+	// Translation now resolves into CO.
+	pa, ok := s.Translate(42)
+	if !ok || ZoneOfPA(pa) != ZoneCO {
+		t.Fatalf("Translate after remap = %#x, %v", pa, ok)
+	}
+}
+
+func TestRemapSameZoneNoop(t *testing.T) {
+	s := twoZone(4, 4)
+	s.MapPage(0, ZoneBO)
+	oldPA, newPA, err := s.Remap(0, ZoneBO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oldPA != newPA {
+		t.Fatal("same-zone remap moved the page")
+	}
+	if s.ZoneUsed(ZoneBO) != 1 {
+		t.Fatal("same-zone remap changed usage")
+	}
+}
+
+func TestRemapIntoFullZone(t *testing.T) {
+	s := twoZone(1, 1)
+	s.MapPage(0, ZoneBO)
+	s.MapPage(1, ZoneCO)
+	if _, _, err := s.Remap(0, ZoneCO); !errors.Is(err, ErrZoneFull) {
+		t.Fatalf("remap into full zone = %v, want ErrZoneFull", err)
+	}
+	// Swap pattern: unmap the CO page first, then remap succeeds.
+	if err := s.Unmap(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Remap(0, ZoneCO); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.MapPage(1, ZoneBO); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemapErrors(t *testing.T) {
+	s := twoZone(2, 2)
+	if _, _, err := s.Remap(0, ZoneCO); err == nil {
+		t.Fatal("remap of unmapped page succeeded")
+	}
+	s.MapPage(0, ZoneBO)
+	if _, _, err := s.Remap(0, ZoneID(7)); err == nil {
+		t.Fatal("remap to invalid zone succeeded")
+	}
+}
+
+// Property: any interleaving of map/unmap/remap keeps zone usage equal to
+// the number of live pages per zone, and never exceeds capacity.
+func TestPropertyRemapConservation(t *testing.T) {
+	const cap = 8
+	f := func(ops []uint8) bool {
+		s := twoZone(cap, cap)
+		live := map[uint64]ZoneID{}
+		for _, op := range ops {
+			vpage := uint64(op % 16)
+			z := ZoneID(op / 16 % 2)
+			switch op % 3 {
+			case 0:
+				if err := s.MapPage(vpage, z); err == nil {
+					if _, ok := live[vpage]; ok {
+						return false // double map must fail
+					}
+					live[vpage] = z
+				}
+			case 1:
+				if err := s.Unmap(vpage); err == nil {
+					if _, ok := live[vpage]; !ok {
+						return false
+					}
+					delete(live, vpage)
+				}
+			case 2:
+				if _, _, err := s.Remap(vpage, z); err == nil {
+					if _, ok := live[vpage]; !ok {
+						return false
+					}
+					live[vpage] = z
+				}
+			}
+		}
+		want := map[ZoneID]int{}
+		for _, z := range live {
+			want[z]++
+		}
+		return s.ZoneUsed(ZoneBO) == want[ZoneBO] &&
+			s.ZoneUsed(ZoneCO) == want[ZoneCO] &&
+			s.ZoneUsed(ZoneBO) <= cap && s.ZoneUsed(ZoneCO) <= cap
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: remapped pages always translate into their current zone with
+// offsets preserved.
+func TestPropertyRemapTranslation(t *testing.T) {
+	f := func(moves []bool, off uint16) bool {
+		s := twoZone(Unlimited, Unlimited)
+		if err := s.MapPage(3, ZoneBO); err != nil {
+			return false
+		}
+		cur := ZoneBO
+		for _, m := range moves {
+			want := ZoneBO
+			if m {
+				want = ZoneCO
+			}
+			if _, _, err := s.Remap(3, want); err != nil {
+				return false
+			}
+			cur = want
+		}
+		va := 3*DefaultPageSize + uint64(off)%DefaultPageSize
+		pa, ok := s.Translate(va)
+		return ok && ZoneOfPA(pa) == cur && pa%DefaultPageSize == va%DefaultPageSize
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,98 @@
+package workloads
+
+// HPC proxy-application synthetic workloads (the paper draws on CoMD,
+// XSBench, MiniFE, and related DOE mini-apps).
+
+// XSBench is the Monte Carlo neutron-transport cross-section lookup proxy:
+// random energy-grid lookups with an extremely hot unionized index.
+// Figure 6 shows it among the most skewed workloads (>60% of traffic from
+// 10% of pages), which is why it gains most from oracle/annotated
+// placement under capacity pressure.
+func XSBench(ds Dataset) Spec {
+	s := Spec{
+		Name: "xsbench", Suite: "hpc", Class: BandwidthBound,
+		Structures: []Structure{
+			{Label: "unionized_grid", Size: mb, Weight: 0.50, Pattern: Pattern{Kind: Zipf, ZipfS: 1.40}},
+			{Label: "nuclide_grids", Size: 12 * mb, Weight: 0.35, Pattern: Pattern{Kind: Zipf, ZipfS: 1.15}},
+			{Label: "concentrations", Size: mb, Weight: 0.05, Pattern: Pattern{Kind: Uniform}},
+			{Label: "lookup_results", Size: 2 * mb, Weight: 0.10, WriteFrac: 0.5, Pattern: Pattern{Kind: Sequential}},
+		},
+	}
+	bwShape(&s)
+	ds.apply(&s)
+	return s
+}
+
+// MiniFE is the implicit finite-element proxy: CSR SpMV inside a CG solve,
+// with a moderately hot solution vector.
+func MiniFE(ds Dataset) Spec {
+	s := Spec{
+		Name: "minife", Suite: "hpc", Class: BandwidthBound,
+		Structures: []Structure{
+			{Label: "A_values", Size: 10 * mb, Weight: 0.40, Pattern: Pattern{Kind: Sequential}},
+			{Label: "A_cols", Size: 5 * mb, Weight: 0.15, Pattern: Pattern{Kind: Sequential}},
+			{Label: "x_vector", Size: 3 * mb / 2, Weight: 0.35, Pattern: Pattern{Kind: Zipf, ZipfS: 1.30}},
+			{Label: "y_vector", Size: 3 * mb / 2, Weight: 0.10, WriteFrac: 0.9, Pattern: Pattern{Kind: Sequential}},
+		},
+	}
+	bwShape(&s)
+	ds.apply(&s)
+	return s
+}
+
+// CoMD is the molecular-dynamics proxy: force kernels are arithmetic-bound
+// (the paper's memory-insensitive control — "comd and sgemm results ...
+// represent applications which are memory insensitive and latency
+// sensitive respectively").
+func CoMD(ds Dataset) Spec {
+	s := Spec{
+		Name: "comd", Suite: "hpc", Class: ComputeBound,
+		Structures: []Structure{
+			{Label: "positions", Size: 4 * mb, Weight: 0.40, Pattern: Pattern{Kind: Sequential}},
+			{Label: "forces", Size: 4 * mb, Weight: 0.35, WriteFrac: 0.5, Pattern: Pattern{Kind: Sequential}},
+			{Label: "neighbor_list", Size: 6 * mb, Weight: 0.25, Pattern: Pattern{Kind: Sequential}},
+		},
+		Warps: 240, PhasesPerWarp: 100, AccessesPerPhase: 2, ComputeCycles: 800, MLP: 4, Overlap: true,
+	}
+	ds.apply(&s)
+	return s
+}
+
+// NBody is an extended (non-paper) workload: an all-pairs N-body force
+// kernel whose position gathers are warp-divergent, exercising the
+// coalescing model. Registered outside the default 19-benchmark set.
+func NBody(ds Dataset) Spec {
+	s := Spec{
+		Name: "nbody", Suite: "hpc", Class: BandwidthBound,
+		Structures: []Structure{
+			{Label: "positions", Size: 8 * mb, Weight: 0.50, Pattern: Pattern{Kind: GatherScatter, Lanes: 16}},
+			{Label: "velocities", Size: 4 * mb, Weight: 0.20, WriteFrac: 0.5, Pattern: Pattern{Kind: Sequential}},
+			{Label: "forces", Size: 4 * mb, Weight: 0.30, WriteFrac: 0.6, Pattern: Pattern{Kind: Sequential}},
+		},
+	}
+	bwShape(&s)
+	s.ComputeCycles = 12
+	ds.apply(&s)
+	return s
+}
+
+// Phased is an extended (non-paper) workload exhibiting strong temporal
+// phasing: execution starts hammering structure phase_a and ends hammering
+// phase_b. No static placement is right for the whole run, which is the
+// scenario where the §5.5 migration extension out-earns its cost (see
+// experiments.FigPhase).
+func Phased(ds Dataset) Spec {
+	s := Spec{
+		Name: "phased", Suite: "hpc", Class: BandwidthBound,
+		Structures: []Structure{
+			{Label: "phase_a_table", Size: 6 * mb, Weight: 0.80, Pattern: Pattern{Kind: Zipf, ZipfS: 1.30}},
+			{Label: "phase_b_table", Size: 6 * mb, Weight: 0.10, Pattern: Pattern{Kind: Zipf, ZipfS: 1.30}},
+			{Label: "stream", Size: 8 * mb, Weight: 0.10, Pattern: Pattern{Kind: Sequential}},
+		},
+		WeightDrift: 1.0,
+	}
+	bwShape(&s)
+	s.PhasesPerWarp = 80
+	ds.apply(&s)
+	return s
+}

@@ -1,0 +1,118 @@
+package workloads
+
+// Parboil-suite synthetic workloads.
+
+// SGEMM is Parboil's dense matrix multiply. Its tiled inner loops have a
+// small working set and little memory-level parallelism, making it the
+// paper's stand-out latency-sensitive workload (Figure 2b): performance
+// tracks round-trip latency, not bandwidth, and BW-AWARE placement can
+// lose up to ~12% versus LOCAL by pushing accesses across the
+// interconnect (§3.2.2).
+func SGEMM(ds Dataset) Spec {
+	s := Spec{
+		Name: "sgemm", Suite: "parboil", Class: LatencyBound,
+		Structures: []Structure{
+			{Label: "matrix_A", Size: 2 * mb, Weight: 0.40, Pattern: Pattern{Kind: Strided, StrideLines: 16}},
+			{Label: "matrix_B", Size: 2 * mb, Weight: 0.40, Pattern: Pattern{Kind: Sequential}},
+			{Label: "matrix_C", Size: 2 * mb, Weight: 0.20, WriteFrac: 0.9, Pattern: Pattern{Kind: Sequential}},
+		},
+		Warps: 45, PhasesPerWarp: 220, AccessesPerPhase: 4, ComputeCycles: 350, MLP: 2,
+	}
+	ds.apply(&s)
+	return s
+}
+
+// SpMV is Parboil's sparse matrix-vector multiply: streamed CSR arrays
+// plus an irregular, skewed gather from the x vector.
+func SpMV(ds Dataset) Spec {
+	s := Spec{
+		Name: "spmv", Suite: "parboil", Class: BandwidthBound,
+		Structures: []Structure{
+			{Label: "values", Size: 12 * mb, Weight: 0.40, Pattern: Pattern{Kind: Sequential}},
+			{Label: "col_idx", Size: 6 * mb, Weight: 0.18, Pattern: Pattern{Kind: Sequential}},
+			{Label: "row_ptr", Size: mb / 2, Weight: 0.07, Pattern: Pattern{Kind: Sequential}},
+			{Label: "x_vector", Size: 2 * mb, Weight: 0.30, Pattern: Pattern{Kind: Zipf, ZipfS: 1.30}},
+			{Label: "y_vector", Size: mb, Weight: 0.05, WriteFrac: 0.9, Pattern: Pattern{Kind: Sequential}},
+		},
+	}
+	bwShape(&s)
+	ds.apply(&s)
+	return s
+}
+
+// Stencil is Parboil's 7-point stencil: two-grid streaming, the purest
+// bandwidth workload in the suite.
+func Stencil(ds Dataset) Spec {
+	s := Spec{
+		Name: "stencil", Suite: "parboil", Class: BandwidthBound,
+		Structures: []Structure{
+			{Label: "grid_in", Size: 12 * mb, Weight: 0.55, Pattern: Pattern{Kind: Sequential}},
+			{Label: "grid_out", Size: 12 * mb, Weight: 0.45, WriteFrac: 1.0, Pattern: Pattern{Kind: Sequential}},
+		},
+	}
+	bwShape(&s)
+	ds.apply(&s)
+	return s
+}
+
+// Histo is Parboil's histogramming kernel: a streamed input and a small,
+// heavily skewed, write-hot histogram (most of a real image's pixels fall
+// in few bins).
+func Histo(ds Dataset) Spec {
+	s := Spec{
+		Name: "histo", Suite: "parboil", Class: BandwidthBound,
+		Structures: []Structure{
+			{Label: "input_image", Size: 8 * mb, Weight: 0.55, Pattern: Pattern{Kind: Sequential}},
+			{Label: "histogram", Size: mb, Weight: 0.45, WriteFrac: 0.7, Pattern: Pattern{Kind: Zipf, ZipfS: 1.50}},
+		},
+	}
+	bwShape(&s)
+	ds.apply(&s)
+	return s
+}
+
+// LBM is Parboil's lattice-Boltzmann fluid solver: the largest footprint
+// in the suite, ping-ponging between two lattices.
+func LBM(ds Dataset) Spec {
+	s := Spec{
+		Name: "lbm", Suite: "parboil", Class: BandwidthBound,
+		Structures: []Structure{
+			{Label: "src_lattice", Size: 16 * mb, Weight: 0.50, Pattern: Pattern{Kind: Sequential}},
+			{Label: "dst_lattice", Size: 16 * mb, Weight: 0.50, WriteFrac: 0.95, Pattern: Pattern{Kind: Sequential}},
+		},
+	}
+	bwShape(&s)
+	ds.apply(&s)
+	return s
+}
+
+// CutCP is Parboil's cutoff Coulombic potential: strided lattice updates
+// and random atom reads.
+func CutCP(ds Dataset) Spec {
+	s := Spec{
+		Name: "cutcp", Suite: "parboil", Class: BandwidthBound,
+		Structures: []Structure{
+			{Label: "lattice", Size: 12 * mb, Weight: 0.60, WriteFrac: 0.4, Pattern: Pattern{Kind: Strided, StrideLines: 32}},
+			{Label: "atoms", Size: 2 * mb, Weight: 0.40, Pattern: Pattern{Kind: Uniform}},
+		},
+	}
+	bwShape(&s)
+	ds.apply(&s)
+	return s
+}
+
+// MRIQ is Parboil's MRI reconstruction: compute-heavy trigonometric inner
+// loops over modest streams, giving only mild memory sensitivity.
+func MRIQ(ds Dataset) Spec {
+	s := Spec{
+		Name: "mriq", Suite: "parboil", Class: Mixed,
+		Structures: []Structure{
+			{Label: "kspace", Size: 4 * mb, Weight: 0.50, Pattern: Pattern{Kind: Sequential}},
+			{Label: "xyz_coords", Size: 3 * mb, Weight: 0.30, Pattern: Pattern{Kind: Sequential}},
+			{Label: "Q_output", Size: 2 * mb, Weight: 0.20, WriteFrac: 0.8, Pattern: Pattern{Kind: Sequential}},
+		},
+		Warps: 240, PhasesPerWarp: 60, AccessesPerPhase: 3, ComputeCycles: 60, MLP: 4, Overlap: true,
+	}
+	ds.apply(&s)
+	return s
+}

@@ -1,0 +1,187 @@
+package workloads
+
+// Rodinia-suite synthetic workloads. Structure names follow the original
+// CUDA sources; sizes and access mixes are calibrated so each workload's
+// simulated CDF and sensitivity match what the paper reports (Figures 2,
+// 6, 7).
+
+const mb = 1 << 20
+
+// bwShape applies the default execution shape of a bandwidth-bound GPU
+// kernel: enough warps and MLP that demand far exceeds supply.
+func bwShape(s *Spec) {
+	s.Warps = 480
+	s.PhasesPerWarp = 40
+	s.AccessesPerPhase = 8
+	s.ComputeCycles = 4
+	s.MLP = 8
+}
+
+// BFS is Rodinia's breadth-first search: small mask/cost arrays are
+// touched on every frontier expansion while the large edge list is read
+// sparsely. Figure 7a: three structures (~20% of footprint) carry ~80% of
+// traffic — highly skewed, structure-correlated.
+func BFS(ds Dataset) Spec {
+	s := Spec{
+		Name: "bfs", Suite: "rodinia", Class: BandwidthBound,
+		Structures: []Structure{
+			{Label: "d_graph_nodes", Size: 4 * mb, Weight: 0.08, Pattern: Pattern{Kind: Sequential}},
+			{Label: "d_graph_edges", Size: 8 * mb, Weight: 0.12, Pattern: Pattern{Kind: Uniform}},
+			{Label: "d_graph_mask", Size: mb / 2, Weight: 0.10, Pattern: Pattern{Kind: Uniform}},
+			{Label: "d_updating_graph_mask", Size: mb / 2, Weight: 0.22, WriteFrac: 0.5, Pattern: Pattern{Kind: Uniform}},
+			{Label: "d_graph_visited", Size: mb / 2, Weight: 0.28, Pattern: Pattern{Kind: Uniform}},
+			{Label: "d_cost", Size: mb, Weight: 0.20, WriteFrac: 0.3, Pattern: Pattern{Kind: Uniform}},
+		},
+	}
+	bwShape(&s)
+	ds.apply(&s)
+	return s
+}
+
+// Needle is Rodinia's Needleman-Wunsch: a large DP matrix whose hotness
+// varies within the single structure (wavefront reuse), giving the
+// near-linear CDF of Figure 7c.
+func Needle(ds Dataset) Spec {
+	s := Spec{
+		Name: "needle", Suite: "rodinia", Class: BandwidthBound,
+		Structures: []Structure{
+			{Label: "reference", Size: 8 * mb, Weight: 0.35, Pattern: Pattern{Kind: Sequential}},
+			{Label: "input_itemsets", Size: 16 * mb, Weight: 0.65, WriteFrac: 0.35, Pattern: Pattern{Kind: Zipf, ZipfS: 1.04}},
+		},
+	}
+	bwShape(&s)
+	ds.apply(&s)
+	return s
+}
+
+// MummerGPU is Rodinia's sequence aligner: suffix-tree traversal whose hot
+// pages scatter across structures and address ranges (Figure 7b), with
+// allocated-but-never-touched regions.
+func MummerGPU(ds Dataset) Spec {
+	s := Spec{
+		Name: "mummergpu", Suite: "rodinia", Class: BandwidthBound,
+		Structures: []Structure{
+			{Label: "suffix_tree", Size: 10 * mb, Weight: 0.45, Pattern: Pattern{Kind: ScatteredZipf, ZipfS: 1.22, TouchFrac: 0.70}},
+			{Label: "queries", Size: 4 * mb, Weight: 0.20, Pattern: Pattern{Kind: Sequential, TouchFrac: 0.80}},
+			{Label: "aux_tables", Size: 3 * mb, Weight: 0.20, Pattern: Pattern{Kind: ScatteredZipf, ZipfS: 1.22}},
+			{Label: "results", Size: 4 * mb, Weight: 0.15, WriteFrac: 0.6, Pattern: Pattern{Kind: Sequential, TouchFrac: 0.50}},
+		},
+	}
+	bwShape(&s)
+	ds.apply(&s)
+	return s
+}
+
+// Backprop is Rodinia's neural-network training kernel: weight matrices
+// dominate traffic.
+func Backprop(ds Dataset) Spec {
+	s := Spec{
+		Name: "backprop", Suite: "rodinia", Class: BandwidthBound,
+		Structures: []Structure{
+			{Label: "input_units", Size: 4 * mb, Weight: 0.25, Pattern: Pattern{Kind: Sequential}},
+			{Label: "weights", Size: 8 * mb, Weight: 0.45, Pattern: Pattern{Kind: Uniform}},
+			{Label: "delta", Size: 4 * mb, Weight: 0.20, WriteFrac: 0.5, Pattern: Pattern{Kind: Sequential}},
+			{Label: "hidden_units", Size: mb, Weight: 0.10, Pattern: Pattern{Kind: Uniform}},
+		},
+	}
+	bwShape(&s)
+	ds.apply(&s)
+	return s
+}
+
+// Hotspot is Rodinia's thermal simulation: pure streaming over three
+// equal-size grids — the canonical linear-CDF workload.
+func Hotspot(ds Dataset) Spec {
+	s := Spec{
+		Name: "hotspot", Suite: "rodinia", Class: BandwidthBound,
+		Structures: []Structure{
+			{Label: "temp_in", Size: 8 * mb, Weight: 0.40, Pattern: Pattern{Kind: Sequential}},
+			{Label: "power", Size: 8 * mb, Weight: 0.30, Pattern: Pattern{Kind: Sequential}},
+			{Label: "temp_out", Size: 8 * mb, Weight: 0.30, WriteFrac: 1.0, Pattern: Pattern{Kind: Sequential}},
+		},
+	}
+	bwShape(&s)
+	ds.apply(&s)
+	return s
+}
+
+// KMeans is Rodinia's clustering kernel: a large streamed feature matrix
+// and a tiny hot centroid table.
+func KMeans(ds Dataset) Spec {
+	s := Spec{
+		Name: "kmeans", Suite: "rodinia", Class: BandwidthBound,
+		Structures: []Structure{
+			{Label: "features", Size: 16 * mb, Weight: 0.60, Pattern: Pattern{Kind: Sequential}},
+			{Label: "clusters", Size: mb / 4, Weight: 0.25, Pattern: Pattern{Kind: Uniform}},
+			{Label: "membership", Size: mb, Weight: 0.15, WriteFrac: 0.8, Pattern: Pattern{Kind: Sequential}},
+		},
+	}
+	bwShape(&s)
+	ds.apply(&s)
+	return s
+}
+
+// Pathfinder is Rodinia's dynamic-programming grid walk: streaming with a
+// small hot result row.
+func Pathfinder(ds Dataset) Spec {
+	s := Spec{
+		Name: "pathfinder", Suite: "rodinia", Class: BandwidthBound,
+		Structures: []Structure{
+			{Label: "wall", Size: 16 * mb, Weight: 0.75, Pattern: Pattern{Kind: Sequential}},
+			{Label: "result", Size: mb / 2, Weight: 0.25, WriteFrac: 0.5, Pattern: Pattern{Kind: Uniform}},
+		},
+	}
+	bwShape(&s)
+	ds.apply(&s)
+	return s
+}
+
+// SRAD is Rodinia's speckle-reducing image filter: multi-array streaming.
+func SRAD(ds Dataset) Spec {
+	s := Spec{
+		Name: "srad", Suite: "rodinia", Class: BandwidthBound,
+		Structures: []Structure{
+			{Label: "image_J", Size: 8 * mb, Weight: 0.35, Pattern: Pattern{Kind: Sequential}},
+			{Label: "coeff_C", Size: 8 * mb, Weight: 0.25, WriteFrac: 0.4, Pattern: Pattern{Kind: Sequential}},
+			{Label: "derivatives", Size: 8 * mb, Weight: 0.40, Pattern: Pattern{Kind: Strided, StrideLines: 4}},
+		},
+	}
+	bwShape(&s)
+	ds.apply(&s)
+	return s
+}
+
+// LUD is Rodinia's LU decomposition: blocked reuse concentrates traffic
+// toward the matrix head as elimination proceeds.
+func LUD(ds Dataset) Spec {
+	s := Spec{
+		Name: "lud", Suite: "rodinia", Class: Mixed,
+		Structures: []Structure{
+			{Label: "matrix", Size: 8 * mb, Weight: 0.90, WriteFrac: 0.3, Pattern: Pattern{Kind: Zipf, ZipfS: 1.10}},
+			{Label: "pivots", Size: mb / 2, Weight: 0.10, Pattern: Pattern{Kind: Uniform}},
+		},
+	}
+	bwShape(&s)
+	s.Warps = 240
+	s.MLP = 4
+	s.ComputeCycles = 12
+	s.PhasesPerWarp = 60
+	ds.apply(&s)
+	return s
+}
+
+// Gaussian is Rodinia's Gaussian elimination: row-strided access with
+// modest parallelism — the extended (20th) workload outside the default
+// 19-benchmark set.
+func Gaussian(ds Dataset) Spec {
+	s := Spec{
+		Name: "gaussian", Suite: "rodinia", Class: Mixed,
+		Structures: []Structure{
+			{Label: "matrix", Size: 8 * mb, Weight: 0.80, WriteFrac: 0.3, Pattern: Pattern{Kind: Strided, StrideLines: 16}},
+			{Label: "multipliers", Size: mb, Weight: 0.20, Pattern: Pattern{Kind: Uniform}},
+		},
+		Warps: 120, PhasesPerWarp: 80, AccessesPerPhase: 6, ComputeCycles: 10, MLP: 2,
+	}
+	ds.apply(&s)
+	return s
+}
