@@ -1,0 +1,34 @@
+# hetsim build and verification targets.
+#
+# `make check` is the tier-1 verification gate: build + vet + full test
+# suite + race-detector pass over the experiment harness (the only part
+# of the tree that runs simulations concurrently).
+
+GO ?= go
+
+.PHONY: all build test race vet check bench clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-check the packages that exercise concurrency: the worker-pool sweep
+# executor and every figure sweep dispatched through it.
+race:
+	$(GO) test -race ./internal/experiments/...
+
+vet:
+	$(GO) vet ./...
+
+check: build vet test race
+
+# Sweep-scaling headline: the Figure 2a grid with one worker vs all CPUs.
+bench:
+	$(GO) test -bench 'Fig2aSweep' -run - -benchtime 1x ./internal/experiments/
+
+clean:
+	$(GO) clean ./...

@@ -7,6 +7,12 @@
 //	hmexp -workloads bfs,xsbench -csv fig6
 //	hmexp -workloads bfs -plot cdf           # ASCII Figure 6 curve
 //	hmexp -parallel 4 all                    # figures rendered concurrently
+//	hmexp -workers 1 fig3                    # force sequential simulations
+//
+// Each figure's simulations run on a worker pool sized by -workers
+// (default: all CPUs); -parallel additionally renders whole figures
+// concurrently. Both paths go through the same deterministic sweep
+// executor, so output is identical for any -parallel/-workers setting.
 //
 // Flags must precede the figure identifiers (standard Go flag parsing).
 package main
@@ -20,6 +26,7 @@ import (
 
 	"hetsim"
 	"hetsim/internal/experiments"
+	"hetsim/internal/experiments/pool"
 	"hetsim/internal/plot"
 )
 
@@ -30,7 +37,8 @@ func main() {
 		csv       = flag.Bool("csv", false, "emit CSV instead of aligned text")
 		points    = flag.Int("points", 50, "sample points for the cdf command")
 		doPlot    = flag.Bool("plot", false, "render the cdf command as an ASCII chart")
-		parallel  = flag.Int("parallel", 1, "run this many figures concurrently")
+		parallel  = flag.Int("parallel", 1, "render this many figures concurrently")
+		workers   = flag.Int("workers", 0, "concurrent simulations per figure (0 = all CPUs)")
 		outDir    = flag.String("out", "", "also write each figure's CSV to <out>/<id>.csv")
 	)
 	flag.Parse()
@@ -40,7 +48,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	opts := heteromem.Options{Shrink: *shrink}
+	opts := heteromem.Options{Shrink: *shrink, Workers: *workers}
 	if *workloads != "" {
 		opts.Workloads = strings.Split(*workloads, ",")
 	}
@@ -102,41 +110,42 @@ func main() {
 					fmt.Fprintf(&sb, "    %-28s %.3f\n", k, fig.Headline[k])
 				}
 			}
+			if fig.Sweep.Total() > 0 {
+				fmt.Fprintln(&sb, "  sweep:", fig.Sweep)
+			}
 			fmt.Fprintln(&sb)
 		}
 		return sb.String(), nil
 	}
 
-	if *parallel <= 1 {
-		for _, id := range ids {
-			out, err := render(id)
-			if err != nil {
-				fatal(err)
-			}
-			fmt.Print(out)
+	// Render figures through the same worker-pool executor the figures use
+	// internally, printing in submission order. Each figure is independent
+	// and deterministic, so -parallel changes wall time only.
+	type rendered struct {
+		text string
+		err  error
+	}
+	p := pool.Pool[string, rendered]{
+		Workers: *parallel,
+		Run: func(id string) (rendered, error) {
+			text, err := render(id)
+			return rendered{text, err}, nil
+		},
+	}
+	outs, _, err := p.Map(ids)
+	if err != nil {
+		fatal(err)
+	}
+	failed := false
+	for i, out := range outs {
+		fmt.Print(out.text)
+		if out.err != nil {
+			failed = true
+			fmt.Fprintf(os.Stderr, "hmexp: %s: %v\n", ids[i], out.err)
 		}
-		return
 	}
-
-	// Render figures concurrently, printing in submission order. Each
-	// figure's simulations are independent and deterministic, so
-	// parallelism changes wall time only.
-	outs := make([]chan string, len(ids))
-	sem := make(chan struct{}, *parallel)
-	for i, id := range ids {
-		outs[i] = make(chan string, 1)
-		go func(i int, id string) {
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			out, err := render(id)
-			if err != nil {
-				out = fmt.Sprintf("hmexp: %s: %v\n", id, err)
-			}
-			outs[i] <- out
-		}(i, id)
-	}
-	for _, ch := range outs {
-		fmt.Print(<-ch)
+	if failed {
+		os.Exit(1)
 	}
 }
 

@@ -72,15 +72,19 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	// All simulations (the run itself plus any oracle/annotated training
+	// pass) dispatch through one sweep executor, so repeated profiles hit
+	// the result cache and the stats line below covers everything.
+	ex := experiments.NewExecutor(0)
 	switch rc.Policy {
 	case heteromem.Oracle:
-		prof, err := heteromem.Profile(*workload, ds, *shrink)
+		prof, err := ex.Profile(*workload, ds, *shrink)
 		if err != nil {
 			fatal(err)
 		}
 		rc.ProfileCounts = prof.PageCounts
 	case heteromem.Annotated:
-		hints, err := heteromem.AnnotatedHints(*workload, heteromem.TrainDataset(), ds, capOrDefault(*capacity), *shrink)
+		hints, err := ex.AnnotatedHints(*workload, heteromem.TrainDataset(), ds, capOrDefault(*capacity), *shrink)
 		if err != nil {
 			fatal(err)
 		}
@@ -94,7 +98,7 @@ func main() {
 	case *tracePth != "":
 		res, err = recordTrace(*tracePth, rc)
 	default:
-		res, err = heteromem.Run(rc)
+		res, err = ex.Run(rc)
 	}
 	if err != nil {
 		fatal(err)
@@ -118,6 +122,9 @@ func main() {
 	fmt.Printf("L1 hit rate        %.1f%%\n", res.GPUStats.L1HitRate()*100)
 	fmt.Printf("pages BO/CO        %d / %d (fallbacks %d)\n",
 		res.Place.PagesPerZone[0], res.Place.PagesPerZone[1], res.Place.Fallbacks)
+	if st := ex.Stats(); st.Total() > 0 {
+		fmt.Printf("sweep              %s\n", st)
+	}
 }
 
 func recordTrace(path string, rc heteromem.RunConfig) (heteromem.Result, error) {

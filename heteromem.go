@@ -91,6 +91,19 @@ const (
 // heterogeneous-memory GPU system and returns the measured result.
 func Run(rc RunConfig) (Result, error) { return experiments.Run(rc) }
 
+// SweepStats summarizes a parallel sweep: simulations executed, configs
+// served from the result cache, worker count, and wall time.
+type SweepStats = metrics.SweepStats
+
+// RunAll executes a batch of run configs on a worker pool (workers <= 0
+// means one per CPU) against the process-wide result cache, so equivalent
+// configs are simulated once. Results land at the index of their config
+// and are bit-identical for any worker count; see internal/experiments
+// for the determinism guarantee.
+func RunAll(cfgs []RunConfig, workers int) ([]Result, SweepStats, error) {
+	return experiments.RunAll(cfgs, workers)
+}
+
 // Profile runs a workload unconstrained under LOCAL placement and returns
 // the result with page-level and structure-level access counts — the
 // training pass for oracle and annotated placement.

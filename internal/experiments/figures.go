@@ -19,6 +19,9 @@ type Options struct {
 	Shrink int
 	// Dataset defaults to the canonical training set.
 	Dataset workloads.Dataset
+	// Workers caps concurrent simulations per sweep; 0 means GOMAXPROCS.
+	// Any worker count produces identical results (see Executor).
+	Workers int
 }
 
 func (o Options) workloadList() []string {
@@ -42,6 +45,10 @@ func (o Options) dataset() workloads.Dataset {
 	return o.Dataset
 }
 
+// executor builds this figure's sweep executor: opts-controlled worker
+// count over the process-wide result cache.
+func (o Options) executor() *Executor { return NewExecutor(o.Workers) }
+
 // Figure is one reproduced table or figure.
 type Figure struct {
 	ID    string
@@ -52,6 +59,9 @@ type Figure struct {
 	Headline map[string]float64
 	// Notes document deviations from the paper.
 	Notes []string
+	// Sweep reports the figure's simulation count, cache hits, and wall
+	// time (zero for figures that run no simulations).
+	Sweep metrics.SweepStats
 }
 
 // Table1 reproduces the simulation-configuration table.
@@ -107,28 +117,48 @@ func Fig1(Options) (Figure, error) {
 	return Figure{ID: "fig1", Title: "BW ratios of future systems", Table: tb, Headline: head}, nil
 }
 
+// fig2aScales are the BO bandwidth multipliers of the Figure 2a sweep.
+var fig2aScales = []float64{0.5, 0.75, 1.0, 1.5, 2.0}
+
+// fig2aConfigs builds the Figure 2a grid — every workload at every BO
+// bandwidth scale — in row-major (workload, scale) order. The sweep
+// benchmark and the parallel-speedup test reuse it as a representative
+// multi-workload figure sweep.
+func fig2aConfigs(opts Options) []RunConfig {
+	wls := opts.workloadList()
+	cfgs := make([]RunConfig, 0, len(wls)*len(fig2aScales))
+	for _, wl := range wls {
+		for _, sc := range fig2aScales {
+			cfg := memsys.Table1Config()
+			cfg.ScaleZoneBandwidth(vm.ZoneBO, sc)
+			cfgs = append(cfgs, RunConfig{Workload: wl, Dataset: opts.dataset(), Policy: LocalPolicy, Mem: cfg, Shrink: opts.shrink()})
+		}
+	}
+	return cfgs
+}
+
 // Fig2a reproduces the bandwidth-sensitivity study: per-workload
 // performance as the GPU-attached memory bandwidth scales from 0.5x to 2x,
 // with all pages LOCAL in BO (the paper's single-memory baseline sweep).
 func Fig2a(opts Options) (Figure, error) {
-	scales := []float64{0.5, 0.75, 1.0, 1.5, 2.0}
+	scales := fig2aScales
+	wls := opts.workloadList()
+	e := opts.executor()
+	res, err := e.Map(fig2aConfigs(opts))
+	if err != nil {
+		return Figure{}, err
+	}
 	tb := metrics.NewTable("Figure 2a: GPU performance sensitivity to bandwidth",
 		"workload", "0.5x", "0.75x", "1x", "1.5x", "2x")
 	head := map[string]float64{}
 	var bwGain []float64
-	for _, wl := range opts.workloadList() {
+	for wi, wl := range wls {
 		perfs := make([]float64, len(scales))
 		var base float64
-		for i, sc := range scales {
-			cfg := memsys.Table1Config()
-			cfg.ScaleZoneBandwidth(vm.ZoneBO, sc)
-			r, err := Run(RunConfig{Workload: wl, Dataset: opts.dataset(), Policy: LocalPolicy, Mem: cfg, Shrink: opts.shrink()})
-			if err != nil {
-				return Figure{}, err
-			}
-			perfs[i] = r.Perf
+		for si, sc := range scales {
+			perfs[si] = res[wi*len(scales)+si].Perf
 			if sc == 1.0 {
-				base = r.Perf
+				base = perfs[si]
 			}
 		}
 		row := []interface{}{wl}
@@ -141,32 +171,37 @@ func Fig2a(opts Options) (Figure, error) {
 		bwGain = append(bwGain, gain)
 	}
 	head["geomean_2x"] = metrics.Geomean(bwGain)
-	return Figure{ID: "fig2a", Title: "Bandwidth sensitivity", Table: tb, Headline: head}, nil
+	return Figure{ID: "fig2a", Title: "Bandwidth sensitivity", Table: tb, Headline: head, Sweep: e.Stats()}, nil
 }
 
 // Fig2b reproduces the latency-sensitivity study: per-workload performance
 // as a fixed latency is added to every memory access.
 func Fig2b(opts Options) (Figure, error) {
 	lats := []int64{0, 100, 200, 400}
+	wls := opts.workloadList()
+	cfgs := make([]RunConfig, 0, len(wls)*len(lats))
+	for _, wl := range wls {
+		for _, lat := range lats {
+			cfg := memsys.Table1Config()
+			cfg.GlobalExtraLatency += simTime(lat)
+			cfgs = append(cfgs, RunConfig{Workload: wl, Dataset: opts.dataset(), Policy: LocalPolicy, Mem: cfg, Shrink: opts.shrink()})
+		}
+	}
+	e := opts.executor()
+	res, err := e.Map(cfgs)
+	if err != nil {
+		return Figure{}, err
+	}
 	tb := metrics.NewTable("Figure 2b: GPU performance sensitivity to latency",
 		"workload", "+0", "+100", "+200", "+400")
 	head := map[string]float64{}
 	var worst []float64
-	for _, wl := range opts.workloadList() {
-		var base float64
+	for wi, wl := range wls {
+		base := res[wi*len(lats)].Perf
 		row := []interface{}{wl}
 		var last float64
-		for _, lat := range lats {
-			cfg := memsys.Table1Config()
-			cfg.GlobalExtraLatency += simTime(lat)
-			r, err := Run(RunConfig{Workload: wl, Dataset: opts.dataset(), Policy: LocalPolicy, Mem: cfg, Shrink: opts.shrink()})
-			if err != nil {
-				return Figure{}, err
-			}
-			if lat == 0 {
-				base = r.Perf
-			}
-			last = r.Perf / base
+		for li := range lats {
+			last = res[wi*len(lats)+li].Perf / base
 			row = append(row, last)
 		}
 		tb.AddRow(row...)
@@ -174,7 +209,7 @@ func Fig2b(opts Options) (Figure, error) {
 		worst = append(worst, last)
 	}
 	head["geomean_400"] = metrics.Geomean(worst)
-	return Figure{ID: "fig2b", Title: "Latency sensitivity", Table: tb, Headline: head}, nil
+	return Figure{ID: "fig2b", Title: "Latency sensitivity", Table: tb, Headline: head, Sweep: e.Stats()}, nil
 }
 
 // Fig3 reproduces the placement-ratio sweep: per-workload performance of
@@ -182,6 +217,33 @@ func Fig2b(opts Options) (Figure, error) {
 // normalized to LOCAL, with unconstrained BO capacity.
 func Fig3(opts Options) (Figure, error) {
 	ratios := []int{0, 10, 30, 50, 70, 90, 100}
+	wls := opts.workloadList()
+	// Per workload: LOCAL, the fixed ratios, INTERLEAVE, BW-AWARE.
+	stride := 1 + len(ratios) + 2
+	cfgs := make([]RunConfig, 0, len(wls)*stride)
+	for _, wl := range wls {
+		base := RunConfig{Workload: wl, Dataset: opts.dataset(), Shrink: opts.shrink()}
+		local := base
+		local.Policy = LocalPolicy
+		cfgs = append(cfgs, local)
+		for _, pc := range ratios {
+			rc := base
+			rc.Policy = RatioPolicy
+			rc.PercentCO = pc
+			cfgs = append(cfgs, rc)
+		}
+		inter := base
+		inter.Policy = InterleavePolicy
+		bw := base
+		bw.Policy = BWAwarePolicy
+		cfgs = append(cfgs, inter, bw)
+	}
+	e := opts.executor()
+	res, err := e.Map(cfgs)
+	if err != nil {
+		return Figure{}, err
+	}
+
 	cols := []string{"workload"}
 	for _, r := range ratios {
 		cols = append(cols, fmt.Sprintf("%dC-%dB", r, 100-r))
@@ -191,26 +253,12 @@ func Fig3(opts Options) (Figure, error) {
 
 	var bwVsLocal, bwVsInter []float64
 	head := map[string]float64{}
-	for _, wl := range opts.workloadList() {
-		local, err := Run(RunConfig{Workload: wl, Dataset: opts.dataset(), Policy: LocalPolicy, Shrink: opts.shrink()})
-		if err != nil {
-			return Figure{}, err
-		}
+	for wi, wl := range wls {
+		group := res[wi*stride : (wi+1)*stride]
+		local, inter, bw := group[0], group[stride-2], group[stride-1]
 		row := []interface{}{wl}
-		for _, pc := range ratios {
-			r, err := Run(RunConfig{Workload: wl, Dataset: opts.dataset(), Policy: RatioPolicy, PercentCO: pc, Shrink: opts.shrink()})
-			if err != nil {
-				return Figure{}, err
-			}
-			row = append(row, r.Perf/local.Perf)
-		}
-		inter, err := Run(RunConfig{Workload: wl, Dataset: opts.dataset(), Policy: InterleavePolicy, Shrink: opts.shrink()})
-		if err != nil {
-			return Figure{}, err
-		}
-		bw, err := Run(RunConfig{Workload: wl, Dataset: opts.dataset(), Policy: BWAwarePolicy, Shrink: opts.shrink()})
-		if err != nil {
-			return Figure{}, err
+		for ri := range ratios {
+			row = append(row, group[1+ri].Perf/local.Perf)
 		}
 		row = append(row, inter.Perf/local.Perf, bw.Perf/local.Perf)
 		tb.AddRow(row...)
@@ -221,7 +269,7 @@ func Fig3(opts Options) (Figure, error) {
 	head["bwaware_vs_local"] = metrics.Geomean(bwVsLocal)
 	head["bwaware_vs_interleave"] = metrics.Geomean(bwVsInter)
 	return Figure{
-		ID: "fig3", Title: "Placement ratio sweep", Table: tb, Headline: head,
+		ID: "fig3", Title: "Placement ratio sweep", Table: tb, Headline: head, Sweep: e.Stats(),
 		Notes: []string{"paper: BW-AWARE +18% vs LOCAL, +35% vs INTERLEAVE on average; peak near 30C-70B"},
 	}, nil
 }
@@ -231,6 +279,24 @@ func Fig3(opts Options) (Figure, error) {
 // normalized per workload to the unconstrained run.
 func Fig4(opts Options) (Figure, error) {
 	fracs := []float64{1.0, 0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3, 0.2, 0.1}
+	wls := opts.workloadList()
+	stride := 1 + len(fracs) // unconstrained baseline, then each fraction
+	cfgs := make([]RunConfig, 0, len(wls)*stride)
+	for _, wl := range wls {
+		base := RunConfig{Workload: wl, Dataset: opts.dataset(), Policy: BWAwarePolicy, Shrink: opts.shrink()}
+		cfgs = append(cfgs, base)
+		for _, f := range fracs {
+			rc := base
+			rc.BOCapacityFrac = f
+			cfgs = append(cfgs, rc)
+		}
+	}
+	e := opts.executor()
+	res, err := e.Map(cfgs)
+	if err != nil {
+		return Figure{}, err
+	}
+
 	cols := []string{"workload"}
 	for _, f := range fracs {
 		cols = append(cols, fmt.Sprintf("%.0f%%", f*100))
@@ -238,18 +304,12 @@ func Fig4(opts Options) (Figure, error) {
 	tb := metrics.NewTable("Figure 4: BW-AWARE performance vs BO capacity (fraction of footprint)", cols...)
 	head := map[string]float64{}
 	var at70, at10 []float64
-	for _, wl := range opts.workloadList() {
-		base, err := Run(RunConfig{Workload: wl, Dataset: opts.dataset(), Policy: BWAwarePolicy, Shrink: opts.shrink()})
-		if err != nil {
-			return Figure{}, err
-		}
+	for wi, wl := range wls {
+		group := res[wi*stride : (wi+1)*stride]
+		base := group[0]
 		row := []interface{}{wl}
-		for _, f := range fracs {
-			r, err := Run(RunConfig{Workload: wl, Dataset: opts.dataset(), Policy: BWAwarePolicy, BOCapacityFrac: f, Shrink: opts.shrink()})
-			if err != nil {
-				return Figure{}, err
-			}
-			rel := r.Perf / base.Perf
+		for fi, f := range fracs {
+			rel := group[1+fi].Perf / base.Perf
 			row = append(row, rel)
 			switch f {
 			case 0.7:
@@ -263,7 +323,7 @@ func Fig4(opts Options) (Figure, error) {
 	head["geomean_at_70pct"] = metrics.Geomean(at70)
 	head["geomean_at_10pct"] = metrics.Geomean(at10)
 	return Figure{
-		ID: "fig4", Title: "Capacity sweep", Table: tb, Headline: head,
+		ID: "fig4", Title: "Capacity sweep", Table: tb, Headline: head, Sweep: e.Stats(),
 		Notes: []string{"paper: near-peak performance down to ~70% capacity, falling off below"},
 	}, nil
 }
@@ -274,28 +334,35 @@ func Fig4(opts Options) (Figure, error) {
 // LOCAL at each point.
 func Fig5(opts Options) (Figure, error) {
 	coBWs := []float64{5, 40, 80, 120, 160, 200}
+	policies := []PolicyKind{LocalPolicy, InterleavePolicy, BWAwarePolicy}
+	wls := opts.workloadList()
+	cfgs := make([]RunConfig, 0, len(coBWs)*len(wls)*len(policies))
+	for _, cobw := range coBWs {
+		for _, wl := range wls {
+			for _, pk := range policies {
+				cfg := memsys.Table1Config()
+				cfg.SetZoneBandwidthGBps(vm.ZoneCO, cobw)
+				cfgs = append(cfgs, RunConfig{Workload: wl, Dataset: opts.dataset(), Policy: pk, Mem: cfg, Shrink: opts.shrink()})
+			}
+		}
+	}
+	e := opts.executor()
+	res, err := e.Map(cfgs)
+	if err != nil {
+		return Figure{}, err
+	}
+
 	tb := metrics.NewTable("Figure 5: policy comparison vs CO bandwidth (normalized to LOCAL)",
 		"CO GB/s", "LOCAL", "INTERLEAVE", "BW-AWARE")
 	head := map[string]float64{}
-	for _, cobw := range coBWs {
-		perf := map[PolicyKind][]float64{}
-		for _, wl := range opts.workloadList() {
-			for _, pk := range []PolicyKind{LocalPolicy, InterleavePolicy, BWAwarePolicy} {
-				cfg := memsys.Table1Config()
-				cfg.SetZoneBandwidthGBps(vm.ZoneCO, cobw)
-				r, err := Run(RunConfig{Workload: wl, Dataset: opts.dataset(), Policy: pk, Mem: cfg, Shrink: opts.shrink()})
-				if err != nil {
-					return Figure{}, err
-				}
-				perf[pk] = append(perf[pk], r.Perf)
-			}
-		}
-		n := len(perf[LocalPolicy])
+	for ci, cobw := range coBWs {
+		n := len(wls)
 		ratioI := make([]float64, n)
 		ratioB := make([]float64, n)
-		for i := 0; i < n; i++ {
-			ratioI[i] = perf[InterleavePolicy][i] / perf[LocalPolicy][i]
-			ratioB[i] = perf[BWAwarePolicy][i] / perf[LocalPolicy][i]
+		for wi := 0; wi < n; wi++ {
+			at := func(pi int) float64 { return res[(ci*n+wi)*len(policies)+pi].Perf }
+			ratioI[wi] = at(1) / at(0)
+			ratioB[wi] = at(2) / at(0)
 		}
 		gi := metrics.Geomean(ratioI)
 		gb := metrics.Geomean(ratioB)
@@ -304,7 +371,7 @@ func Fig5(opts Options) (Figure, error) {
 		head[fmt.Sprintf("bwaware_at_%.0f", cobw)] = gb
 	}
 	return Figure{
-		ID: "fig5", Title: "BW-ratio sensitivity", Table: tb, Headline: head,
+		ID: "fig5", Title: "BW-ratio sensitivity", Table: tb, Headline: head, Sweep: e.Stats(),
 		Notes: []string{"paper: BW-AWARE >= LOCAL everywhere and >= INTERLEAVE in all heterogeneous cases; INTERLEAVE catches up only at bandwidth symmetry"},
 	}, nil
 }

@@ -13,42 +13,59 @@ import (
 // annotation studies: BO holds 10% of the application footprint.
 const constrainedFrac = 0.10
 
+// profileAll runs the profiling pass for every workload through the
+// executor and returns the results in workload order.
+func profileAll(e *Executor, wls []string, ds workloads.Dataset, shrink int) ([]Result, error) {
+	cfgs := make([]RunConfig, len(wls))
+	for i, wl := range wls {
+		cfgs[i] = profileConfig(wl, ds, shrink)
+	}
+	return e.Map(cfgs)
+}
+
 // Fig8 reproduces the oracle study: oracle vs BW-AWARE placement with
 // unconstrained BO capacity and with BO capped at 10% of the footprint,
 // normalized per workload to unconstrained BW-AWARE.
 func Fig8(opts Options) (Figure, error) {
+	wls := opts.workloadList()
+	e := opts.executor()
+	profs, err := profileAll(e, wls, opts.dataset(), opts.shrink())
+	if err != nil {
+		return Figure{}, err
+	}
+	// Per workload: BW-AWARE and oracle, unconstrained then at 10%.
+	const stride = 4
+	cfgs := make([]RunConfig, 0, len(wls)*stride)
+	for wi, wl := range wls {
+		base := RunConfig{
+			Workload: wl, Dataset: opts.dataset(), Shrink: opts.shrink(),
+			ProfileCounts: profs[wi].PageCounts,
+		}
+		for _, c := range []struct {
+			pk   PolicyKind
+			frac float64
+		}{
+			{BWAwarePolicy, 0}, {OraclePolicy, 0},
+			{BWAwarePolicy, constrainedFrac}, {OraclePolicy, constrainedFrac},
+		} {
+			rc := base
+			rc.Policy = c.pk
+			rc.BOCapacityFrac = c.frac
+			cfgs = append(cfgs, rc)
+		}
+	}
+	res, err := e.Map(cfgs)
+	if err != nil {
+		return Figure{}, err
+	}
+
 	tb := metrics.NewTable("Figure 8: oracle vs BW-AWARE, unconstrained and 10% capacity (normalized to BW-AWARE unconstrained)",
 		"workload", "bwaware", "oracle", "bwaware@10%", "oracle@10%")
 	head := map[string]float64{}
 	var oracleVsBW, oracleVsUncon []float64
-	for _, wl := range opts.workloadList() {
-		prof, err := Profile(wl, opts.dataset(), opts.shrink())
-		if err != nil {
-			return Figure{}, err
-		}
-		run := func(pk PolicyKind, frac float64) (Result, error) {
-			return Run(RunConfig{
-				Workload: wl, Dataset: opts.dataset(), Policy: pk,
-				BOCapacityFrac: frac, ProfileCounts: prof.PageCounts,
-				Shrink: opts.shrink(),
-			})
-		}
-		bwU, err := run(BWAwarePolicy, 0)
-		if err != nil {
-			return Figure{}, err
-		}
-		orU, err := run(OraclePolicy, 0)
-		if err != nil {
-			return Figure{}, err
-		}
-		bwC, err := run(BWAwarePolicy, constrainedFrac)
-		if err != nil {
-			return Figure{}, err
-		}
-		orC, err := run(OraclePolicy, constrainedFrac)
-		if err != nil {
-			return Figure{}, err
-		}
+	for wi, wl := range wls {
+		group := res[wi*stride : (wi+1)*stride]
+		bwU, orU, bwC, orC := group[0], group[1], group[2], group[3]
 		tb.AddRow(wl, 1.0, orU.Perf/bwU.Perf, bwC.Perf/bwU.Perf, orC.Perf/bwU.Perf)
 		oracleVsBW = append(oracleVsBW, orC.Perf/bwC.Perf)
 		oracleVsUncon = append(oracleVsUncon, orC.Perf/bwU.Perf)
@@ -57,7 +74,7 @@ func Fig8(opts Options) (Figure, error) {
 	head["oracle10_vs_bw10"] = metrics.Geomean(oracleVsBW)
 	head["oracle10_vs_unconstrained"] = metrics.Geomean(oracleVsUncon)
 	return Figure{
-		ID: "fig8", Title: "Oracle placement", Table: tb, Headline: head,
+		ID: "fig8", Title: "Oracle placement", Table: tb, Headline: head, Sweep: e.Stats(),
 		Notes: []string{
 			"paper: oracle matches BW-AWARE when unconstrained; at 10% capacity it reaches ~60% of unconstrained throughput and up to ~2x BW-AWARE for skewed workloads",
 			"first-touch placement lets constrained BW-AWARE capture some hot pages, so the oracle gap here is narrower than the paper's allocation-order model",
@@ -70,10 +87,23 @@ func Fig8(opts Options) (Figure, error) {
 // with the evaluation dataset's structure sizes and the machine's BO
 // capacity — exactly the GetAllocation flow of Figure 9.
 func AnnotatedHints(workload string, trainDS, evalDS workloads.Dataset, boCapacityFrac float64, shrink int) ([]core.Hint, error) {
-	prof, err := Profile(workload, trainDS, shrink)
+	return defaultExec.AnnotatedHints(workload, trainDS, evalDS, boCapacityFrac, shrink)
+}
+
+// AnnotatedHints is the executor-bound form of the package-level function:
+// the training profile dispatches through e and counts in e.Stats().
+func (e *Executor) AnnotatedHints(workload string, trainDS, evalDS workloads.Dataset, boCapacityFrac float64, shrink int) ([]core.Hint, error) {
+	prof, err := e.Profile(workload, trainDS, shrink)
 	if err != nil {
 		return nil, err
 	}
+	return hintsFromProfile(prof, workload, evalDS, boCapacityFrac)
+}
+
+// hintsFromProfile is the GetAllocation computation given an
+// already-measured training profile, so figure sweeps can feed it profiles
+// obtained through the pool instead of re-running them.
+func hintsFromProfile(prof Result, workload string, evalDS workloads.Dataset, boCapacityFrac float64) ([]core.Hint, error) {
 	stats := profiler.ProfileAllocations(prof.PageCounts, prof.Allocations, vm.DefaultPageSize)
 	hotness := profiler.HotnessVector(stats)
 
@@ -94,46 +124,44 @@ func AnnotatedHints(workload string, trainDS, evalDS workloads.Dataset, boCapaci
 // profile-driven ANNOTATED, and ORACLE placement under the 10% capacity
 // constraint, normalized to INTERLEAVE.
 func Fig10(opts Options) (Figure, error) {
+	wls := opts.workloadList()
+	e := opts.executor()
+	profs, err := profileAll(e, wls, opts.dataset(), opts.shrink())
+	if err != nil {
+		return Figure{}, err
+	}
+	const stride = 4 // INTERLEAVE, BW-AWARE, ANNOTATED, ORACLE
+	cfgs := make([]RunConfig, 0, len(wls)*stride)
+	for wi, wl := range wls {
+		hints, err := hintsFromProfile(profs[wi], wl, opts.dataset(), constrainedFrac)
+		if err != nil {
+			return Figure{}, err
+		}
+		base := RunConfig{
+			Workload: wl, Dataset: opts.dataset(), Shrink: opts.shrink(),
+			BOCapacityFrac: constrainedFrac, ProfileCounts: profs[wi].PageCounts,
+		}
+		for _, pk := range []PolicyKind{InterleavePolicy, BWAwarePolicy, HintedPolicy, OraclePolicy} {
+			rc := base
+			rc.Policy = pk
+			if pk == HintedPolicy {
+				rc.Hints = hints
+			}
+			cfgs = append(cfgs, rc)
+		}
+	}
+	res, err := e.Map(cfgs)
+	if err != nil {
+		return Figure{}, err
+	}
+
 	tb := metrics.NewTable("Figure 10: annotated placement at 10% capacity (normalized to INTERLEAVE)",
 		"workload", "INTERLEAVE", "BW-AWARE", "ANNOTATED", "ORACLE")
 	head := map[string]float64{}
 	var annVsInter, annVsBW, annVsOracle []float64
-	for _, wl := range opts.workloadList() {
-		prof, err := Profile(wl, opts.dataset(), opts.shrink())
-		if err != nil {
-			return Figure{}, err
-		}
-		hints, err := AnnotatedHints(wl, opts.dataset(), opts.dataset(), constrainedFrac, opts.shrink())
-		if err != nil {
-			return Figure{}, err
-		}
-		run := func(pk PolicyKind) (Result, error) {
-			rc := RunConfig{
-				Workload: wl, Dataset: opts.dataset(), Policy: pk,
-				BOCapacityFrac: constrainedFrac, Shrink: opts.shrink(),
-				ProfileCounts: prof.PageCounts,
-			}
-			if pk == HintedPolicy {
-				rc.Hints = hints
-			}
-			return Run(rc)
-		}
-		inter, err := run(InterleavePolicy)
-		if err != nil {
-			return Figure{}, err
-		}
-		bw, err := run(BWAwarePolicy)
-		if err != nil {
-			return Figure{}, err
-		}
-		ann, err := run(HintedPolicy)
-		if err != nil {
-			return Figure{}, err
-		}
-		orc, err := run(OraclePolicy)
-		if err != nil {
-			return Figure{}, err
-		}
+	for wi, wl := range wls {
+		group := res[wi*stride : (wi+1)*stride]
+		inter, bw, ann, orc := group[0], group[1], group[2], group[3]
 		tb.AddRow(wl, 1.0, bw.Perf/inter.Perf, ann.Perf/inter.Perf, orc.Perf/inter.Perf)
 		annVsInter = append(annVsInter, ann.Perf/inter.Perf)
 		annVsBW = append(annVsBW, ann.Perf/bw.Perf)
@@ -144,7 +172,7 @@ func Fig10(opts Options) (Figure, error) {
 	head["annotated_vs_bwaware"] = metrics.Geomean(annVsBW)
 	head["annotated_vs_oracle"] = metrics.Geomean(annVsOracle)
 	return Figure{
-		ID: "fig10", Title: "Annotated placement", Table: tb, Headline: head,
+		ID: "fig10", Title: "Annotated placement", Table: tb, Headline: head, Sweep: e.Stats(),
 		Notes: []string{"paper: annotated placement beats INTERLEAVE by 19% and BW-AWARE by 14% on average, reaching 90% of oracle"},
 	}, nil
 }
@@ -159,46 +187,62 @@ func Fig11(opts Options) (Figure, error) {
 		cases = opts.Workloads
 	}
 	datasets := append([]workloads.Dataset{opts.dataset()}, workloads.Variants()...)
-	tb := metrics.NewTable("Figure 11: annotation robustness across datasets (trained on 'train')",
-		"workload", "dataset", "ann/inter", "ann/oracle")
-	head := map[string]float64{}
-	var trained, cross, crossVsInter []float64
+	e := opts.executor()
+
+	// Stage 1: profile every (workload, dataset) pair. datasets[0] is the
+	// training set, whose profile also drives the hints for every
+	// evaluation dataset.
+	profCfgs := make([]RunConfig, 0, len(cases)*len(datasets))
 	for _, wl := range cases {
 		for _, ds := range datasets {
+			profCfgs = append(profCfgs, profileConfig(wl, ds, opts.shrink()))
+		}
+	}
+	profs, err := e.Map(profCfgs)
+	if err != nil {
+		return Figure{}, err
+	}
+
+	// Stage 2: INTERLEAVE, ANNOTATED, ORACLE per (workload, dataset).
+	const stride = 3
+	cfgs := make([]RunConfig, 0, len(profCfgs)*stride)
+	for ci, wl := range cases {
+		trainProf := profs[ci*len(datasets)]
+		for di, ds := range datasets {
 			// Hints always come from the training dataset profile, but use
 			// the evaluation dataset's sizes (known at runtime).
-			hints, err := AnnotatedHints(wl, opts.dataset(), ds, constrainedFrac, opts.shrink())
+			hints, err := hintsFromProfile(trainProf, wl, ds, constrainedFrac)
 			if err != nil {
 				return Figure{}, err
 			}
 			// The oracle is profiled on the evaluation dataset itself.
-			prof, err := Profile(wl, ds, opts.shrink())
-			if err != nil {
-				return Figure{}, err
-			}
 			base := RunConfig{
 				Workload: wl, Dataset: ds, BOCapacityFrac: constrainedFrac,
-				Shrink: opts.shrink(), ProfileCounts: prof.PageCounts,
+				Shrink: opts.shrink(), ProfileCounts: profs[ci*len(datasets)+di].PageCounts,
 			}
 			inter := base
 			inter.Policy = InterleavePolicy
-			interR, err := Run(inter)
-			if err != nil {
-				return Figure{}, err
-			}
 			ann := base
 			ann.Policy = HintedPolicy
 			ann.Hints = hints
-			annR, err := Run(ann)
-			if err != nil {
-				return Figure{}, err
-			}
 			orc := base
 			orc.Policy = OraclePolicy
-			orcR, err := Run(orc)
-			if err != nil {
-				return Figure{}, err
-			}
+			cfgs = append(cfgs, inter, ann, orc)
+		}
+	}
+	res, err := e.Map(cfgs)
+	if err != nil {
+		return Figure{}, err
+	}
+
+	tb := metrics.NewTable("Figure 11: annotation robustness across datasets (trained on 'train')",
+		"workload", "dataset", "ann/inter", "ann/oracle")
+	head := map[string]float64{}
+	var trained, cross, crossVsInter []float64
+	for ci, wl := range cases {
+		for di, ds := range datasets {
+			group := res[(ci*len(datasets)+di)*stride:][:stride]
+			interR, annR, orcR := group[0], group[1], group[2]
 			vsInter := annR.Perf / interR.Perf
 			vsOracle := annR.Perf / orcR.Perf
 			tb.AddRow(wl, ds.Name, vsInter, vsOracle)
@@ -214,7 +258,7 @@ func Fig11(opts Options) (Figure, error) {
 	head["cross_vs_oracle"] = metrics.Geomean(cross)
 	head["cross_vs_interleave"] = metrics.Geomean(crossVsInter)
 	return Figure{
-		ID: "fig11", Title: "Dataset sensitivity", Table: tb, Headline: head,
+		ID: "fig11", Title: "Dataset sensitivity", Table: tb, Headline: head, Sweep: e.Stats(),
 		Notes: []string{"paper: cross-dataset annotated placement still beats INTERLEAVE by 29% and reaches 80% of per-dataset oracle"},
 	}, nil
 }

@@ -17,22 +17,24 @@ func simTime(v int64) sim.Time { return sim.Time(v) }
 // plus the skew (Gini) coefficient. Counts are taken after on-chip cache
 // filtering, as in the paper.
 func Fig6(opts Options) (Figure, error) {
+	wls := opts.workloadList()
+	e := opts.executor()
+	profs, err := profileAll(e, wls, opts.dataset(), opts.shrink())
+	if err != nil {
+		return Figure{}, err
+	}
 	tb := metrics.NewTable("Figure 6: bandwidth CDF, pages sorted hot to cold",
 		"workload", "hottest1%", "hottest5%", "hottest10%", "hottest20%", "hottest50%", "skew")
 	head := map[string]float64{}
-	for _, wl := range opts.workloadList() {
-		res, err := Profile(wl, opts.dataset(), opts.shrink())
-		if err != nil {
-			return Figure{}, err
-		}
-		p := profiler.FromCounts(res.PageCounts)
+	for wi, wl := range wls {
+		p := profiler.FromCounts(profs[wi].PageCounts)
 		fr := func(f float64) float64 { return p.AccessFracFromHottest(f) }
 		tb.AddRow(wl, fr(0.01), fr(0.05), fr(0.10), fr(0.20), fr(0.50), p.Skewness())
 		head[wl+"_hot10"] = fr(0.10)
 		head[wl+"_skew"] = p.Skewness()
 	}
 	return Figure{
-		ID: "fig6", Title: "Page-access CDFs", Table: tb, Headline: head,
+		ID: "fig6", Title: "Page-access CDFs", Table: tb, Headline: head, Sweep: e.Stats(),
 		Notes: []string{"paper: bfs and xsbench draw >60% of bandwidth from ~10% of pages; streaming workloads are near-linear"},
 	}, nil
 }
@@ -46,14 +48,16 @@ func Fig7(opts Options) (Figure, error) {
 	if len(opts.Workloads) > 0 {
 		cases = opts.Workloads
 	}
+	e := opts.executor()
+	profs, err := profileAll(e, cases, opts.dataset(), opts.shrink())
+	if err != nil {
+		return Figure{}, err
+	}
 	tb := metrics.NewTable("Figure 7: data-structure footprint vs bandwidth",
 		"workload", "structure", "size(KB)", "footprint%", "access%", "hot/byte")
 	head := map[string]float64{}
-	for _, wl := range cases {
-		res, err := Profile(wl, opts.dataset(), opts.shrink())
-		if err != nil {
-			return Figure{}, err
-		}
+	for wi, wl := range cases {
+		res := profs[wi]
 		stats := profiler.ProfileAllocations(res.PageCounts, res.Allocations, vm.DefaultPageSize)
 		sort.SliceStable(stats, func(i, j int) bool { return stats[i].AccessFrac > stats[j].AccessFrac })
 		var topFoot, topAccess float64
@@ -71,7 +75,7 @@ func Fig7(opts Options) (Figure, error) {
 		}
 	}
 	return Figure{
-		ID: "fig7", Title: "Structure hotness maps", Table: tb, Headline: head,
+		ID: "fig7", Title: "Structure hotness maps", Table: tb, Headline: head, Sweep: e.Stats(),
 		Notes: []string{"paper: bfs's three hot structures carry ~80% of traffic in ~20% of footprint; mummergpu's hotness is not structure-correlated"},
 	}, nil
 }

@@ -1,0 +1,221 @@
+// Package pool provides the deterministic worker-pool executor behind
+// every figure sweep in package experiments. A sweep is an embarrassingly
+// parallel list of independent discrete-event simulations; Pool.Map runs
+// such a list across a fixed number of worker goroutines while preserving
+// the exact semantics of a sequential loop:
+//
+//   - deterministic ordering: results land at the index of their input
+//     config regardless of completion order, so the output is a pure
+//     function of the input list;
+//   - per-run panic recovery: a panicking run becomes that index's error
+//     (with its stack) instead of killing the process;
+//   - error collection: every failing index is reported, not just the
+//     first;
+//   - result caching: configs that share a caller-provided canonical key
+//     are executed once per Cache, with duplicates — including concurrent
+//     ones — served the same result (singleflight).
+//
+// The cache can be shared across Map calls and across Pools, which is how
+// the experiment harness simulates the LOCAL/INTERLEAVE/BW-AWARE baselines
+// shared by Figures 2-7 only once per process. Cached values are returned
+// by shallow copy: callers must treat results as immutable.
+package pool
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+)
+
+// Stats summarizes the work a Map call performed.
+type Stats struct {
+	Total     int // configs submitted
+	Executed  int // runs actually simulated
+	CacheHits int // configs served from the cache
+	Errors    int // configs that finished with an error
+	Panics    int // runs that panicked (counted in Errors too)
+	Workers   int // worker goroutines used
+	Wall      time.Duration
+}
+
+// entry is one singleflight cache slot: the first worker to claim a key
+// fills it and closes done; everyone else waits on done and reads it.
+type entry[R any] struct {
+	done chan struct{}
+	val  R
+	err  error
+}
+
+// Cache is a shared, concurrency-safe result cache keyed by canonical
+// config strings. The zero value is not usable; call NewCache.
+type Cache[R any] struct {
+	mu      sync.Mutex
+	entries map[string]*entry[R]
+}
+
+// NewCache returns an empty cache, shareable across Pools.
+func NewCache[R any]() *Cache[R] {
+	return &Cache[R]{entries: make(map[string]*entry[R])}
+}
+
+// Len reports how many results (including in-flight ones) the cache holds.
+func (c *Cache[R]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Pool executes config lists through worker goroutines. Run is required;
+// everything else has useful zero-value behavior.
+type Pool[C, R any] struct {
+	// Run executes one config. It must be safe for concurrent use and
+	// deterministic in its config (the determinism guarantee of Map is
+	// exactly the determinism of Run).
+	Run func(C) (R, error)
+	// Key returns the canonical cache key for a config, or ok=false for
+	// configs that must not be cached. Nil disables caching entirely.
+	Key func(C) (key string, ok bool)
+	// Cache holds results across Map calls. If nil and Key is set, the
+	// Pool lazily creates a private cache on first use.
+	Cache *Cache[R]
+	// Workers caps concurrent runs; <= 0 means runtime.GOMAXPROCS(0).
+	Workers int
+	// OnDone, when set, is called after each config completes (from
+	// worker goroutines, serialized by an internal lock) with the number
+	// completed so far, the total, and whether this one was a cache hit.
+	OnDone func(done, total int, cached bool)
+
+	initOnce sync.Once // guards lazy Cache creation
+}
+
+func (p *Pool[C, R]) workers(n int) int {
+	w := p.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Map runs every config and returns the results in input order: results[i]
+// always corresponds to cfgs[i], no matter which worker finished it or
+// whether it came from the cache. The returned error joins the failures of
+// every failing index (nil if all succeeded); results at failing indices
+// are zero values.
+func (p *Pool[C, R]) Map(cfgs []C) ([]R, Stats, error) {
+	start := time.Now()
+	n := len(cfgs)
+	results := make([]R, n)
+	errs := make([]error, n)
+	st := Stats{Total: n, Workers: p.workers(n)}
+	if n == 0 {
+		return results, st, nil
+	}
+
+	p.initOnce.Do(func() {
+		if p.Cache == nil && p.Key != nil {
+			p.Cache = NewCache[R]()
+		}
+	})
+	cache := p.Cache
+
+	var mu sync.Mutex // guards st counters and OnDone ordering
+	done := 0
+	finish := func(cached, panicked bool, err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		done++
+		if cached {
+			st.CacheHits++
+		} else {
+			st.Executed++
+		}
+		if err != nil {
+			st.Errors++
+		}
+		if panicked {
+			st.Panics++
+		}
+		if p.OnDone != nil {
+			p.OnDone(done, n, cached)
+		}
+	}
+
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < st.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				val, err, cached, panicked := p.one(cache, cfgs[i])
+				results[i], errs[i] = val, err
+				finish(cached, panicked, err)
+			}
+		}()
+	}
+	for i := range cfgs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
+	st.Wall = time.Since(start)
+	var joined []error
+	for i, err := range errs {
+		if err != nil {
+			joined = append(joined, fmt.Errorf("config %d: %w", i, err))
+		}
+	}
+	return results, st, errors.Join(joined...)
+}
+
+// one executes a single config, consulting the cache when possible.
+func (p *Pool[C, R]) one(cache *Cache[R], cfg C) (val R, err error, cached, panicked bool) {
+	if p.Key == nil || cache == nil {
+		val, err, panicked = p.safeRun(cfg)
+		return val, err, false, panicked
+	}
+	key, ok := p.Key(cfg)
+	if !ok {
+		val, err, panicked = p.safeRun(cfg)
+		return val, err, false, panicked
+	}
+	cache.mu.Lock()
+	e, hit := cache.entries[key]
+	if !hit {
+		e = &entry[R]{done: make(chan struct{})}
+		cache.entries[key] = e
+	}
+	cache.mu.Unlock()
+	if hit {
+		// A waiter never fills an entry, and a filler never waits, so
+		// this cannot deadlock: every wait chain ends at a running fill.
+		<-e.done
+		return e.val, e.err, true, false
+	}
+	e.val, e.err, panicked = p.safeRun(cfg)
+	close(e.done)
+	return e.val, e.err, false, panicked
+}
+
+// safeRun invokes Run with panic recovery, converting a panic into an
+// error that carries the panic value and stack.
+func (p *Pool[C, R]) safeRun(cfg C) (val R, err error, panicked bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			panicked = true
+			err = fmt.Errorf("pool: run panicked: %v\n%s", r, debug.Stack())
+		}
+	}()
+	val, err = p.Run(cfg)
+	return val, err, false
+}

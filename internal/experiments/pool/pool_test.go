@@ -1,0 +1,224 @@
+package pool
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestMapOrdering: results land at the index of their input regardless of
+// completion order. Later configs finish first (they sleep less).
+func TestMapOrdering(t *testing.T) {
+	n := 32
+	cfgs := make([]int, n)
+	for i := range cfgs {
+		cfgs[i] = i
+	}
+	p := &Pool[int, string]{
+		Workers: 8,
+		Run: func(i int) (string, error) {
+			time.Sleep(time.Duration(n-i) * 100 * time.Microsecond)
+			return fmt.Sprintf("r%d", i), nil
+		},
+	}
+	res, st, err := p.Map(cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range res {
+		if want := fmt.Sprintf("r%d", i); r != want {
+			t.Errorf("res[%d] = %q, want %q", i, r, want)
+		}
+	}
+	if st.Executed != n || st.CacheHits != 0 || st.Total != n {
+		t.Errorf("stats = %+v, want %d executed", st, n)
+	}
+}
+
+// TestMapPanicRecovery: a panicking run becomes that index's error; other
+// runs complete normally.
+func TestMapPanicRecovery(t *testing.T) {
+	p := &Pool[int, int]{
+		Workers: 4,
+		Run: func(i int) (int, error) {
+			if i == 2 {
+				panic("boom")
+			}
+			return i * 10, nil
+		},
+	}
+	res, st, err := p.Map([]int{0, 1, 2, 3})
+	if err == nil {
+		t.Fatal("want error from panicking run")
+	}
+	if !strings.Contains(err.Error(), "config 2") || !strings.Contains(err.Error(), "boom") {
+		t.Errorf("error %q should name config 2 and the panic value", err)
+	}
+	if res[0] != 0 || res[1] != 10 || res[3] != 30 {
+		t.Errorf("healthy results corrupted: %v", res)
+	}
+	if st.Panics != 1 || st.Errors != 1 {
+		t.Errorf("stats = %+v, want 1 panic, 1 error", st)
+	}
+}
+
+// TestMapErrorCollection: every failing index is reported, not just the
+// first.
+func TestMapErrorCollection(t *testing.T) {
+	sentinel := errors.New("bad cfg")
+	p := &Pool[int, int]{
+		Workers: 2,
+		Run: func(i int) (int, error) {
+			if i%2 == 1 {
+				return 0, fmt.Errorf("%w %d", sentinel, i)
+			}
+			return i, nil
+		},
+	}
+	_, st, err := p.Map([]int{0, 1, 2, 3, 4, 5})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want wrapped sentinel", err)
+	}
+	for _, idx := range []string{"config 1", "config 3", "config 5"} {
+		if !strings.Contains(err.Error(), idx) {
+			t.Errorf("error %q missing %q", err, idx)
+		}
+	}
+	if st.Errors != 3 {
+		t.Errorf("Errors = %d, want 3", st.Errors)
+	}
+}
+
+// TestMapCacheDedup: duplicate keys are executed once even when submitted
+// concurrently in one batch, and a shared Cache carries across Map calls
+// and across Pools.
+func TestMapCacheDedup(t *testing.T) {
+	var executions atomic.Int64
+	cache := NewCache[int]()
+	newPool := func() *Pool[int, int] {
+		return &Pool[int, int]{
+			Workers: 8,
+			Cache:   cache,
+			Key:     func(i int) (string, bool) { return fmt.Sprintf("k%d", i%3), true },
+			Run: func(i int) (int, error) {
+				executions.Add(1)
+				time.Sleep(time.Millisecond)
+				return (i % 3) * 100, nil
+			},
+		}
+	}
+	cfgs := []int{0, 1, 2, 3, 4, 5, 6, 7, 8} // keys k0,k1,k2 three times each
+	res, st, err := p0Map(t, newPool(), cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := executions.Load(); got != 3 {
+		t.Errorf("executed %d runs, want 3 (one per distinct key)", got)
+	}
+	if st.Executed != 3 || st.CacheHits != 6 {
+		t.Errorf("stats = %+v, want 3 executed + 6 hits", st)
+	}
+	for i, r := range res {
+		if want := (i % 3) * 100; r != want {
+			t.Errorf("res[%d] = %d, want %d", i, r, want)
+		}
+	}
+
+	// A different Pool sharing the Cache sees only hits.
+	_, st2, err := p0Map(t, newPool(), cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Executed != 0 || st2.CacheHits != len(cfgs) {
+		t.Errorf("second pool stats = %+v, want all cache hits", st2)
+	}
+	if cache.Len() != 3 {
+		t.Errorf("cache holds %d entries, want 3", cache.Len())
+	}
+}
+
+func p0Map(t *testing.T, p *Pool[int, int], cfgs []int) ([]int, Stats, error) {
+	t.Helper()
+	return p.Map(cfgs)
+}
+
+// TestMapUncacheable: Key returning ok=false forces execution every time.
+func TestMapUncacheable(t *testing.T) {
+	var executions atomic.Int64
+	p := &Pool[int, int]{
+		Workers: 4,
+		Key:     func(int) (string, bool) { return "", false },
+		Run: func(i int) (int, error) {
+			executions.Add(1)
+			return i, nil
+		},
+	}
+	if _, st, err := p.Map([]int{1, 1, 1, 1}); err != nil {
+		t.Fatal(err)
+	} else if st.CacheHits != 0 || executions.Load() != 4 {
+		t.Errorf("uncacheable configs were cached: %+v, %d executions", st, executions.Load())
+	}
+}
+
+// TestMapCachedErrors: an error result is cached like any other, so
+// duplicates of a failing config fail identically without re-running.
+func TestMapCachedErrors(t *testing.T) {
+	var executions atomic.Int64
+	p := &Pool[int, int]{
+		Workers: 1,
+		Key:     func(i int) (string, bool) { return "same", true },
+		Run: func(i int) (int, error) {
+			executions.Add(1)
+			return 0, errors.New("always fails")
+		},
+	}
+	_, st, err := p.Map([]int{1, 2, 3})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if executions.Load() != 1 {
+		t.Errorf("failing config re-executed %d times, want 1", executions.Load())
+	}
+	if st.Errors != 3 {
+		t.Errorf("Errors = %d, want 3 (error replayed to duplicates)", st.Errors)
+	}
+}
+
+// TestMapEmptyAndDefaults: empty input, zero Workers (GOMAXPROCS default).
+func TestMapEmptyAndDefaults(t *testing.T) {
+	p := &Pool[int, int]{Run: func(i int) (int, error) { return i, nil }}
+	res, st, err := p.Map(nil)
+	if err != nil || len(res) != 0 || st.Total != 0 {
+		t.Fatalf("empty map: res=%v st=%+v err=%v", res, st, err)
+	}
+	if _, st, _ := p.Map([]int{1, 2}); st.Workers < 1 {
+		t.Errorf("workers = %d, want >= 1", st.Workers)
+	}
+}
+
+// TestMapProgress: OnDone fires once per config with monotonically
+// increasing done counts.
+func TestMapProgress(t *testing.T) {
+	var calls int
+	last := 0
+	p := &Pool[int, int]{
+		Workers: 3,
+		Run:     func(i int) (int, error) { return i, nil },
+		OnDone: func(done, total int, cached bool) {
+			calls++
+			if done != last+1 || total != 7 {
+				t.Errorf("OnDone(done=%d, total=%d) after %d", done, total, last)
+			}
+			last = done
+		},
+	}
+	if _, _, err := p.Map([]int{0, 1, 2, 3, 4, 5, 6}); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 7 {
+		t.Errorf("OnDone fired %d times, want 7", calls)
+	}
+}

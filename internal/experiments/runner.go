@@ -2,6 +2,12 @@
 // evaluation: it composes the workload generators, placement policies, GPU
 // model, and memory system into single simulation runs (Run) and into the
 // parameter sweeps behind each figure (Fig2a ... Fig11, Table1).
+//
+// Every figure sweep builds its config list up front and dispatches it
+// through an Executor — a worker-pool runner (internal/experiments/pool)
+// with a process-wide result cache keyed by the canonical hash of each
+// RunConfig. Results are deterministic for any worker count, and baseline
+// runs shared between figures are simulated only once per process.
 package experiments
 
 import (
@@ -340,12 +346,8 @@ func oracleCap(rc RunConfig) int {
 // Profile runs the workload once, unconstrained under LOCAL placement, and
 // returns the result carrying page counts and allocations — the paper's
 // first simulation pass for the oracle (§4.2) and the training run for
-// annotations (§5).
+// annotations (§5). Profiles dispatch through the shared sweep executor,
+// so repeated profiles of one workload are simulated once per process.
 func Profile(workload string, ds workloads.Dataset, shrink int) (Result, error) {
-	return Run(RunConfig{
-		Workload: workload,
-		Dataset:  ds,
-		Policy:   LocalPolicy,
-		Shrink:   shrink,
-	})
+	return defaultExec.Profile(workload, ds, shrink)
 }

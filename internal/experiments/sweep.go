@@ -1,0 +1,214 @@
+package experiments
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"sync"
+
+	"hetsim/internal/core"
+	"hetsim/internal/experiments/pool"
+	"hetsim/internal/gpu"
+	"hetsim/internal/memsys"
+	"hetsim/internal/metrics"
+	"hetsim/internal/migrate"
+	"hetsim/internal/vm"
+	"hetsim/internal/workloads"
+)
+
+// sweepCache is the process-wide result cache shared by every Executor
+// built with NewExecutor: the LOCAL/INTERLEAVE/BW-AWARE baselines and the
+// profiling runs that recur across Figures 2-11 are simulated once per
+// process no matter how many figures request them.
+var sweepCache = pool.NewCache[Result]()
+
+// defaultExec backs the package-level helpers (Profile, AnnotatedHints) so
+// their simulations land in — and are served from — the shared cache.
+var defaultExec = NewExecutor(0)
+
+// Executor dispatches RunConfigs through the worker-pool sweep executor
+// (package pool) and accumulates sweep statistics across Map calls, so a
+// multi-stage figure (profile pass, then policy runs) reports one total.
+//
+// Determinism guarantee: Run is a deterministic function of its RunConfig
+// (seeded RNGs, a discrete-event engine with total event ordering, no
+// shared mutable state), and pool.Map places every result at the index of
+// its input config. Therefore Executor.Map returns bit-identical Result
+// slices for any worker count, and cached results are bit-identical to
+// freshly simulated ones.
+type Executor struct {
+	p  pool.Pool[RunConfig, Result]
+	mu sync.Mutex
+	st metrics.SweepStats
+}
+
+// NewExecutor returns an executor running up to workers concurrent
+// simulations (0 means GOMAXPROCS) against the process-wide result cache.
+func NewExecutor(workers int) *Executor {
+	return newExecutor(workers, sweepCache)
+}
+
+// NewIsolatedExecutor is NewExecutor with a private, empty result cache.
+// Tests and bit-match verifications use it so a prior run cannot serve
+// their configs from the shared cache.
+func NewIsolatedExecutor(workers int) *Executor {
+	return newExecutor(workers, pool.NewCache[Result]())
+}
+
+func newExecutor(workers int, cache *pool.Cache[Result]) *Executor {
+	return &Executor{p: pool.Pool[RunConfig, Result]{
+		Run:     Run,
+		Key:     canonicalKey,
+		Cache:   cache,
+		Workers: workers,
+	}}
+}
+
+// Map executes every config and returns results in input order; see the
+// Executor determinism guarantee. Results may be shared with other cache
+// users and must be treated as immutable.
+func (e *Executor) Map(cfgs []RunConfig) ([]Result, error) {
+	res, st, err := e.p.Map(cfgs)
+	e.mu.Lock()
+	e.st.Add(metrics.SweepStats{
+		Runs:      st.Executed,
+		CacheHits: st.CacheHits,
+		Errors:    st.Errors,
+		Workers:   st.Workers,
+		Wall:      st.Wall,
+	})
+	e.mu.Unlock()
+	return res, err
+}
+
+// Run executes one config through the executor (and its cache).
+func (e *Executor) Run(rc RunConfig) (Result, error) {
+	res, err := e.Map([]RunConfig{rc})
+	if err != nil {
+		return Result{}, err
+	}
+	return res[0], nil
+}
+
+// Profile runs the workload's profiling pass (unconstrained LOCAL, §4.2)
+// through the executor, so repeated profiles of one workload are simulated
+// once.
+func (e *Executor) Profile(workload string, ds workloads.Dataset, shrink int) (Result, error) {
+	return e.Run(profileConfig(workload, ds, shrink))
+}
+
+// Stats reports the cumulative sweep statistics of every Map call made
+// through this executor.
+func (e *Executor) Stats() metrics.SweepStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.st
+}
+
+// profileConfig is the canonical profiling RunConfig; figures build their
+// profile stages from it so their cache keys coincide with Profile's.
+func profileConfig(workload string, ds workloads.Dataset, shrink int) RunConfig {
+	return RunConfig{
+		Workload: workload,
+		Dataset:  ds,
+		Policy:   LocalPolicy,
+		Shrink:   shrink,
+	}
+}
+
+// RunAll executes configs through a fresh executor sharing the
+// process-wide cache and reports the sweep statistics — the programmatic
+// entry point for custom parameter sweeps.
+func RunAll(cfgs []RunConfig, workers int) ([]Result, metrics.SweepStats, error) {
+	e := NewExecutor(workers)
+	res, err := e.Map(cfgs)
+	return res, e.Stats(), err
+}
+
+// canonicalRC is the cache identity of a RunConfig: every field Run reads,
+// with Run's own defaulting rules applied, and fields the selected policy
+// ignores zeroed. Two RunConfigs with equal canonicalRC drive Run through
+// an identical simulation.
+type canonicalRC struct {
+	Workload string
+	Dataset  workloads.Dataset
+
+	Policy        PolicyKind
+	PercentCO     int         // RatioPolicy only
+	Hints         []core.Hint // HintedPolicy only
+	ProfileCounts []uint64    // OraclePolicy only
+
+	BOCapacityFrac float64
+	Mem            memsys.Config
+	GPU            gpu.Config // with TLB and PageSize folded in, as Run does
+	PageSize       uint64
+
+	CPUTrafficGBps float64
+	Migration      *migrate.Config
+	EagerPlacement bool
+	Shrink         int
+	Seed           int64
+}
+
+// canonicalKey hashes the canonical form of rc. ok is false for configs
+// that must not be cached (currently: runs recording a trace, whose
+// side effect is the point).
+func canonicalKey(rc RunConfig) (string, bool) {
+	if rc.traceWriter != nil {
+		return "", false
+	}
+	c := canonicalRC{
+		Workload:       rc.Workload,
+		Dataset:        rc.Dataset,
+		Policy:         rc.Policy,
+		BOCapacityFrac: rc.BOCapacityFrac,
+		Mem:            rc.Mem,
+		GPU:            rc.GPU,
+		PageSize:       rc.PageSize,
+		CPUTrafficGBps: rc.CPUTrafficGBps,
+		Migration:      rc.Migration,
+		EagerPlacement: rc.EagerPlacement,
+		Shrink:         rc.Shrink,
+		Seed:           rc.Seed,
+	}
+	// Only the selected policy's parameters are part of the identity:
+	// Run ignores the others, so configs differing only there must share
+	// a key (e.g. a BW-AWARE run carrying leftover ProfileCounts).
+	switch rc.Policy {
+	case RatioPolicy:
+		c.PercentCO = rc.PercentCO
+	case HintedPolicy:
+		c.Hints = rc.Hints
+	case OraclePolicy:
+		c.ProfileCounts = rc.ProfileCounts
+	}
+	// Mirror Run's defaulting so explicit and implicit defaults coincide.
+	if len(c.Mem.Zones) == 0 {
+		c.Mem = memsys.Table1Config()
+	}
+	if c.GPU.SMs == 0 {
+		c.GPU = gpu.Table1Config()
+	}
+	if rc.TLB != nil {
+		c.GPU.TLB = rc.TLB
+	}
+	if c.PageSize == 0 {
+		c.PageSize = vm.DefaultPageSize
+	}
+	c.GPU.PageSize = c.PageSize
+	if c.BOCapacityFrac <= 0 || c.BOCapacityFrac >= 1e9 {
+		c.BOCapacityFrac = 0 // unconstrained either way
+	}
+	if c.Shrink < 1 {
+		c.Shrink = 1
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	b, err := json.Marshal(c)
+	if err != nil {
+		return "", false // unhashable config: run it uncached
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), true
+}

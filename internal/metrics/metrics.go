@@ -1,7 +1,8 @@
 // Package metrics provides the small numeric and reporting helpers the
 // experiment harness uses: geometric means, normalization against a
-// baseline, and plain-text table rendering for the figure/table
-// reproductions.
+// baseline, plain-text table rendering for the figure/table reproductions,
+// and sweep statistics (runs, cache hits, wall time) for the parallel
+// sweep executor.
 package metrics
 
 import (

@@ -1,0 +1,49 @@
+package metrics
+
+import (
+	"fmt"
+	"time"
+)
+
+// SweepStats summarizes a parallel figure sweep: how many simulations
+// actually ran, how many configs were served from the result cache, and
+// the wall time spent. The experiment executor fills it in and the
+// command-line tools print it, so a user can see both the progress a
+// figure made and what the cache saved.
+type SweepStats struct {
+	Runs      int // simulations executed
+	CacheHits int // configs answered from the result cache
+	Errors    int // configs that finished with an error
+	Workers   int // maximum worker goroutines used
+	Wall      time.Duration
+}
+
+// Total is the number of configs dispatched (executed + cached).
+func (s SweepStats) Total() int { return s.Runs + s.CacheHits }
+
+// Add accumulates another sweep's counters (wall times sum; worker counts
+// take the maximum), for multi-stage figures.
+func (s *SweepStats) Add(o SweepStats) {
+	s.Runs += o.Runs
+	s.CacheHits += o.CacheHits
+	s.Errors += o.Errors
+	if o.Workers > s.Workers {
+		s.Workers = o.Workers
+	}
+	s.Wall += o.Wall
+}
+
+// String renders a one-line summary, e.g.
+// "24 runs (+8 cached) in 1.21s, 8 workers".
+func (s SweepStats) String() string {
+	cached := ""
+	if s.CacheHits > 0 {
+		cached = fmt.Sprintf(" (+%d cached)", s.CacheHits)
+	}
+	errs := ""
+	if s.Errors > 0 {
+		errs = fmt.Sprintf(", %d errors", s.Errors)
+	}
+	return fmt.Sprintf("%d runs%s in %s, %d workers%s",
+		s.Runs, cached, s.Wall.Round(10*time.Millisecond), s.Workers, errs)
+}

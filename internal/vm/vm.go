@@ -3,10 +3,10 @@
 // a per-process page table populated at allocation time.
 //
 // Pages are placed when they are allocated (the paper studies initial
-// placement and explicitly defers migration, §5.5), so the page table is
-// immutable during a simulation run. Physical addresses encode the owning
-// zone in their top bits so the memory system can route a request without a
-// reverse map.
+// placement and explicitly defers migration, §5.5); the optional migration
+// extension (internal/migrate) may later remap a page to another zone
+// through Remap. Physical addresses encode the owning zone in their top
+// bits so the memory system can route a request without a reverse map.
 package vm
 
 import (
