@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet check bench clean
+.PHONY: all build test race vet check bench bench-sweep clean
 
 all: build
 
@@ -26,8 +26,21 @@ vet:
 
 check: build vet test race
 
-# Sweep-scaling headline: the Figure 2a grid with one worker vs all CPUs.
+# Tier-1 performance snapshot: the event-engine microbenchmarks plus the
+# figure-level simulator benchmarks, with allocation counts, captured to a
+# per-commit JSON artifact (BENCH_<sha>.json) via cmd/benchjson. The raw
+# `go test -bench` text is tee'd so benchstat can diff two snapshots.
+BENCH_SHA := $(shell git rev-parse --short HEAD)
 bench:
+	{ $(GO) test -bench 'BenchmarkEngine' -run - -benchmem ./internal/sim/ && \
+	  $(GO) test -bench 'BenchmarkSimulatorThroughput' -run - -benchmem . && \
+	  $(GO) test -bench 'BenchmarkFig2aBandwidthSensitivity' -run - -benchmem -benchtime 1x . ; } \
+	  | tee bench_$(BENCH_SHA).txt
+	$(GO) run ./cmd/benchjson -commit $(BENCH_SHA) < bench_$(BENCH_SHA).txt > BENCH_$(BENCH_SHA).json
+	@echo wrote BENCH_$(BENCH_SHA).json
+
+# Sweep-scaling headline: the Figure 2a grid with one worker vs all CPUs.
+bench-sweep:
 	$(GO) test -bench 'Fig2aSweep' -run - -benchtime 1x ./internal/experiments/
 
 clean:

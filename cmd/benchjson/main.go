@@ -1,0 +1,107 @@
+// Command benchjson converts `go test -bench` output on stdin into a JSON
+// benchmark artifact on stdout. It exists so `make bench` can commit
+// machine-readable performance snapshots (BENCH_<git-sha>.json) that later
+// sessions can diff without re-parsing benchstat text.
+//
+//	go test -bench . -benchmem ./... | benchjson -commit $(git rev-parse --short HEAD) > BENCH_abc123.json
+//
+// Each benchmark line of the form
+//
+//	BenchmarkEngine-8  7130104  167.6 ns/op  20563452 events/sec  48 B/op  2 allocs/op
+//
+// becomes one record keyed by the benchmark name (GOMAXPROCS suffix
+// stripped) with every value/unit pair kept verbatim, so custom metrics
+// such as events/sec survive alongside ns/op, B/op, and allocs/op.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Package    string             `json:"package,omitempty"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Artifact is the whole JSON document.
+type Artifact struct {
+	Commit     string      `json:"commit,omitempty"`
+	GoVersion  string      `json:"go_version,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	commit := flag.String("commit", "", "git commit identifier recorded in the artifact")
+	flag.Parse()
+
+	art := Artifact{Commit: *commit}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	pkg := ""
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "goos:") || strings.HasPrefix(line, "goarch:") || strings.HasPrefix(line, "cpu:"):
+			// environment headers; the artifact records the toolchain below
+		case strings.HasPrefix(line, "Benchmark"):
+			b, ok := parseLine(line)
+			if !ok {
+				continue
+			}
+			b.Package = pkg
+			art.Benchmarks = append(art.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	art.GoVersion = runtime.Version()
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(art); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parseLine parses "BenchmarkName-8 N v1 u1 v2 u2 ...". Returns ok=false
+// for lines that merely mention Benchmark (e.g. failures).
+func parseLine(line string) (Benchmark, bool) {
+	f := strings.Fields(line)
+	if len(f) < 2 {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	name := f[0]
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	b := Benchmark{Name: name, Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		b.Metrics[f[i+1]] = v
+	}
+	return b, true
+}

@@ -28,6 +28,7 @@ import (
 	"hetsim/internal/experiments"
 	"hetsim/internal/experiments/pool"
 	"hetsim/internal/plot"
+	"hetsim/internal/prof"
 )
 
 func main() {
@@ -40,6 +41,8 @@ func main() {
 		parallel  = flag.Int("parallel", 1, "render this many figures concurrently")
 		workers   = flag.Int("workers", 0, "concurrent simulations per figure (0 = all CPUs)")
 		outDir    = flag.String("out", "", "also write each figure's CSV to <out>/<id>.csv")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 	args := flag.Args()
@@ -47,6 +50,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "usage: hmexp [flags] all | cdf | %s\n", strings.Join(heteromem.FigureIDs(), " | "))
 		os.Exit(2)
 	}
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProf()
 
 	opts := heteromem.Options{Shrink: *shrink, Workers: *workers}
 	if *workloads != "" {
@@ -145,6 +153,7 @@ func main() {
 		}
 	}
 	if failed {
+		stopProf()
 		os.Exit(1)
 	}
 }
@@ -188,6 +197,7 @@ func sortedKeys(m map[string]float64) []string {
 }
 
 func fatal(err error) {
+	prof.StopAll() // os.Exit bypasses defers; flush profiles explicitly
 	fmt.Fprintln(os.Stderr, "hmexp:", err)
 	os.Exit(1)
 }

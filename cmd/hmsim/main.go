@@ -20,6 +20,7 @@ import (
 
 	"hetsim"
 	"hetsim/internal/experiments"
+	"hetsim/internal/prof"
 	"hetsim/internal/trace"
 	"hetsim/internal/workloads"
 )
@@ -38,8 +39,15 @@ func main() {
 		replay   = flag.String("replay", "", "replay a recorded trace instead of a workload")
 		asJSON   = flag.Bool("json", false, "emit the result as JSON")
 		list     = flag.Bool("list", false, "list workloads and exit")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProf()
 
 	if *list {
 		fmt.Println("paper evaluation set (19):")
@@ -78,11 +86,11 @@ func main() {
 	ex := experiments.NewExecutor(0)
 	switch rc.Policy {
 	case heteromem.Oracle:
-		prof, err := ex.Profile(*workload, ds, *shrink)
+		pr, err := ex.Profile(*workload, ds, *shrink)
 		if err != nil {
 			fatal(err)
 		}
-		rc.ProfileCounts = prof.PageCounts
+		rc.ProfileCounts = pr.PageCounts
 	case heteromem.Annotated:
 		hints, err := ex.AnnotatedHints(*workload, heteromem.TrainDataset(), ds, capOrDefault(*capacity), *shrink)
 		if err != nil {
@@ -220,6 +228,7 @@ func contains(xs []string, s string) bool {
 }
 
 func fatal(err error) {
+	prof.StopAll() // os.Exit bypasses defers; flush profiles explicitly
 	fmt.Fprintln(os.Stderr, "hmsim:", err)
 	os.Exit(1)
 }

@@ -12,21 +12,61 @@ import (
 // duplicate DRAM access), exactly as in the paper's GPGPU-Sim configuration
 // (128 entries per L2 slice).
 //
-// When the file is full, new primary misses must wait: AddWaiter queues the
+// When the file is full, new primary misses must wait: Stall queues the
 // request and the owner pops it when an entry frees. The backpressure this
 // creates is what couples memory latency to achievable throughput — the
 // mechanism behind the paper's observation that enough MSHRs hide the
 // interconnect hop to CPU-attached memory (§3.2.1).
+//
+// The file is built for the simulator's hot path: entries live in a flat
+// slot array whose waiter slices are recycled across fills, and waiters are
+// long-lived FillWaiter values (typically pooled access records), so
+// steady-state Allocate/Fill cycles perform no heap allocations.
 type MSHR struct {
 	capacity int
-	pending  map[uint64][]func(sim.Time)
-	stalled  []stalledReq
-	stats    MSHRStats
+	// index maps a pending line to its slot in [0, used).
+	index map[uint64]int32
+	// slots[:used] are live entries. Freed slots keep their waiter slice
+	// backing arrays, so re-allocation appends into recycled storage.
+	slots   []mshrEntry
+	used    int
+	scratch []FillWaiter // reused waiter snapshot during Fill
+	stalled []stalledReq
+	stats   MSHRStats
 }
+
+type mshrEntry struct {
+	line    uint64
+	waiters []FillWaiter
+}
+
+// FillWaiter is notified when an outstanding line fill completes. Waiters
+// are long-lived objects (pooled request records, test adapters), so
+// registering one does not allocate.
+type FillWaiter interface {
+	OnFill(t sim.Time)
+}
+
+// FillFunc adapts a plain function to FillWaiter.
+type FillFunc func(sim.Time)
+
+// OnFill implements FillWaiter.
+func (f FillFunc) OnFill(t sim.Time) { f(t) }
+
+// Retrier re-attempts an access that stalled on a full MSHR file.
+type Retrier interface {
+	Retry()
+}
+
+// RetryFunc adapts a plain function to Retrier.
+type RetryFunc func()
+
+// Retry implements Retrier.
+func (f RetryFunc) Retry() { f() }
 
 type stalledReq struct {
 	line  uint64
-	retry func()
+	retry Retrier
 }
 
 // MSHRStats counts MSHR file activity.
@@ -42,14 +82,14 @@ func NewMSHR(capacity int) *MSHR {
 	if capacity <= 0 {
 		panic(fmt.Sprintf("cache: MSHR capacity %d, must be positive", capacity))
 	}
-	return &MSHR{capacity: capacity, pending: make(map[uint64][]func(sim.Time), capacity)}
+	return &MSHR{capacity: capacity, index: make(map[uint64]int32, capacity)}
 }
 
 // Capacity returns the entry count.
 func (m *MSHR) Capacity() int { return m.capacity }
 
 // Used reports how many entries are live.
-func (m *MSHR) Used() int { return len(m.pending) }
+func (m *MSHR) Used() int { return m.used }
 
 // Stats returns a copy of the counters.
 func (m *MSHR) Stats() MSHRStats { return m.stats }
@@ -77,23 +117,30 @@ func (o Outcome) String() string {
 	}
 }
 
-// Allocate registers interest in a line fill. done is invoked with the fill
-// completion time when Fill is called for the line. On Full, done is NOT
+// Allocate registers interest in a line fill. w is invoked with the fill
+// completion time when Fill is called for the line. On Full, w is NOT
 // registered; the caller should use Stall.
-func (m *MSHR) Allocate(line uint64, done func(sim.Time)) Outcome {
-	if waiters, ok := m.pending[line]; ok {
-		m.pending[line] = append(waiters, done)
+func (m *MSHR) Allocate(line uint64, w FillWaiter) Outcome {
+	if i, ok := m.index[line]; ok {
+		m.slots[i].waiters = append(m.slots[i].waiters, w)
 		m.stats.Merged++
 		return Merged
 	}
-	if len(m.pending) >= m.capacity {
+	if m.used >= m.capacity {
 		m.stats.FullStall++
 		return Full
 	}
-	m.pending[line] = []func(sim.Time){done}
+	if m.used == len(m.slots) {
+		m.slots = append(m.slots, mshrEntry{})
+	}
+	e := &m.slots[m.used]
+	e.line = line
+	e.waiters = append(e.waiters[:0], w)
+	m.index[line] = int32(m.used)
+	m.used++
 	m.stats.Primary++
-	if len(m.pending) > m.stats.PeakUsed {
-		m.stats.PeakUsed = len(m.pending)
+	if m.used > m.stats.PeakUsed {
+		m.stats.PeakUsed = m.used
 	}
 	return Allocated
 }
@@ -101,7 +148,7 @@ func (m *MSHR) Allocate(line uint64, done func(sim.Time)) Outcome {
 // Stall queues retry to be invoked when an entry frees. The retry callback
 // should re-attempt the whole access (the line may have been filled or
 // evicted meanwhile).
-func (m *MSHR) Stall(line uint64, retry func()) {
+func (m *MSHR) Stall(line uint64, retry Retrier) {
 	m.stalled = append(m.stalled, stalledReq{line: line, retry: retry})
 }
 
@@ -110,22 +157,36 @@ func (m *MSHR) StallDepth() int { return len(m.stalled) }
 
 // Fill completes the outstanding fill for line at time t: all merged
 // waiters are notified in registration order, the entry frees, and one
-// stalled request (if any) is retried.
+// stalled request (if any) is retried. Waiter callbacks may re-enter
+// Allocate (a retried access, a scheduled follow-up), but not Fill itself.
 func (m *MSHR) Fill(line uint64, t sim.Time) {
-	waiters, ok := m.pending[line]
+	i, ok := m.index[line]
 	if !ok {
 		panic(fmt.Sprintf("cache: Fill for line %#x with no MSHR entry", line))
 	}
-	delete(m.pending, line)
-	for _, w := range waiters {
-		w(t)
+	// Free the entry before notifying, matching the semantics waiters
+	// observe: a re-entrant Allocate for this line opens a fresh fill.
+	// Waiters are snapshotted into scratch so the slot's recycled backing
+	// array cannot be clobbered by such a re-entrant Allocate mid-walk.
+	delete(m.index, line)
+	m.used--
+	w := m.slots[i].waiters
+	m.scratch = append(m.scratch[:0], w...)
+	if int(i) != m.used {
+		m.slots[i] = m.slots[m.used]
+		m.index[m.slots[i].line] = i
+	}
+	m.slots[m.used] = mshrEntry{waiters: w[:0]}
+	for _, fw := range m.scratch {
+		fw.OnFill(t)
 	}
 	// Wake exactly one stalled request per freed entry to preserve the
 	// structural hazard semantics.
 	if len(m.stalled) > 0 {
 		next := m.stalled[0]
 		copy(m.stalled, m.stalled[1:])
+		m.stalled[len(m.stalled)-1] = stalledReq{}
 		m.stalled = m.stalled[:len(m.stalled)-1]
-		next.retry()
+		next.retry.Retry()
 	}
 }

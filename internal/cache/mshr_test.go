@@ -12,10 +12,10 @@ func TestMSHRAllocateMergeFill(t *testing.T) {
 	var times []sim.Time
 	note := func(ts sim.Time) { times = append(times, ts) }
 
-	if got := m.Allocate(10, note); got != Allocated {
+	if got := m.Allocate(10, FillFunc(note)); got != Allocated {
 		t.Fatalf("first Allocate = %v, want Allocated", got)
 	}
-	if got := m.Allocate(10, note); got != Merged {
+	if got := m.Allocate(10, FillFunc(note)); got != Merged {
 		t.Fatalf("second Allocate same line = %v, want Merged", got)
 	}
 	if m.Used() != 1 {
@@ -32,13 +32,13 @@ func TestMSHRAllocateMergeFill(t *testing.T) {
 
 func TestMSHRFull(t *testing.T) {
 	m := NewMSHR(2)
-	m.Allocate(1, func(sim.Time) {})
-	m.Allocate(2, func(sim.Time) {})
-	if got := m.Allocate(3, func(sim.Time) {}); got != Full {
+	m.Allocate(1, FillFunc(func(sim.Time) {}))
+	m.Allocate(2, FillFunc(func(sim.Time) {}))
+	if got := m.Allocate(3, FillFunc(func(sim.Time) {})); got != Full {
 		t.Fatalf("Allocate over capacity = %v, want Full", got)
 	}
 	// Merging into an existing entry must still work when full.
-	if got := m.Allocate(1, func(sim.Time) {}); got != Merged {
+	if got := m.Allocate(1, FillFunc(func(sim.Time) {})); got != Merged {
 		t.Fatalf("merge while full = %v, want Merged", got)
 	}
 	if got := m.Stats().FullStall; got != 1 {
@@ -48,10 +48,10 @@ func TestMSHRFull(t *testing.T) {
 
 func TestMSHRStallRetryOnFill(t *testing.T) {
 	m := NewMSHR(1)
-	m.Allocate(1, func(sim.Time) {})
+	m.Allocate(1, FillFunc(func(sim.Time) {}))
 	retried := 0
-	m.Stall(2, func() { retried++ })
-	m.Stall(3, func() { retried++ })
+	m.Stall(2, RetryFunc(func() { retried++ }))
+	m.Stall(3, RetryFunc(func() { retried++ }))
 	if m.StallDepth() != 2 {
 		t.Fatalf("StallDepth = %d, want 2", m.StallDepth())
 	}
@@ -85,7 +85,7 @@ func TestMSHRZeroCapacityPanics(t *testing.T) {
 func TestMSHRPeakUsed(t *testing.T) {
 	m := NewMSHR(8)
 	for i := uint64(0); i < 5; i++ {
-		m.Allocate(i, func(sim.Time) {})
+		m.Allocate(i, FillFunc(func(sim.Time) {}))
 	}
 	m.Fill(0, 1)
 	m.Fill(1, 1)
@@ -109,7 +109,7 @@ func TestPropertyAllWaitersNotified(t *testing.T) {
 				delete(live, line)
 				continue
 			}
-			switch m.Allocate(line, func(sim.Time) { notified++ }) {
+			switch m.Allocate(line, FillFunc(func(sim.Time) { notified++ })) {
 			case Allocated, Merged:
 				expected++
 				live[line] = true
@@ -123,4 +123,80 @@ func TestPropertyAllWaitersNotified(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// TestMSHRSlotRecycling: filling an entry that is not the most recent one
+// exercises the swap-delete path; the moved entry must stay reachable and
+// recycled slots must serve fresh allocations correctly, including a
+// re-entrant Allocate for the just-filled line from inside a waiter.
+func TestMSHRSlotRecycling(t *testing.T) {
+	m := NewMSHR(4)
+	var order []uint64
+	waiter := func(line uint64) FillWaiter {
+		return FillFunc(func(sim.Time) { order = append(order, line) })
+	}
+	m.Allocate(1, waiter(1))
+	m.Allocate(2, waiter(2))
+	m.Allocate(3, waiter(3))
+	m.Fill(1, 0) // swap-delete: slot 0 now holds line 3
+	m.Fill(3, 0)
+	m.Fill(2, 0)
+	want := []uint64{1, 3, 2}
+	if len(order) != len(want) {
+		t.Fatalf("notified %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("notified %v, want %v", order, want)
+		}
+	}
+
+	// Re-entrant Allocate for the same line from inside a waiter opens a
+	// fresh fill without corrupting the snapshot being walked.
+	reentered := false
+	var second []sim.Time
+	m.Allocate(7, FillFunc(func(sim.Time) {
+		if got := m.Allocate(7, FillFunc(func(t2 sim.Time) { second = append(second, t2) })); got != Allocated {
+			t.Errorf("re-entrant Allocate = %v, want Allocated", got)
+		}
+		reentered = true
+	}))
+	m.Allocate(7, FillFunc(func(sim.Time) {}))
+	m.Fill(7, 5)
+	if !reentered {
+		t.Fatal("waiter did not run")
+	}
+	if m.Used() != 1 {
+		t.Fatalf("Used = %d after re-entrant Allocate, want 1", m.Used())
+	}
+	m.Fill(7, 9)
+	if len(second) != 1 || second[0] != 9 {
+		t.Fatalf("second-generation waiter saw %v, want [9]", second)
+	}
+}
+
+// TestMSHRSteadyStateAllocFree: after warm-up, Allocate/Fill cycles with a
+// long-lived waiter perform no allocations.
+func TestMSHRSteadyStateAllocFree(t *testing.T) {
+	m := NewMSHR(16)
+	var sink sim.Time
+	w := FillFunc(func(t sim.Time) { sink = t })
+	for i := uint64(0); i < 16; i++ { // warm every slot's waiter storage
+		m.Allocate(i, w)
+		m.Allocate(i, w)
+	}
+	for i := uint64(0); i < 16; i++ {
+		m.Fill(i, 1)
+	}
+	avg := testing.AllocsPerRun(500, func() {
+		m.Allocate(3, w)
+		m.Allocate(3, w)
+		m.Allocate(9, w)
+		m.Fill(3, 2)
+		m.Fill(9, 2)
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state MSHR cycle allocates %.1f objects, want 0", avg)
+	}
+	_ = sink
 }

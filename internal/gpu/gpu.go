@@ -16,6 +16,7 @@ import (
 	"hetsim/internal/cache"
 	"hetsim/internal/sim"
 	"hetsim/internal/tlb"
+	"hetsim/internal/vm"
 )
 
 // Access is one coalesced memory access (one cache-line-worth of data for
@@ -52,6 +53,15 @@ type WarpProgram interface {
 // (package memsys implements it).
 type Memory interface {
 	Access(va uint64, write bool, done func())
+}
+
+// fastMemory is the allocation-free variant of Memory (memsys implements
+// it): completion fires through a long-lived sim.Handler instead of a
+// closure, and tc is the SM's one-entry translation cache. The GPU probes
+// for it at construction and falls back to Memory for wrappers that only
+// implement the closure form (e.g. the trace recorder).
+type fastMemory interface {
+	AccessH(va uint64, write bool, tc *vm.TransCache, h sim.Handler, arg uint64)
 }
 
 // Config sizes the GPU.
@@ -120,6 +130,7 @@ func (s Stats) L1HitRate() float64 {
 type sm struct {
 	l1        *cache.Cache
 	tlb       *tlb.TLB // nil when translation costs are disabled
+	tc        vm.TransCache
 	nextIssue sim.Time
 	pending   []WarpProgram // warps waiting for a free context
 	resident  int
@@ -130,6 +141,7 @@ type GPU struct {
 	cfg        Config
 	eng        *sim.Engine
 	mem        Memory
+	fastMem    fastMemory // non-nil when mem supports the pooled-record path
 	sms        []*sm
 	stats      Stats
 	live       int // warps launched and not yet finished
@@ -145,6 +157,7 @@ func New(eng *sim.Engine, mem Memory, cfg Config) *GPU {
 		cfg.PageSize = 4096
 	}
 	g := &GPU{cfg: cfg, eng: eng, mem: mem}
+	g.fastMem, _ = mem.(fastMemory)
 	for i := 0; i < cfg.SMs; i++ {
 		s := &sm{l1: cache.New(cfg.L1)}
 		if cfg.TLB != nil {
@@ -199,7 +212,7 @@ func (g *GPU) startWarp(s *sm, p WarpProgram) {
 	w := &warp{gpu: g, sm: s, prog: p}
 	// Begin at the next cycle boundary; scheduling through the engine
 	// keeps launch-order determinism.
-	g.eng.After(0, w.nextPhase)
+	g.eng.AfterHandler(0, w, wopNextPhase)
 }
 
 type warp struct {
@@ -212,6 +225,50 @@ type warp struct {
 	completed   int
 	computeDone bool
 	memDone     bool
+}
+
+// Warp event codes. A warp is one long-lived sim.Handler: every event it
+// schedules — phase advance, compute-leg completion, issue-port slots, TLB
+// walk re-entry, L1 hits, memory completions — carries a code (and, where
+// needed, an access index or virtual address) in the low/high bits of arg,
+// so the steady-state execution loop allocates nothing.
+const (
+	wopNextPhase      = iota // advance to the warp's next phase
+	wopComputeOverlap        // compute leg finished (overlapped phase)
+	wopComputeDep            // compute finished (dependent phase): start memory
+	wopIssue                 // payload = Addrs index: issue through the port
+	wopAccess                // payload = Addrs index: post-TLB L1/memory path
+	wopOneDone               // one access completed (write or L1 hit)
+	wopMemDone               // payload = VA: read returned; fill L1, complete
+	wopBits                  = 3 // low bits hold the code, the rest payload
+)
+
+// OnEvent implements sim.Handler, dispatching on the encoded event code.
+func (w *warp) OnEvent(arg uint64) {
+	payload := arg >> wopBits
+	switch arg & (1<<wopBits - 1) {
+	case wopNextPhase:
+		w.nextPhase()
+	case wopComputeOverlap:
+		w.computeDone = true
+		w.maybeAdvance()
+	case wopComputeDep:
+		w.computeDone = true
+		if w.memDone {
+			w.maybeAdvance()
+			return
+		}
+		w.pump()
+	case wopIssue:
+		w.issueEvent(int(payload))
+	case wopAccess:
+		w.access(w.phase.Addrs[payload])
+	case wopOneDone:
+		w.oneDone()
+	case wopMemDone:
+		w.sm.l1.Insert(payload, false)
+		w.oneDone()
+	}
 }
 
 func (w *warp) nextPhase() {
@@ -234,24 +291,14 @@ func (w *warp) nextPhase() {
 	}
 	if ph.Overlap {
 		// Compute and memory run concurrently.
-		w.gpu.eng.After(wait, func() {
-			w.computeDone = true
-			w.maybeAdvance()
-		})
+		w.gpu.eng.AfterHandler(wait, w, wopComputeOverlap)
 		if !w.memDone {
 			w.pump()
 		}
 		return
 	}
 	// Dependent phase: memory waits for the compute result.
-	w.gpu.eng.After(wait, func() {
-		w.computeDone = true
-		if w.memDone {
-			w.maybeAdvance()
-			return
-		}
-		w.pump()
-	})
+	w.gpu.eng.AfterHandler(wait, w, wopComputeDep)
 }
 
 func (w *warp) maybeAdvance() {
@@ -267,37 +314,43 @@ func (w *warp) pump() {
 		window = len(w.phase.Addrs)
 	}
 	for w.issued < len(w.phase.Addrs) && w.issued-w.completed < window {
-		a := w.phase.Addrs[w.issued]
+		idx := w.issued
 		w.issued++
-		w.issue(a)
+		w.issue(idx)
 	}
 }
 
-// issue sends one access through the SM's single memory-issue port
-// (1 request/cycle) and the L1.
-func (w *warp) issue(a Access) {
+// issue claims the SM's single memory-issue port (1 request/cycle) for
+// Addrs[idx] and schedules the port event.
+func (w *warp) issue(idx int) {
 	g := w.gpu
 	t := g.eng.Now()
 	if w.sm.nextIssue > t {
 		t = w.sm.nextIssue
 	}
 	w.sm.nextIssue = t + 1
-	g.eng.At(t, func() {
-		g.stats.MemRequests++
-		if w.sm.tlb != nil {
-			vpage := a.VA / g.cfg.PageSize
-			if w.sm.tlb.Lookup(vpage) {
-				g.stats.TLBHits++
-			} else {
-				g.stats.TLBMisses++
-				// Page walk: stall this access, then re-enter below the
-				// (already-consumed) issue slot.
-				g.eng.After(sim.Time(g.cfg.TLB.WalkLatencyCycles), func() { w.access(a) })
-				return
-			}
+	g.eng.AtHandler(t, w, wopIssue|uint64(idx)<<wopBits)
+}
+
+// issueEvent runs at the access's issue-port slot: account the request,
+// charge a TLB walk if translation costs are modelled, then access.
+func (w *warp) issueEvent(idx int) {
+	g := w.gpu
+	a := w.phase.Addrs[idx]
+	g.stats.MemRequests++
+	if w.sm.tlb != nil {
+		vpage := a.VA / g.cfg.PageSize
+		if w.sm.tlb.Lookup(vpage) {
+			g.stats.TLBHits++
+		} else {
+			g.stats.TLBMisses++
+			// Page walk: stall this access, then re-enter below the
+			// (already-consumed) issue slot.
+			g.eng.AfterHandler(sim.Time(g.cfg.TLB.WalkLatencyCycles), w, wopAccess|uint64(idx)<<wopBits)
+			return
 		}
-		w.access(a)
-	})
+	}
+	w.access(a)
 }
 
 // access runs the post-translation L1/memory path.
@@ -308,15 +361,23 @@ func (w *warp) access(a Access) {
 		// the memory system.
 		w.sm.l1.Invalidate(a.VA)
 		g.stats.L1Misses++
-		g.mem.Access(a.VA, true, w.oneDone)
+		if g.fastMem != nil {
+			g.fastMem.AccessH(a.VA, true, &w.sm.tc, w, wopOneDone)
+		} else {
+			g.mem.Access(a.VA, true, w.oneDone)
+		}
 		return
 	}
 	if w.sm.l1.Lookup(a.VA, false) {
 		g.stats.L1Hits++
-		g.eng.After(g.cfg.L1Latency, w.oneDone)
+		g.eng.AfterHandler(g.cfg.L1Latency, w, wopOneDone)
 		return
 	}
 	g.stats.L1Misses++
+	if g.fastMem != nil {
+		g.fastMem.AccessH(a.VA, false, &w.sm.tc, w, wopMemDone|a.VA<<wopBits)
+		return
+	}
 	g.mem.Access(a.VA, false, func() {
 		w.sm.l1.Insert(a.VA, false)
 		w.oneDone()

@@ -196,6 +196,11 @@ type System struct {
 	pageCounts []uint64
 	stats      Stats
 
+	// freeAcc heads the freelist of pooled access records. The engine is
+	// single-threaded, so no locking is needed; records cycle between the
+	// pool and the event queue / MSHR waiter lists.
+	freeAcc *access
+
 	// FaultHandler, when set, is invoked on access to an unmapped page
 	// (first-touch placement). It must map the page or return an error;
 	// a nil handler makes unmapped accesses panic (eager mode).
@@ -305,6 +310,103 @@ func (s *System) route(pa uint64) (*zoneHW, *slice, uint64) {
 	return hw, hw.slices[ch], chLocal
 }
 
+// access is one pooled in-flight request record. It carries a post-L1
+// access through every stage — migration-lock wait, L2 slice arrival, DRAM
+// fill, data return — as a sim.Handler driven by step codes, so the whole
+// hot path schedules events and registers MSHR waiters without allocating.
+// Records are recycled through System.freeAcc when the completion fires.
+type access struct {
+	sys    *System
+	hw     *zoneHW
+	sl     *slice
+	va     uint64
+	chAddr uint64
+	vpage  uint64
+	write  bool
+	start  sim.Time
+	done   func()      // closure completion (nil when h is set)
+	h      sim.Handler // allocation-free completion
+	harg   uint64
+	next   *access // freelist link
+}
+
+// Step codes for access.OnEvent.
+const (
+	stepRetryLock = iota // migration lock released; re-enter translation
+	stepArrive           // request reached the L2 slice
+	stepFill             // DRAM line fill completed
+	stepComplete         // data returned; fire the caller's completion
+)
+
+func (a *access) OnEvent(arg uint64) {
+	s := a.sys
+	switch arg {
+	case stepRetryLock:
+		s.begin(a, nil)
+	case stepArrive:
+		s.sliceAccess(a)
+	case stepFill:
+		sl, z := a.sl, a.hw.cfg.Zone
+		if sl.l2 != nil {
+			victim := sl.l2.Insert(a.chAddr, a.write)
+			if victim.Valid && victim.Dirty {
+				// Write back the victim; fire-and-forget timing-wise
+				// but it occupies DRAM bandwidth.
+				sl.dram.Access(s.eng.Now(), victim.LineAddr*uint64(s.cfg.LineBytes), true)
+				s.stats.PerZone[z].DRAMWrites++
+			}
+		}
+		sl.mshr.Fill(a.chAddr/uint64(s.cfg.LineBytes), s.eng.Now())
+	case stepComplete:
+		lat := s.eng.Now() - a.start
+		s.stats.TotalLatency += lat
+		s.stats.Latency.Observe(uint64(lat))
+		if a.h != nil {
+			a.h.OnEvent(a.harg)
+		} else {
+			a.done()
+		}
+		s.putAccess(a)
+	}
+}
+
+// OnFill implements cache.FillWaiter: the line's data is available at t;
+// the requester sees it one hop later (the return trip of the interconnect
+// is folded into one constant).
+func (a *access) OnFill(t sim.Time) {
+	a.sys.eng.AtHandler(t+a.hw.cfg.ExtraLatency, a, stepComplete)
+}
+
+// Retry implements cache.Retrier: re-attempt the whole slice access after a
+// full MSHR file freed an entry; the line may now hit. This attempt's
+// accounting is undone so the retry counts once.
+func (a *access) Retry() {
+	s := a.sys
+	z := a.hw.cfg.Zone
+	s.stats.Accesses--
+	s.stats.PerZone[z].Accesses--
+	s.stats.PerZone[z].BytesMoved -= uint64(s.cfg.LineBytes)
+	s.uncountPage(a.vpage)
+	s.sliceAccess(a)
+}
+
+func (s *System) getAccess() *access {
+	a := s.freeAcc
+	if a == nil {
+		return &access{sys: s}
+	}
+	s.freeAcc = a.next
+	a.next = nil
+	return a
+}
+
+func (s *System) putAccess(a *access) {
+	a.done, a.h = nil, nil
+	a.hw, a.sl = nil, nil
+	a.next = s.freeAcc
+	s.freeAcc = a
+}
+
 // Access sends one post-L1 memory access for virtual address va into the
 // memory system at the current engine time. done fires at the completion
 // (data return) time. Access panics on unmapped addresses: the runtime maps
@@ -312,49 +414,58 @@ func (s *System) route(pa uint64) (*zoneHW, *slice, uint64) {
 // bug. Accesses to a page being migrated are deferred until the move
 // completes, then re-translated (the page has a new physical address).
 func (s *System) Access(va uint64, write bool, done func()) {
-	if d := s.lockDelay(s.space.PageOf(va)); d > 0 {
-		s.eng.After(d, func() { s.Access(va, write, done) })
+	a := s.getAccess()
+	a.va, a.write, a.done, a.h = va, write, done, nil
+	s.begin(a, nil)
+}
+
+// AccessH is Access with an allocation-free completion: h.OnEvent(arg)
+// fires at data-return time instead of a closure. tc, when non-nil, is a
+// caller-owned one-entry translation cache (typically per SM) consulted
+// before the page table.
+func (s *System) AccessH(va uint64, write bool, tc *vm.TransCache, h sim.Handler, arg uint64) {
+	a := s.getAccess()
+	a.va, a.write, a.done, a.h, a.harg = va, write, nil, h, arg
+	s.begin(a, tc)
+}
+
+// begin runs the pre-slice stages: migration-lock check, translation (with
+// first-touch fault handling), routing, and the flight to the L2 slice.
+func (s *System) begin(a *access, tc *vm.TransCache) {
+	vpage := s.space.PageOf(a.va)
+	a.vpage = vpage
+	if d := s.lockDelay(vpage); d > 0 {
+		s.eng.AfterHandler(d, a, stepRetryLock)
 		return
 	}
-	pa, ok := s.space.Translate(va)
+	pa, ok := s.space.TranslateCached(tc, a.va)
 	if !ok && s.FaultHandler != nil {
-		if err := s.FaultHandler(s.space.PageOf(va)); err != nil {
-			panic(fmt.Sprintf("memsys: page fault for va %#x failed: %v", va, err))
+		if err := s.FaultHandler(vpage); err != nil {
+			panic(fmt.Sprintf("memsys: page fault for va %#x failed: %v", a.va, err))
 		}
-		pa, ok = s.space.Translate(va)
+		pa, ok = s.space.TranslateCached(tc, a.va)
 	}
 	if !ok {
-		panic(fmt.Sprintf("memsys: access to unmapped va %#x", va))
+		panic(fmt.Sprintf("memsys: access to unmapped va %#x", a.va))
 	}
-	vpage := s.space.PageOf(va)
-	hw, sl, chAddr := s.route(pa)
-
-	start := s.eng.Now()
-	finish := func(t sim.Time) {
-		ret := t + hw.cfg.ExtraLatency // return trip of the hop is folded into one constant
-		s.eng.At(ret, func() {
-			lat := s.eng.Now() - start
-			s.stats.TotalLatency += lat
-			s.stats.Latency.Observe(uint64(lat))
-			done()
-		})
-	}
+	a.hw, a.sl, a.chAddr = s.route(pa)
+	a.start = s.eng.Now()
 
 	// The request reaches the L2 slice after the L2 pipeline latency, the
 	// global latency knob, and (for remote zones) the interconnect hop.
-	arrive := start + s.cfg.L2Latency + s.cfg.GlobalExtraLatency
-	s.eng.At(arrive, func() { s.sliceAccess(hw, sl, chAddr, vpage, write, finish) })
+	arrive := a.start + s.cfg.L2Latency + s.cfg.GlobalExtraLatency
+	s.eng.AtHandler(arrive, a, stepArrive)
 }
 
-func (s *System) sliceAccess(hw *zoneHW, sl *slice, chAddr, vpage uint64, write bool, finish func(sim.Time)) {
-	z := hw.cfg.Zone
+func (s *System) sliceAccess(a *access) {
+	z := a.hw.cfg.Zone
 	s.stats.Accesses++
 	s.stats.PerZone[z].Accesses++
 	s.stats.PerZone[z].BytesMoved += uint64(s.cfg.LineBytes)
 
-	if sl.l2 != nil && sl.l2.Lookup(chAddr, write) {
+	if a.sl.l2 != nil && a.sl.l2.Lookup(a.chAddr, a.write) {
 		s.stats.PerZone[z].L2Hits++
-		finish(s.eng.Now())
+		a.OnFill(s.eng.Now())
 		return
 	}
 
@@ -362,45 +473,38 @@ func (s *System) sliceAccess(hw *zoneHW, sl *slice, chAddr, vpage uint64, write 
 	// hotness event ("the number of accesses to that page that are served
 	// from DRAM"). Merged misses share a fill but still count: they were
 	// not absorbed by cache capacity.
-	s.countPage(vpage)
+	s.countPage(a.vpage)
 
-	line := chAddr / uint64(s.cfg.LineBytes)
-	switch sl.mshr.Allocate(line, func(t sim.Time) { finish(t) }) {
+	line := a.chAddr / uint64(s.cfg.LineBytes)
+	switch a.sl.mshr.Allocate(line, a) {
 	case cache.Allocated:
-		doneT := sl.dram.Access(s.eng.Now(), chAddr, false) // line fill is a read
+		doneT := a.sl.dram.Access(s.eng.Now(), a.chAddr, false) // line fill is a read
 		s.stats.PerZone[z].DRAMReads++
-		s.eng.At(doneT, func() {
-			if sl.l2 != nil {
-				victim := sl.l2.Insert(chAddr, write)
-				if victim.Valid && victim.Dirty {
-					// Write back the victim; fire-and-forget timing-wise
-					// but it occupies DRAM bandwidth.
-					sl.dram.Access(s.eng.Now(), victim.LineAddr*uint64(s.cfg.LineBytes), true)
-					s.stats.PerZone[z].DRAMWrites++
-				}
-			}
-			sl.mshr.Fill(line, s.eng.Now())
-		})
+		s.eng.AtHandler(doneT, a, stepFill)
 	case cache.Merged:
 		// Ride the in-flight fill.
 	case cache.Full:
-		sl.mshr.Stall(line, func() {
-			// Retry the whole slice access; the line may now hit.
-			// Undo this attempt's accounting so the retry counts once.
-			s.stats.Accesses--
-			s.stats.PerZone[z].Accesses--
-			s.stats.PerZone[z].BytesMoved -= uint64(s.cfg.LineBytes)
-			s.uncountPage(vpage)
-			s.sliceAccess(hw, sl, chAddr, vpage, write, finish)
-		})
+		a.sl.mshr.Stall(line, a)
 	}
 }
 
 func (s *System) countPage(vpage uint64) {
 	if vpage >= uint64(len(s.pageCounts)) {
-		np := make([]uint64, vpage+1)
-		copy(np, s.pageCounts)
-		s.pageCounts = np
+		if vpage < uint64(cap(s.pageCounts)) {
+			// Indices beyond len have never been written, so the zeroed
+			// backing from the last growth is still intact.
+			s.pageCounts = s.pageCounts[:vpage+1]
+		} else {
+			// Grow geometrically: monotonically increasing first touches
+			// would otherwise re-copy the slice on every new page (O(n²)).
+			n := 2 * uint64(cap(s.pageCounts))
+			if n < vpage+1 {
+				n = vpage + 1
+			}
+			np := make([]uint64, vpage+1, n)
+			copy(np, s.pageCounts)
+			s.pageCounts = np
+		}
 	}
 	s.pageCounts[vpage]++
 }

@@ -3,6 +3,7 @@ package memsys
 import (
 	"math"
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"hetsim/internal/sim"
@@ -490,5 +491,77 @@ func TestEpochPageCountsIsolated(t *testing.T) {
 	snap[0] = 99
 	if sys.PageCounts()[0] != 1 {
 		t.Fatal("EpochPageCounts aliased live storage")
+	}
+}
+
+// countHandler is a minimal long-lived completion handler for AccessH.
+type countHandler struct{ n int }
+
+func (c *countHandler) OnEvent(arg uint64) { c.n++ }
+
+// TestAccessHMatchesAccess: the allocation-free AccessH path must produce
+// the same completion time and counters as the closure path.
+func TestAccessHMatchesAccess(t *testing.T) {
+	run := func(fast bool) (sim.Time, Stats) {
+		eng, space, sys := buildSystem(t, Table1Config(), 64, 64)
+		for p := uint64(0); p < 8; p++ {
+			if err := space.MapPage(p, vm.ZoneBO); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var tc vm.TransCache
+		h := &countHandler{}
+		n := 0
+		for i := 0; i < 50; i++ {
+			va := uint64(i%8)*vm.DefaultPageSize + uint64(i%32)*128
+			if fast {
+				sys.AccessH(va, i%5 == 0, &tc, h, 0)
+			} else {
+				sys.Access(va, i%5 == 0, func() { n++ })
+			}
+		}
+		end := eng.Run()
+		if fast && h.n != 50 {
+			t.Fatalf("fast path completed %d accesses, want 50", h.n)
+		}
+		if !fast && n != 50 {
+			t.Fatalf("closure path completed %d accesses, want 50", n)
+		}
+		return end, sys.Stats()
+	}
+	endA, statsA := run(false)
+	endB, statsB := run(true)
+	if endA != endB {
+		t.Fatalf("completion time differs: Access=%d AccessH=%d", endA, endB)
+	}
+	if !reflect.DeepEqual(statsA, statsB) {
+		t.Fatalf("stats differ:\nAccess:  %+v\nAccessH: %+v", statsA, statsB)
+	}
+}
+
+// TestAccessSteadyStateAllocFree: once the record pool, MSHR slots, and
+// page-count slice are warm, driving accesses through AccessH performs no
+// per-access heap allocations.
+func TestAccessSteadyStateAllocFree(t *testing.T) {
+	eng, space, sys := buildSystem(t, Table1Config(), 64, 64)
+	for p := uint64(0); p < 16; p++ {
+		if err := space.MapPage(p, vm.ZoneBO); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var tc vm.TransCache
+	h := &countHandler{}
+	warm := func() {
+		for i := 0; i < 64; i++ {
+			sys.AccessH(uint64(i%16)*vm.DefaultPageSize+uint64(i%32)*128, i%7 == 0, &tc, h, 0)
+		}
+		eng.Run()
+	}
+	warm()
+	avg := testing.AllocsPerRun(200, warm)
+	// The only remaining allocation sources are amortized growths (event
+	// heap, MSHR map, histogram buckets) that settle during warm-up.
+	if avg > 0.5 {
+		t.Fatalf("steady-state AccessH burst allocates %.2f objects per 64 accesses, want ~0", avg)
 	}
 }

@@ -1,0 +1,77 @@
+// Package prof wires runtime/pprof CPU and heap profiling into the
+// command-line tools. Profiles are the intended way to audit the
+// simulator's hot path (event engine, memsys access chain) without
+// rebuilding with instrumentation.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling to cpuPath and/or arranges for a heap profile
+// to be written to memPath when the returned stop function runs. Empty
+// paths disable the respective profile, so Start("", "") is a no-op that
+// still returns a callable stop.
+//
+// Stop is idempotent and safe to invoke from both a defer and an explicit
+// fatal-exit path; the tools call it before os.Exit so profiles survive
+// error exits.
+func Start(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("prof: create cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("prof: start cpu profile: %w", err)
+		}
+	}
+	done := false
+	stop = func() {
+		if done {
+			return
+		}
+		done = true
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "prof: close cpu profile:", err)
+			}
+		}
+		if memPath != "" {
+			writeHeapProfile(memPath)
+		}
+	}
+	registered = stop
+	return stop, nil
+}
+
+// registered holds the most recent Start's stop function so StopAll can
+// flush profiles on paths that bypass defers (os.Exit).
+var registered func()
+
+// StopAll flushes any profiles registered by Start. Safe to call when
+// profiling was never started.
+func StopAll() {
+	if registered != nil {
+		registered()
+	}
+}
+
+func writeHeapProfile(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "prof: create heap profile:", err)
+		return
+	}
+	defer f.Close()
+	runtime.GC() // materialize up-to-date allocation stats
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintln(os.Stderr, "prof: write heap profile:", err)
+	}
+}

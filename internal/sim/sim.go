@@ -4,12 +4,17 @@
 // scheduled events in (time, insertion-order) order, so two runs with the
 // same inputs produce identical schedules. All higher-level models in this
 // repository (DRAM, caches, SMs) are driven by a single Engine.
+//
+// Two scheduling paths exist. At/After take ordinary closures and are the
+// convenient API for cold code. AtHandler/AfterHandler take a long-lived
+// Handler plus a uint64 argument and never allocate: the event record is
+// stored inline in the engine's heap slice, so models that keep pooled
+// per-request records (memsys) or per-actor state machines (gpu warps) can
+// schedule millions of events with zero garbage. Both paths share one
+// (time, seq) ordering, so mixing them cannot perturb the schedule.
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // Time is a point in simulated time, in GPU core cycles.
 type Time int64
@@ -21,37 +26,45 @@ const Forever Time = 1<<62 - 1
 // Event is a callback scheduled to fire at a fixed simulation time.
 type Event func()
 
+// Handler is the allocation-free event callback: OnEvent receives the
+// argument given at scheduling time. A single long-lived Handler typically
+// multiplexes several event kinds by encoding a step code (and optional
+// payload) into arg.
+type Handler interface {
+	OnEvent(arg uint64)
+}
+
+// scheduled is one queued event. Exactly one of fn and h is set. Records
+// live inline in the engine's heap slice — scheduling never boxes them into
+// an interface{} and never heap-allocates per event.
 type scheduled struct {
 	at  Time
 	seq uint64 // insertion order; breaks ties deterministically
 	fn  Event
+	h   Handler
+	arg uint64
 }
 
-type eventHeap []scheduled
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// before is the strict total order events fire in: (time, insertion seq).
+// seq is unique, so there are never ties and any correct heap yields the
+// same pop sequence — determinism does not depend on sift implementation
+// details.
+func (s *scheduled) before(o *scheduled) bool {
+	if s.at != o.at {
+		return s.at < o.at
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(scheduled)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	old[n-1] = scheduled{}
-	*h = old[:n-1]
-	return it
+	return s.seq < o.seq
 }
 
 // Engine is a discrete-event simulator. The zero value is ready to use.
 type Engine struct {
-	now    Time
-	seq    uint64
-	events eventHeap
+	now Time
+	seq uint64
+	// events is a hand-rolled binary min-heap over (at, seq). It replaces
+	// container/heap, whose interface{}-based Push/Pop boxed every record
+	// (one allocation each way) — the dominant cost of the simulation's
+	// inner loop before the rewrite.
+	events []scheduled
 	fired  uint64
 }
 
@@ -67,18 +80,83 @@ func (e *Engine) Fired() uint64 { return e.fired }
 // Pending reports how many events are waiting to fire.
 func (e *Engine) Pending() int { return len(e.events) }
 
+// push inserts it into the heap, sifting up with the hole technique (move
+// parents down, write the new record once).
+func (e *Engine) push(it scheduled) {
+	h := append(e.events, it)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !it.before(&h[p]) {
+			break
+		}
+		h[i] = h[p]
+		i = p
+	}
+	h[i] = it
+	e.events = h
+}
+
+// pop removes and returns the earliest event.
+func (e *Engine) pop() scheduled {
+	h := e.events
+	top := h[0]
+	n := len(h) - 1
+	last := h[n]
+	h[n] = scheduled{} // drop callback references so finished events can be collected
+	h = h[:n]
+	e.events = h
+	if n > 0 {
+		i := 0
+		for {
+			c := 2*i + 1
+			if c >= n {
+				break
+			}
+			if r := c + 1; r < n && h[r].before(&h[c]) {
+				c = r
+			}
+			if !h[c].before(&last) {
+				break
+			}
+			h[i] = h[c]
+			i = c
+		}
+		h[i] = last
+	}
+	return top
+}
+
+// schedule validates t and enqueues a record with the next sequence number.
+func (e *Engine) schedule(it scheduled) {
+	if it.at < e.now {
+		panic(fmt.Sprintf("sim: event scheduled at %d, before now=%d", it.at, e.now))
+	}
+	e.seq++
+	it.seq = e.seq
+	e.push(it)
+}
+
 // At schedules fn to run at absolute time t. Scheduling in the past panics:
 // it always indicates a modelling bug, never a recoverable condition.
 func (e *Engine) At(t Time, fn Event) {
-	if t < e.now {
-		panic(fmt.Sprintf("sim: event scheduled at %d, before now=%d", t, e.now))
-	}
-	e.seq++
-	heap.Push(&e.events, scheduled{at: t, seq: e.seq, fn: fn})
+	e.schedule(scheduled{at: t, fn: fn})
 }
 
 // After schedules fn to run d cycles from now.
 func (e *Engine) After(d Time, fn Event) { e.At(e.now+d, fn) }
+
+// AtHandler schedules h.OnEvent(arg) at absolute time t without allocating:
+// the record is stored inline in the engine's queue. It shares the
+// (time, seq) order with At, so the two paths interleave deterministically.
+func (e *Engine) AtHandler(t Time, h Handler, arg uint64) {
+	e.schedule(scheduled{at: t, h: h, arg: arg})
+}
+
+// AfterHandler schedules h.OnEvent(arg) d cycles from now (see AtHandler).
+func (e *Engine) AfterHandler(d Time, h Handler, arg uint64) {
+	e.AtHandler(e.now+d, h, arg)
+}
 
 // Step fires the single earliest event, advancing the clock to its time.
 // It reports whether an event was fired.
@@ -86,10 +164,14 @@ func (e *Engine) Step() bool {
 	if len(e.events) == 0 {
 		return false
 	}
-	it := heap.Pop(&e.events).(scheduled)
+	it := e.pop()
 	e.now = it.at
 	e.fired++
-	it.fn()
+	if it.h != nil {
+		it.h.OnEvent(it.arg)
+	} else {
+		it.fn()
+	}
 	return true
 }
 

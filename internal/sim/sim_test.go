@@ -184,7 +184,9 @@ func BenchmarkEngine(b *testing.B) {
 			e.After(Time(rng.Intn(100)+1), reschedule)
 		}
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	e.At(0, reschedule)
 	e.Run()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/sec")
 }

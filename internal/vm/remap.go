@@ -37,6 +37,9 @@ func (s *Space) Unmap(vpage uint64) error {
 	s.free[z].push(s.table[vpage])
 	s.mapped[vpage] = false
 	s.used[z]--
+	// Invalidate every outstanding TransCache. MapPage needs no bump: it
+	// only adds mappings, and caches never hold unmapped pages.
+	s.gen++
 	return nil
 }
 
@@ -65,6 +68,7 @@ func (s *Space) Remap(vpage uint64, z ZoneID) (oldPA, newPA uint64, err error) {
 	s.used[cur]--
 	s.table[vpage] = newPA
 	s.zoneOf[vpage] = z
+	s.gen++ // invalidate every outstanding TransCache
 	return oldPA, newPA, nil
 }
 

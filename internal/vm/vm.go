@@ -63,8 +63,13 @@ type zoneState struct {
 // Space is one process's address space over a set of zones. The zero value
 // is not usable; construct with NewSpace.
 type Space struct {
-	pageSize uint64
-	zones    []zoneState
+	pageSize  uint64
+	pageShift uint // log2(pageSize); divisions on the hot path become shifts
+	// gen counts mapping mutations (Remap/Unmap). TransCache entries stamp
+	// the generation they were filled under, so any address-space change
+	// invalidates every outstanding cache at once.
+	gen   uint64
+	zones []zoneState
 	// table maps dense virtual page numbers to physical page addresses
 	// (PA of the page's first byte). Virtual pages are allocated densely
 	// from 0 by the runtime, so a slice suffices and keeps translation
@@ -96,7 +101,11 @@ func NewSpace(pageSize uint64, zones []ZoneConfig) *Space {
 		}
 		zs[i] = zoneState{cfg: z}
 	}
-	return &Space{pageSize: pageSize, zones: zs}
+	shift := uint(0)
+	for s := pageSize; s > 1; s >>= 1 {
+		shift++
+	}
+	return &Space{pageSize: pageSize, pageShift: shift, zones: zs}
 }
 
 // PageSize returns the page size in bytes.
@@ -135,7 +144,7 @@ func (s *Space) MappedPages() int {
 }
 
 // PageOf returns the virtual page number containing va.
-func (s *Space) PageOf(va uint64) uint64 { return va / s.pageSize }
+func (s *Space) PageOf(va uint64) uint64 { return va >> s.pageShift }
 
 // MapPage allocates a physical page in zone z and maps virtual page vpage
 // to it. It returns ErrZoneFull when z has no free pages and ErrMapped when
@@ -177,11 +186,43 @@ func (s *Space) grow(vpage uint64) {
 // Translate maps a virtual address to its physical address. ok is false for
 // unmapped addresses.
 func (s *Space) Translate(va uint64) (pa uint64, ok bool) {
-	vpage := va / s.pageSize
+	vpage := va >> s.pageShift
 	if vpage >= uint64(len(s.table)) || !s.mapped[vpage] {
 		return 0, false
 	}
 	return s.table[vpage] | (va & (s.pageSize - 1)), true
+}
+
+// TransCache is a one-entry last-page translation cache — a simulator fast
+// path, not a modelled TLB (package tlb models translation *costs*; this
+// only avoids redundant page-table work and never changes timing). Callers
+// keep one per requester (e.g. per SM) and pass it to TranslateCached. The
+// zero value is an empty cache.
+type TransCache struct {
+	vpage  uint64
+	paBase uint64
+	gen    uint64
+	valid  bool
+}
+
+// TranslateCached is Translate through a one-entry cache. A hit must agree
+// with the current page table: entries are stamped with the space's
+// mutation generation, and Remap/Unmap bump it, so a stale entry can never
+// be returned. tc may be nil (plain Translate).
+func (s *Space) TranslateCached(tc *TransCache, va uint64) (pa uint64, ok bool) {
+	vpage := va >> s.pageShift
+	off := va & (s.pageSize - 1)
+	if tc != nil && tc.valid && tc.vpage == vpage && tc.gen == s.gen {
+		return tc.paBase | off, true
+	}
+	if vpage >= uint64(len(s.table)) || !s.mapped[vpage] {
+		return 0, false
+	}
+	base := s.table[vpage]
+	if tc != nil {
+		*tc = TransCache{vpage: vpage, paBase: base, gen: s.gen, valid: true}
+	}
+	return base | off, true
 }
 
 // PageZone reports which zone virtual page vpage resides in; ok is false

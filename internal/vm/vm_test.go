@@ -243,3 +243,49 @@ func BenchmarkTranslate(b *testing.B) {
 		s.Translate(uint64(i%1024) * DefaultPageSize)
 	}
 }
+
+// TestTranslateCached: hits agree with Translate, and Remap/Unmap
+// invalidate outstanding caches through the generation stamp.
+func TestTranslateCached(t *testing.T) {
+	s := NewSpace(DefaultPageSize, []ZoneConfig{
+		{Name: "BO", CapacityPages: 8}, {Name: "CO", CapacityPages: 8},
+	})
+	if err := s.MapPage(3, ZoneBO); err != nil {
+		t.Fatal(err)
+	}
+	var tc TransCache
+	va := uint64(3*DefaultPageSize + 17)
+	pa, ok := s.TranslateCached(&tc, va)
+	want, _ := s.Translate(va)
+	if !ok || pa != want {
+		t.Fatalf("TranslateCached = %#x,%v; Translate = %#x", pa, ok, want)
+	}
+	// Cached hit on the same page, different offset.
+	pa2, ok := s.TranslateCached(&tc, va+1)
+	if !ok || pa2 != want+1 {
+		t.Fatalf("cached hit = %#x,%v, want %#x", pa2, ok, want+1)
+	}
+	// Remap must invalidate: the cached PA is stale afterwards.
+	if _, _, err := s.Remap(3, ZoneCO); err != nil {
+		t.Fatal(err)
+	}
+	pa3, ok := s.TranslateCached(&tc, va)
+	want3, _ := s.Translate(va)
+	if !ok || pa3 != want3 {
+		t.Fatalf("post-remap TranslateCached = %#x,%v, want %#x", pa3, ok, want3)
+	}
+	if ZoneOfPA(pa3) != ZoneCO {
+		t.Fatalf("post-remap zone = %d, want ZoneCO", ZoneOfPA(pa3))
+	}
+	// Unmap must invalidate too: the lookup now misses.
+	if err := s.Unmap(3); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.TranslateCached(&tc, va); ok {
+		t.Fatal("TranslateCached hit an unmapped page")
+	}
+	// Unmapped lookups must not poison the cache.
+	if _, ok := s.TranslateCached(&tc, 100*DefaultPageSize); ok {
+		t.Fatal("TranslateCached hit a never-mapped page")
+	}
+}
