@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet check bench bench-sweep clean
+.PHONY: all build test race vet check bench bench-sweep bench-serve serve clean
 
 all: build
 
@@ -17,9 +17,10 @@ test:
 	$(GO) test ./...
 
 # Race-check the packages that exercise concurrency: the worker-pool sweep
-# executor and every figure sweep dispatched through it.
+# executor, every figure sweep dispatched through it, and the daemon's job
+# queue / two-tier cache.
 race:
-	$(GO) test -race ./internal/experiments/...
+	$(GO) test -race ./internal/experiments/... ./internal/serve/
 
 vet:
 	$(GO) vet ./...
@@ -42,6 +43,16 @@ bench:
 # Sweep-scaling headline: the Figure 2a grid with one worker vs all CPUs.
 bench-sweep:
 	$(GO) test -bench 'Fig2aSweep' -run - -benchtime 1x ./internal/experiments/
+
+# Daemon serving-path headline: HTTP round-trip latency of a fully cached
+# figure request against an in-process hmserved (job dedup, no simulation).
+bench-serve:
+	$(GO) test -bench 'ServeFigureRoundTrip' -run - -benchmem ./internal/serve/
+
+# Run the simulation daemon locally (ctrl-C drains gracefully). Results
+# persist in .hmserved-cache/ across restarts; see EXPERIMENTS.md.
+serve:
+	$(GO) run ./cmd/hmserved
 
 clean:
 	$(GO) clean ./...

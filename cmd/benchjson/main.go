@@ -19,6 +19,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strconv"
@@ -44,8 +45,30 @@ func main() {
 	commit := flag.String("commit", "", "git commit identifier recorded in the artifact")
 	flag.Parse()
 
-	art := Artifact{Commit: *commit}
-	sc := bufio.NewScanner(os.Stdin)
+	art, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	art.Commit = *commit
+	art.GoVersion = runtime.Version()
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(art); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parse reads `go test -bench` output and collects the benchmark records,
+// attributing each to the most recent pkg: header. Malformed benchmark
+// lines (test failures that mention Benchmark, partial output) are skipped,
+// not fatal; an input with no benchmarks yields an Artifact with an empty
+// list.
+func parse(r io.Reader) (Artifact, error) {
+	var art Artifact
+	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	pkg := ""
 	for sc.Scan() {
@@ -54,7 +77,7 @@ func main() {
 		case strings.HasPrefix(line, "pkg:"):
 			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
 		case strings.HasPrefix(line, "goos:") || strings.HasPrefix(line, "goarch:") || strings.HasPrefix(line, "cpu:"):
-			// environment headers; the artifact records the toolchain below
+			// environment headers; the artifact records the toolchain instead
 		case strings.HasPrefix(line, "Benchmark"):
 			b, ok := parseLine(line)
 			if !ok {
@@ -64,18 +87,7 @@ func main() {
 			art.Benchmarks = append(art.Benchmarks, b)
 		}
 	}
-	if err := sc.Err(); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
-	}
-	art.GoVersion = runtime.Version()
-
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(art); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
-	}
+	return art, sc.Err()
 }
 
 // parseLine parses "BenchmarkName-8 N v1 u1 v2 u2 ...". Returns ok=false

@@ -1,0 +1,113 @@
+package main
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseLine(t *testing.T) {
+	tests := []struct {
+		name string
+		line string
+		want Benchmark
+		ok   bool
+	}{
+		{
+			name: "full line with custom metric",
+			line: "BenchmarkEngine-8  7130104  167.6 ns/op  20563452 events/sec  48 B/op  2 allocs/op",
+			want: Benchmark{
+				Name: "BenchmarkEngine", Iterations: 7130104,
+				Metrics: map[string]float64{
+					"ns/op": 167.6, "events/sec": 20563452,
+					"B/op": 48, "allocs/op": 2,
+				},
+			},
+			ok: true,
+		},
+		{
+			name: "no GOMAXPROCS suffix",
+			line: "BenchmarkRun 100 5.0 ns/op",
+			want: Benchmark{Name: "BenchmarkRun", Iterations: 100, Metrics: map[string]float64{"ns/op": 5.0}},
+			ok:   true,
+		},
+		{
+			name: "non-numeric suffix kept in name",
+			line: "BenchmarkRun-big 100 5.0 ns/op",
+			want: Benchmark{Name: "BenchmarkRun-big", Iterations: 100, Metrics: map[string]float64{"ns/op": 5.0}},
+			ok:   true,
+		},
+		{
+			name: "iterations only",
+			line: "BenchmarkFast-4 123456789",
+			want: Benchmark{Name: "BenchmarkFast", Iterations: 123456789, Metrics: map[string]float64{}},
+			ok:   true,
+		},
+		{name: "name alone", line: "BenchmarkBroken-8", ok: false},
+		{name: "failure marker", line: "BenchmarkBroken-8 --- FAIL", ok: false},
+		{name: "non-numeric metric value", line: "BenchmarkBad-8 100 fast ns/op", ok: false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, ok := parseLine(tt.line)
+			if ok != tt.ok {
+				t.Fatalf("parseLine(%q) ok = %v, want %v", tt.line, ok, tt.ok)
+			}
+			if ok && !reflect.DeepEqual(got, tt.want) {
+				t.Errorf("parseLine(%q) = %+v, want %+v", tt.line, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestParse(t *testing.T) {
+	tests := []struct {
+		name  string
+		input string
+		want  []Benchmark
+	}{
+		{
+			name: "two packages with headers",
+			input: strings.Join([]string{
+				"goos: linux",
+				"goarch: amd64",
+				"pkg: hetsim/internal/sim",
+				"cpu: fake",
+				"BenchmarkEngine-8 10 100 ns/op",
+				"PASS",
+				"pkg: hetsim/internal/serve",
+				"BenchmarkServeFigureRoundTrip-8 20 200 ns/op",
+				"ok  hetsim/internal/serve 1.0s",
+			}, "\n"),
+			want: []Benchmark{
+				{Name: "BenchmarkEngine", Package: "hetsim/internal/sim", Iterations: 10, Metrics: map[string]float64{"ns/op": 100}},
+				{Name: "BenchmarkServeFigureRoundTrip", Package: "hetsim/internal/serve", Iterations: 20, Metrics: map[string]float64{"ns/op": 200}},
+			},
+		},
+		{
+			name: "malformed benchmark lines are skipped",
+			input: strings.Join([]string{
+				"pkg: hetsim/internal/sim",
+				"BenchmarkBroken-8 --- FAIL: panic",
+				"BenchmarkGood-8 5 1.5 ns/op",
+				"Benchmark",
+			}, "\n"),
+			want: []Benchmark{
+				{Name: "BenchmarkGood", Package: "hetsim/internal/sim", Iterations: 5, Metrics: map[string]float64{"ns/op": 1.5}},
+			},
+		},
+		{name: "zero benchmarks", input: "goos: linux\nPASS\nok hetsim 0.1s\n", want: nil},
+		{name: "empty input", input: "", want: nil},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			art, err := parse(strings.NewReader(tt.input))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(art.Benchmarks, tt.want) {
+				t.Errorf("parse() benchmarks = %+v, want %+v", art.Benchmarks, tt.want)
+			}
+		})
+	}
+}

@@ -8,18 +8,28 @@
 //	hmexp -workloads bfs -plot cdf           # ASCII Figure 6 curve
 //	hmexp -parallel 4 all                    # figures rendered concurrently
 //	hmexp -workers 1 fig3                    # force sequential simulations
+//	hmexp -server http://localhost:8080 fig3 # offload sweeps to hmserved
 //
 // Each figure's simulations run on a worker pool sized by -workers
 // (default: all CPUs); -parallel additionally renders whole figures
 // concurrently. Both paths go through the same deterministic sweep
 // executor, so output is identical for any -parallel/-workers setting.
 //
+// With -server, figures are fetched from a running hmserved daemon
+// (cmd/hmserved) instead of being simulated locally, sharing its
+// persistent result cache with every other client. The daemon's
+// determinism guarantee makes the output identical to a local run.
+//
 // Flags must precede the figure identifiers (standard Go flag parsing).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
+	"net/url"
 	"os"
 	"path/filepath"
 	"strings"
@@ -29,6 +39,7 @@ import (
 	"hetsim/internal/experiments/pool"
 	"hetsim/internal/plot"
 	"hetsim/internal/prof"
+	"hetsim/internal/serve"
 )
 
 func main() {
@@ -43,6 +54,7 @@ func main() {
 		outDir    = flag.String("out", "", "also write each figure's CSV to <out>/<id>.csv")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		server    = flag.String("server", "", "fetch figures from a running hmserved daemon at this base URL instead of simulating locally")
 	)
 	flag.Parse()
 	args := flag.Args()
@@ -72,6 +84,40 @@ func main() {
 
 	render := func(id string) (string, error) {
 		var sb strings.Builder
+		if *server != "" {
+			if id == "cdf" {
+				return "", fmt.Errorf("the cdf command is local-only; drop -server")
+			}
+			fr, err := fetchFigure(*server, id, opts)
+			if err != nil {
+				return "", err
+			}
+			if *outDir != "" {
+				if err := os.MkdirAll(*outDir, 0o755); err != nil {
+					return "", err
+				}
+				path := filepath.Join(*outDir, id+".csv")
+				if err := os.WriteFile(path, []byte(fr.CSV), 0o644); err != nil {
+					return "", err
+				}
+			}
+			if *csv {
+				sb.WriteString(fr.CSV)
+				return sb.String(), nil
+			}
+			sb.WriteString(fr.Text)
+			for _, n := range fr.Notes {
+				fmt.Fprintln(&sb, "  note:", n)
+			}
+			if len(fr.Headline) > 0 {
+				fmt.Fprintln(&sb, "  headline:")
+				for _, k := range sortedKeys(fr.Headline) {
+					fmt.Fprintf(&sb, "    %-28s %.3f\n", k, fr.Headline[k])
+				}
+			}
+			fmt.Fprintln(&sb)
+			return sb.String(), nil
+		}
 		if id == "cdf" {
 			wls := opts.Workloads
 			if len(wls) == 0 {
@@ -164,6 +210,49 @@ func writeTable(sb *strings.Builder, tb *heteromem.Table, csv bool) {
 		return
 	}
 	sb.WriteString(tb.String())
+}
+
+// fetchFigure asks an hmserved daemon for one figure, passing the local
+// options through as query parameters.
+func fetchFigure(base, id string, opts heteromem.Options) (*serve.FigureResult, error) {
+	u, err := url.Parse(strings.TrimSuffix(base, "/") + "/v1/figures/" + url.PathEscape(id))
+	if err != nil {
+		return nil, fmt.Errorf("bad -server URL: %w", err)
+	}
+	q := u.Query()
+	if opts.Shrink > 1 {
+		q.Set("shrink", fmt.Sprint(opts.Shrink))
+	}
+	if len(opts.Workloads) > 0 {
+		q.Set("workloads", strings.Join(opts.Workloads, ","))
+	}
+	if opts.Workers > 0 {
+		q.Set("workers", fmt.Sprint(opts.Workers))
+	}
+	u.RawQuery = q.Encode()
+	resp, err := http.Get(u.String())
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(body, &e) == nil && e.Error != "" {
+			return nil, fmt.Errorf("server: %s (%s)", e.Error, resp.Status)
+		}
+		return nil, fmt.Errorf("server: %s", resp.Status)
+	}
+	var fr serve.FigureResult
+	if err := json.Unmarshal(body, &fr); err != nil {
+		return nil, fmt.Errorf("decoding figure response: %w", err)
+	}
+	return &fr, nil
 }
 
 func cdfPoints(workload string, shrink int) ([][2]float64, error) {

@@ -1,0 +1,98 @@
+// Command hmserved runs the simulation-as-a-service daemon: a long-lived
+// HTTP/JSON server that accepts placement-study jobs (single RunConfigs,
+// config grids, named figure reproductions), executes them on the
+// experiments worker-pool executor, and serves results from a two-tier
+// cache — an in-process result map over a persistent, content-addressed
+// disk cache that survives restarts and is shared across processes.
+//
+//	hmserved                               # listen on :8080, cache in .hmserved-cache
+//	hmserved -addr :9090 -cache-dir /var/cache/hmserved
+//	hmserved -cache-max-bytes 268435456    # cap the disk tier at 256 MiB
+//
+// API:
+//
+//	POST   /v1/runs          submit one RunConfig (idempotent by config hash)
+//	POST   /v1/sweeps        submit a config grid: {"configs": [...]}
+//	GET    /v1/jobs          list jobs
+//	GET    /v1/jobs/{id}     job status + results
+//	DELETE /v1/jobs/{id}     cancel a queued job
+//	GET    /v1/figures/{id}  reproduce a paper figure (?shrink=&workloads=&workers=)
+//	GET    /healthz          liveness (503 while draining)
+//	GET    /metrics          Prometheus text metrics
+//	GET    /debug/vars       the same counters, expvar-style JSON
+//
+// On SIGINT/SIGTERM the daemon drains: new submissions get 503, queued
+// jobs are canceled, and running jobs get -drain to finish before the
+// process exits. Figure and sweep responses are bit-identical whether
+// served from memory, disk, or fresh simulation.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"hetsim/internal/serve"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		cacheDir = flag.String("cache-dir", ".hmserved-cache", "persistent result cache directory (empty disables the disk tier)")
+		cacheMax = flag.Int64("cache-max-bytes", 1<<30, "disk cache size cap in bytes (<= 0 uncapped)")
+		workers  = flag.Int("workers", 0, "concurrent simulations per job (0 = all CPUs)")
+		jobs     = flag.Int("job-workers", 2, "concurrently executing jobs")
+		queueCap = flag.Int("queue", 64, "max queued jobs before submissions get 503")
+		drain    = flag.Duration("drain", 30*time.Second, "graceful-shutdown deadline for running jobs")
+	)
+	flag.Parse()
+
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	srv, err := serve.New(serve.Config{
+		CacheDir:      *cacheDir,
+		CacheMaxBytes: *cacheMax,
+		SimWorkers:    *workers,
+		JobWorkers:    *jobs,
+		QueueCap:      *queueCap,
+		Logger:        logger,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hmserved:", err)
+		os.Exit(1)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() {
+		logger.Info("listening", "addr", *addr, "cache_dir", *cacheDir)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "hmserved:", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	logger.Info("shutting down", "drain", *drain)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		logger.Warn("drain incomplete", "err", err)
+	}
+	srv.Close()
+	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		logger.Warn("http shutdown", "err", err)
+	}
+	logger.Info("stopped")
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"hetsim/internal/core"
+	"hetsim/internal/experiments/pool"
 	"hetsim/internal/gpu"
 	"hetsim/internal/memsys"
 	"hetsim/internal/metrics"
@@ -22,6 +23,12 @@ type Options struct {
 	// Workers caps concurrent simulations per sweep; 0 means GOMAXPROCS.
 	// Any worker count produces identical results (see Executor).
 	Workers int
+	// Cache, when non-nil, routes this reproduction's simulations through
+	// a private result cache instead of the process-wide one. The serving
+	// layer (internal/serve) sets it to the daemon's cache, which layers a
+	// persistent disk backend under the in-process map; figure output is
+	// bit-identical either way.
+	Cache *pool.Cache[Result]
 }
 
 func (o Options) workloadList() []string {
@@ -46,8 +53,13 @@ func (o Options) dataset() workloads.Dataset {
 }
 
 // executor builds this figure's sweep executor: opts-controlled worker
-// count over the process-wide result cache.
-func (o Options) executor() *Executor { return NewExecutor(o.Workers) }
+// count over the process-wide result cache (or Options.Cache if set).
+func (o Options) executor() *Executor {
+	if o.Cache != nil {
+		return newExecutor(o.Workers, o.Cache)
+	}
+	return NewExecutor(o.Workers)
+}
 
 // Figure is one reproduced table or figure.
 type Figure struct {

@@ -34,11 +34,15 @@ import (
 type Stats struct {
 	Total     int // configs submitted
 	Executed  int // runs actually simulated
-	CacheHits int // configs served from the cache
+	CacheHits int // configs served from the cache (in-memory or backend)
 	Errors    int // configs that finished with an error
 	Panics    int // runs that panicked (counted in Errors too)
 	Workers   int // worker goroutines used
 	Wall      time.Duration
+	// Cached records, per input index, whether results[i] was served from
+	// the cache rather than executed, so callers can attribute per-result
+	// costs (e.g. simulated event counts) to executed runs only.
+	Cached []bool
 }
 
 // entry is one singleflight cache slot: the first worker to claim a key
@@ -49,16 +53,45 @@ type entry[R any] struct {
 	err  error
 }
 
+// Backend is an optional second storage tier under a Cache: a persistent
+// or shared store of completed results keyed by the same canonical hash.
+// The in-memory entry map remains the first tier (and the default, with a
+// nil Backend); on a miss there, the filling goroutine consults the
+// backend before running, and writes successful results back to it.
+//
+// Both calls happen inside the singleflight fill — concurrent requests for
+// one key wait on the fill rather than racing to the backend — so an
+// arbitrarily slow Backend (disk, network) costs latency but can never
+// break dedup: Get and Run are each invoked at most once per key per
+// Cache. Implementations must be safe for concurrent use and must treat
+// Get misses as cheap (they are on every first simulation).
+type Backend[R any] interface {
+	// Get returns the stored result for key, if present.
+	Get(key string) (R, bool)
+	// Put stores a successful result under key. Best effort: a Put that
+	// fails internally must simply drop the value, not panic.
+	Put(key string, val R)
+}
+
 // Cache is a shared, concurrency-safe result cache keyed by canonical
 // config strings. The zero value is not usable; call NewCache.
 type Cache[R any] struct {
 	mu      sync.Mutex
 	entries map[string]*entry[R]
+	backend Backend[R]
 }
 
 // NewCache returns an empty cache, shareable across Pools.
 func NewCache[R any]() *Cache[R] {
 	return &Cache[R]{entries: make(map[string]*entry[R])}
+}
+
+// SetBackend layers a second-tier store under the in-memory cache. Call it
+// before the cache is shared; entries already resident stay in memory.
+func (c *Cache[R]) SetBackend(b Backend[R]) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.backend = b
 }
 
 // Len reports how many results (including in-flight ones) the cache holds.
@@ -127,6 +160,7 @@ func (p *Pool[C, R]) Map(cfgs []C) ([]R, Stats, error) {
 	})
 	cache := p.Cache
 
+	st.Cached = make([]bool, n)
 	var mu sync.Mutex // guards st counters and OnDone ordering
 	done := 0
 	finish := func(cached, panicked bool, err error) {
@@ -157,7 +191,7 @@ func (p *Pool[C, R]) Map(cfgs []C) ([]R, Stats, error) {
 			defer wg.Done()
 			for i := range idx {
 				val, err, cached, panicked := p.one(cache, cfgs[i])
-				results[i], errs[i] = val, err
+				results[i], errs[i], st.Cached[i] = val, err, cached
 				finish(cached, panicked, err)
 			}
 		}()
@@ -191,9 +225,11 @@ func (p *Pool[C, R]) one(cache *Cache[R], cfg C) (val R, err error, cached, pani
 	}
 	cache.mu.Lock()
 	e, hit := cache.entries[key]
+	var backend Backend[R]
 	if !hit {
 		e = &entry[R]{done: make(chan struct{})}
 		cache.entries[key] = e
+		backend = cache.backend
 	}
 	cache.mu.Unlock()
 	if hit {
@@ -202,7 +238,22 @@ func (p *Pool[C, R]) one(cache *Cache[R], cfg C) (val R, err error, cached, pani
 		<-e.done
 		return e.val, e.err, true, false
 	}
+	// Filling goroutine: the backend lookup and the run both happen here,
+	// with every duplicate request parked on e.done, so a slow backend
+	// delays this key without admitting duplicate Gets or runs.
+	if backend != nil {
+		if v, ok := backend.Get(key); ok {
+			e.val = v
+			close(e.done)
+			return e.val, nil, true, false
+		}
+	}
 	e.val, e.err, panicked = p.safeRun(cfg)
+	if e.err == nil && backend != nil {
+		// Persist before publishing: once a result is observable, it is
+		// durable, so a drained shutdown cannot strand completed work.
+		backend.Put(key, e.val)
+	}
 	close(e.done)
 	return e.val, e.err, false, panicked
 }

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -220,5 +221,119 @@ func TestMapProgress(t *testing.T) {
 	}
 	if calls != 7 {
 		t.Errorf("OnDone fired %d times, want 7", calls)
+	}
+}
+
+// slowBackend is a deliberately slow second tier that counts its calls, for
+// proving the singleflight guarantee of the Backend contract: Get and Run
+// are each invoked at most once per key no matter how many concurrent
+// duplicates arrive.
+type slowBackend struct {
+	delay time.Duration
+	mu    sync.Mutex
+	store map[string]int
+	gets  atomic.Int64
+	puts  atomic.Int64
+}
+
+func (b *slowBackend) Get(key string) (int, bool) {
+	b.gets.Add(1)
+	time.Sleep(b.delay)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	v, ok := b.store[key]
+	return v, ok
+}
+
+func (b *slowBackend) Put(key string, val int) {
+	b.puts.Add(1)
+	time.Sleep(b.delay)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.store[key] = val
+}
+
+// TestBackendSingleflight: an arbitrarily slow Backend cannot break dedup.
+// 24 concurrent requests for 3 keys against a backend that sleeps on every
+// call must produce exactly 3 backend Gets, 3 runs, and 3 Puts — duplicates
+// wait on the in-memory fill rather than racing to the backend.
+func TestBackendSingleflight(t *testing.T) {
+	backend := &slowBackend{delay: 20 * time.Millisecond, store: map[string]int{}}
+	cache := NewCache[int]()
+	cache.SetBackend(backend)
+	var executions atomic.Int64
+	p := &Pool[int, int]{
+		Workers: 16,
+		Cache:   cache,
+		Key:     func(i int) (string, bool) { return fmt.Sprintf("k%d", i%3), true },
+		Run: func(i int) (int, error) {
+			executions.Add(1)
+			return (i % 3) * 100, nil
+		},
+	}
+	cfgs := make([]int, 24)
+	for i := range cfgs {
+		cfgs[i] = i
+	}
+	res, st, err := p.Map(cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range res {
+		if want := (i % 3) * 100; r != want {
+			t.Errorf("res[%d] = %d, want %d", i, r, want)
+		}
+	}
+	if got := backend.gets.Load(); got != 3 {
+		t.Errorf("backend.Get called %d times, want 3 (once per key)", got)
+	}
+	if got := executions.Load(); got != 3 {
+		t.Errorf("executed %d runs, want 3", got)
+	}
+	if got := backend.puts.Load(); got != 3 {
+		t.Errorf("backend.Put called %d times, want 3", got)
+	}
+	if st.Executed != 3 || st.CacheHits != 21 {
+		t.Errorf("stats = %+v, want 3 executed + 21 hits", st)
+	}
+
+	// A fresh Cache over the now-populated backend: everything is a backend
+	// hit, no runs, and still one Get per key.
+	backend.gets.Store(0)
+	backend.puts.Store(0)
+	executions.Store(0)
+	cache2 := NewCache[int]()
+	cache2.SetBackend(backend)
+	p2 := &Pool[int, int]{
+		Workers: 16,
+		Cache:   cache2,
+		Key:     p.Key,
+		Run:     p.Run,
+	}
+	res2, st2, err := p2.Map(cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range res2 {
+		if want := (i % 3) * 100; r != want {
+			t.Errorf("backend-served res[%d] = %d, want %d", i, r, want)
+		}
+	}
+	if executions.Load() != 0 {
+		t.Errorf("%d runs executed with a warm backend, want 0", executions.Load())
+	}
+	if got := backend.gets.Load(); got != 3 {
+		t.Errorf("warm backend.Get called %d times, want 3", got)
+	}
+	if backend.puts.Load() != 0 {
+		t.Errorf("backend hits were re-Put (%d Puts)", backend.puts.Load())
+	}
+	if st2.Executed != 0 || st2.CacheHits != 24 {
+		t.Errorf("warm stats = %+v, want all 24 cached", st2)
+	}
+	for i, c := range st2.Cached {
+		if !c {
+			t.Errorf("Cached[%d] = false, want true for a backend hit", i)
+		}
 	}
 }

@@ -55,6 +55,27 @@ func NewIsolatedExecutor(workers int) *Executor {
 	return newExecutor(workers, pool.NewCache[Result]())
 }
 
+// NewResultCache returns an empty private result cache for
+// NewExecutorWithCache. The serving layer owns one per daemon and layers
+// its persistent disk backend under it (pool.Cache.SetBackend).
+func NewResultCache() *pool.Cache[Result] {
+	return pool.NewCache[Result]()
+}
+
+// NewExecutorWithCache is NewExecutor against a caller-owned cache instead
+// of the process-wide one — the pluggable-cache entry point for callers
+// that manage result persistence themselves.
+func NewExecutorWithCache(workers int, cache *pool.Cache[Result]) *Executor {
+	return newExecutor(workers, cache)
+}
+
+// ConfigKey reports the canonical content hash identifying rc's result —
+// the key under which executors cache it. ok is false for configs that
+// cannot be cached (e.g. trace-recording runs).
+func ConfigKey(rc RunConfig) (key string, ok bool) {
+	return canonicalKey(rc)
+}
+
 func newExecutor(workers int, cache *pool.Cache[Result]) *Executor {
 	return &Executor{p: pool.Pool[RunConfig, Result]{
 		Run:     Run,
@@ -69,12 +90,19 @@ func newExecutor(workers int, cache *pool.Cache[Result]) *Executor {
 // users and must be treated as immutable.
 func (e *Executor) Map(cfgs []RunConfig) ([]Result, error) {
 	res, st, err := e.p.Map(cfgs)
+	var accesses uint64
+	for i := range res {
+		if !st.Cached[i] {
+			accesses += res[i].Accesses
+		}
+	}
 	e.mu.Lock()
 	e.st.Add(metrics.SweepStats{
 		Runs:      st.Executed,
 		CacheHits: st.CacheHits,
 		Errors:    st.Errors,
 		Workers:   st.Workers,
+		Accesses:  accesses,
 		Wall:      st.Wall,
 	})
 	e.mu.Unlock()

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"strings"
@@ -100,6 +101,38 @@ func (h *Histogram) Percentile(p float64) uint64 {
 		}
 	}
 	return h.max
+}
+
+// histogramJSON is the wire form of a Histogram. Buckets are stored as a
+// full array so an encode/decode round trip reconstructs the exact
+// internal state (the persistent result cache depends on decoded results
+// being bit-identical to fresh ones).
+type histogramJSON struct {
+	Count   uint64     `json:"count"`
+	Sum     float64    `json:"sum"`
+	Min     uint64     `json:"min"`
+	Max     uint64     `json:"max"`
+	Buckets [64]uint64 `json:"buckets"`
+}
+
+// MarshalJSON encodes the histogram's full internal state. The value
+// receiver matters: histograms are embedded by value in result structs,
+// and encoding/json only finds pointer-receiver marshalers on addressable
+// values.
+func (h Histogram) MarshalJSON() ([]byte, error) {
+	return json.Marshal(histogramJSON{
+		Count: h.count, Sum: h.sum, Min: h.min, Max: h.max, Buckets: h.buckets,
+	})
+}
+
+// UnmarshalJSON restores a histogram encoded by MarshalJSON exactly.
+func (h *Histogram) UnmarshalJSON(b []byte) error {
+	var j histogramJSON
+	if err := json.Unmarshal(b, &j); err != nil {
+		return err
+	}
+	*h = Histogram{buckets: j.Buckets, count: j.Count, sum: j.Sum, min: j.Min, max: j.Max}
+	return nil
 }
 
 // String summarizes the distribution.

@@ -11,10 +11,11 @@ import (
 // command-line tools print it, so a user can see both the progress a
 // figure made and what the cache saved.
 type SweepStats struct {
-	Runs      int // simulations executed
-	CacheHits int // configs answered from the result cache
-	Errors    int // configs that finished with an error
-	Workers   int // maximum worker goroutines used
+	Runs      int    // simulations executed
+	CacheHits int    // configs answered from the result cache
+	Errors    int    // configs that finished with an error
+	Workers   int    // maximum worker goroutines used
+	Accesses  uint64 // post-L1 accesses simulated by executed runs (cache hits excluded)
 	Wall      time.Duration
 }
 
@@ -30,7 +31,17 @@ func (s *SweepStats) Add(o SweepStats) {
 	if o.Workers > s.Workers {
 		s.Workers = o.Workers
 	}
+	s.Accesses += o.Accesses
 	s.Wall += o.Wall
+}
+
+// AccessRate reports simulated accesses per second of sweep wall time —
+// the service-level throughput gauge exposed on the daemon's /metrics.
+func (s SweepStats) AccessRate() float64 {
+	if s.Wall <= 0 {
+		return 0
+	}
+	return float64(s.Accesses) / s.Wall.Seconds()
 }
 
 // String renders a one-line summary, e.g.

@@ -1,0 +1,197 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"hetsim/internal/experiments"
+)
+
+// fakeKey makes a distinct valid cache key (64 hex chars) per index.
+func fakeKey(i int) string {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("key-%d", i)))
+	return hex.EncodeToString(sum[:])
+}
+
+// fakeResult makes a result whose JSON size scales with n, for eviction
+// tests.
+func fakeResult(n int) experiments.Result {
+	r := experiments.Result{Workload: "fake", Perf: float64(n)}
+	r.PageCounts = make([]uint64, n)
+	for i := range r.PageCounts {
+		r.PageCounts[i] = uint64(i)
+	}
+	return r
+}
+
+// TestDiskCacheRoundTrip: a real simulation result survives Put + reopen +
+// Get bit-identically — the property that makes disk-served figures
+// byte-identical to fresh ones. reflect.DeepEqual covers every field,
+// including the latency histogram's unexported internals.
+func TestDiskCacheRoundTrip(t *testing.T) {
+	rc := experiments.RunConfig{Workload: "bfs", Policy: experiments.BWAwarePolicy, Shrink: 16}
+	key, ok := experiments.ConfigKey(rc)
+	if !ok {
+		t.Fatal("config should be cacheable")
+	}
+	res, err := experiments.Run(rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	d, err := OpenDiskCache(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d.Get(key); ok {
+		t.Fatal("empty cache served a result")
+	}
+	d.Put(key, res)
+	got, ok := d.Get(key)
+	if !ok {
+		t.Fatal("Put result not served back")
+	}
+	if !reflect.DeepEqual(res, got) {
+		t.Error("same-process Get differs from the stored result")
+	}
+
+	// Reopen: the restart path. The decoded result must be bit-identical.
+	d2, err := OpenDiskCache(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, ok := d2.Get(key)
+	if !ok {
+		t.Fatal("result did not survive reopen")
+	}
+	if !reflect.DeepEqual(res, got2) {
+		t.Error("reopened Get differs from the stored result")
+	}
+	st := d2.Stats()
+	if st.Entries != 1 || st.Hits != 1 {
+		t.Errorf("stats after reopen+hit = %+v, want 1 entry, 1 hit", st)
+	}
+}
+
+// TestDiskCacheNoPartialFiles: Put never leaves temp files behind, and a
+// leftover temp file from a crashed writer is removed at open.
+func TestDiskCacheNoPartialFiles(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDiskCache(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		d.Put(fakeKey(i), fakeResult(10))
+	}
+	if n := countFiles(t, dir, ".tmp"); n != 0 {
+		t.Errorf("%d temp files left after Puts", n)
+	}
+
+	// Simulate a crash mid-write, then reopen.
+	crashed := filepath.Join(dir, "ab")
+	if err := os.MkdirAll(crashed, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(crashed, "put-123.tmp"), []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenDiskCache(dir, 0); err != nil {
+		t.Fatal(err)
+	}
+	if n := countFiles(t, dir, ".tmp"); n != 0 {
+		t.Error("leftover temp file survived reopen")
+	}
+}
+
+// TestDiskCacheCorruption: an undecodable cache file is a counted miss and
+// is deleted, not an error.
+func TestDiskCacheCorruption(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDiskCache(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := fakeKey(1)
+	d.Put(key, fakeResult(8))
+	path := filepath.Join(dir, key[:2], key+".json")
+	if err := os.WriteFile(path, []byte("{corrupt"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d.Get(key); ok {
+		t.Fatal("corrupt entry served as a hit")
+	}
+	st := d.Stats()
+	if st.LoadErrors != 1 || st.Misses != 1 || st.Entries != 0 {
+		t.Errorf("stats after corrupt read = %+v, want 1 load error, 1 miss, 0 entries", st)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Error("corrupt file not deleted")
+	}
+}
+
+// TestDiskCacheLRUEviction: over the byte cap, least-recently-used entries
+// (including their files) are evicted; a recent Get protects an entry.
+func TestDiskCacheLRUEviction(t *testing.T) {
+	dir := t.TempDir()
+	one := fakeResult(64)
+	size := mustSize(t, one)
+	d, err := OpenDiskCache(dir, 2*size+size/2) // room for two entries
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Put(fakeKey(0), one)
+	d.Put(fakeKey(1), one)
+	if _, ok := d.Get(fakeKey(0)); !ok { // touch 0: 1 is now LRU
+		t.Fatal("entry 0 missing before eviction")
+	}
+	d.Put(fakeKey(2), one) // must evict 1
+	if _, ok := d.Get(fakeKey(1)); ok {
+		t.Error("LRU entry 1 not evicted")
+	}
+	for _, i := range []int{0, 2} {
+		if _, ok := d.Get(fakeKey(i)); !ok {
+			t.Errorf("entry %d wrongly evicted", i)
+		}
+	}
+	st := d.Stats()
+	if st.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", st.Evictions)
+	}
+	if n := countFiles(t, dir, ".json"); n != 2 {
+		t.Errorf("%d result files on disk, want 2", n)
+	}
+}
+
+// mustSize measures the on-disk size of one cached result via a throwaway
+// cache in its own temp directory.
+func mustSize(t *testing.T, r experiments.Result) int64 {
+	t.Helper()
+	d, err := OpenDiskCache(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Put(fakeKey(999), r)
+	return d.Stats().Bytes
+}
+
+func countFiles(t *testing.T, dir, suffix string) int {
+	t.Helper()
+	n := 0
+	err := filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err == nil && !info.IsDir() && filepath.Ext(path) == suffix {
+			n++
+		}
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}

@@ -1,0 +1,218 @@
+package serve
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"time"
+
+	"hetsim/internal/experiments"
+	"hetsim/internal/metrics"
+)
+
+// JobState is the lifecycle of a submitted job.
+type JobState string
+
+// Job lifecycle: queued -> running -> done|failed; queued -> canceled.
+const (
+	JobQueued   JobState = "queued"
+	JobRunning  JobState = "running"
+	JobDone     JobState = "done"
+	JobFailed   JobState = "failed"
+	JobCanceled JobState = "canceled"
+)
+
+// Job is one unit of queued work: a single run, a config grid, or a figure
+// reproduction. Mutable fields are guarded by the owning Server's mu; the
+// done channel closes exactly once, when the job reaches a terminal state.
+type Job struct {
+	ID        string
+	Kind      string // "run", "sweep", or "figure"
+	Key       string // idempotency key; "" for uncacheable submissions
+	State     JobState
+	Err       string
+	Submitted time.Time
+	Started   time.Time
+	Finished  time.Time
+	Sweep     metrics.SweepStats
+
+	// Exactly one payload is set on success, matching Kind.
+	Results []experiments.Result
+	Figure  *FigureResult
+
+	exec func(ctx context.Context, j *Job) error
+	done chan struct{}
+}
+
+// jobView is the wire form of a Job.
+type jobView struct {
+	ID        string               `json:"id"`
+	Kind      string               `json:"kind"`
+	State     JobState             `json:"state"`
+	Error     string               `json:"error,omitempty"`
+	Submitted time.Time            `json:"submitted"`
+	Started   *time.Time           `json:"started,omitempty"`
+	Finished  *time.Time           `json:"finished,omitempty"`
+	Sweep     *metrics.SweepStats  `json:"sweep,omitempty"`
+	Results   []experiments.Result `json:"results,omitempty"`
+	Figure    *FigureResult        `json:"figure,omitempty"`
+}
+
+// view renders the job for JSON responses. Caller holds s.mu.
+func (j *Job) view(withPayload bool) jobView {
+	v := jobView{
+		ID: j.ID, Kind: j.Kind, State: j.State, Error: j.Err,
+		Submitted: j.Submitted,
+	}
+	if !j.Started.IsZero() {
+		t := j.Started
+		v.Started = &t
+	}
+	if !j.Finished.IsZero() {
+		t := j.Finished
+		v.Finished = &t
+	}
+	if j.Sweep.Total() > 0 {
+		st := j.Sweep
+		v.Sweep = &st
+	}
+	if withPayload && j.State == JobDone {
+		v.Results = j.Results
+		v.Figure = j.Figure
+	}
+	return v
+}
+
+// Submission errors, mapped to HTTP statuses by the handlers.
+var (
+	// ErrDraining rejects submissions during graceful shutdown (503).
+	ErrDraining = errors.New("serve: draining, not accepting new jobs")
+	// ErrQueueFull rejects submissions when the bounded queue is at
+	// capacity (503).
+	ErrQueueFull = errors.New("serve: job queue full")
+)
+
+// submit registers a job and enqueues it, deduplicating by key: a repeat
+// submission of a key whose job is queued, running, or done returns the
+// existing job (idempotent submission by config hash). Failed or canceled
+// jobs are resubmitted fresh.
+func (s *Server) submit(kind, key string, exec func(ctx context.Context, j *Job) error) (*Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return nil, ErrDraining
+	}
+	if key != "" {
+		if j, ok := s.byKey[key]; ok && j.State != JobFailed && j.State != JobCanceled {
+			s.jobsDeduped++
+			return j, nil
+		}
+	}
+	// IDs carry the content hash for traceability plus a sequence number
+	// for uniqueness (a failed job resubmitted under the same key gets a
+	// fresh ID).
+	s.seq++
+	id := fmt.Sprintf("%s-%06d", kind, s.seq)
+	if key != "" {
+		id = fmt.Sprintf("%s-%s-%06d", kind, key[:12], s.seq)
+	}
+	j := &Job{
+		ID: id, Kind: kind, Key: key, State: JobQueued,
+		Submitted: time.Now(), exec: exec, done: make(chan struct{}),
+	}
+	select {
+	case s.queue <- j:
+	default:
+		return nil, ErrQueueFull
+	}
+	s.jobs[j.ID] = j
+	if key != "" {
+		s.byKey[key] = j
+	}
+	s.inflight++
+	s.jobsSubmitted++
+	return j, nil
+}
+
+// runJobs is one queue worker: it claims jobs off the bounded queue and
+// executes them until the server context is canceled. JobWorkers of these
+// run concurrently, which (times SimWorkers per job) bounds the daemon's
+// total simulation concurrency.
+func (s *Server) runJobs(ctx context.Context) {
+	defer s.workersWG.Done()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case j := <-s.queue:
+			s.mu.Lock()
+			if j.State != JobQueued { // canceled while queued
+				s.mu.Unlock()
+				continue
+			}
+			j.State = JobRunning
+			j.Started = time.Now()
+			s.mu.Unlock()
+
+			err := j.exec(ctx, j)
+
+			s.mu.Lock()
+			j.Finished = time.Now()
+			if err != nil {
+				j.State = JobFailed
+				j.Err = err.Error()
+			} else {
+				j.State = JobDone
+			}
+			s.sweepTotal.Add(j.Sweep)
+			s.inflight--
+			s.mu.Unlock()
+			close(j.done)
+			s.log.Info("job finished", "id", j.ID, "state", string(j.State),
+				"wall", j.Finished.Sub(j.Started), "err", j.Err)
+		}
+	}
+}
+
+// cancel moves a queued job to canceled. Running jobs are not interrupted
+// (simulations are not preemptible); they run to completion.
+// ok reports whether the job existed; canceled whether this call (or a
+// prior one) left it canceled.
+func (s *Server) cancel(id string) (ok, canceled bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, exists := s.jobs[id]
+	if !exists {
+		return false, false
+	}
+	if j.State == JobQueued {
+		s.cancelLocked(j)
+		return true, true
+	}
+	return true, j.State == JobCanceled
+}
+
+// cancelLocked finalizes a queued job as canceled. Caller holds s.mu. The
+// job may still sit in the queue channel; runJobs skips non-queued jobs.
+func (s *Server) cancelLocked(j *Job) {
+	j.State = JobCanceled
+	j.Finished = time.Now()
+	s.inflight--
+	close(j.done)
+}
+
+// sweepKey derives an idempotency key for a grid of configs from the
+// members' canonical hashes. ok is false if any config is uncacheable.
+func sweepKey(cfgs []experiments.RunConfig) (string, bool) {
+	h := sha256.New()
+	for _, rc := range cfgs {
+		k, ok := experiments.ConfigKey(rc)
+		if !ok {
+			return "", false
+		}
+		fmt.Fprintln(h, k)
+	}
+	return hex.EncodeToString(h.Sum(nil)), true
+}

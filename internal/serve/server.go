@@ -1,0 +1,484 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"hetsim/internal/experiments"
+	"hetsim/internal/experiments/pool"
+	"hetsim/internal/metrics"
+)
+
+// Config tunes a Server.
+type Config struct {
+	// CacheDir roots the persistent disk cache; "" disables the disk tier
+	// (results then live only in process memory).
+	CacheDir string
+	// CacheMaxBytes caps the disk cache (<= 0 means uncapped).
+	CacheMaxBytes int64
+	// SimWorkers caps concurrent simulations per job (0 = GOMAXPROCS).
+	SimWorkers int
+	// JobWorkers caps concurrently executing jobs (default 2).
+	JobWorkers int
+	// QueueCap bounds the number of queued-but-not-running jobs
+	// (default 64); submissions beyond it get 503.
+	QueueCap int
+	// Logger receives structured request and job logs (default: slog
+	// default logger).
+	Logger *slog.Logger
+}
+
+// FigureResult is the wire form of a reproduced figure. It deliberately
+// carries no sweep statistics or timings: every field is a deterministic
+// function of the figure id and options, so the marshaled response is
+// byte-identical whether its simulations ran fresh, hit the in-process
+// cache, or were loaded from the disk tier. (Per-request sweep stats are
+// on the job object and aggregated into /metrics instead.)
+type FigureResult struct {
+	ID       string             `json:"id"`
+	Title    string             `json:"title"`
+	Text     string             `json:"text"`
+	CSV      string             `json:"csv"`
+	Headline map[string]float64 `json:"headline,omitempty"`
+	Notes    []string           `json:"notes,omitempty"`
+}
+
+// Server is the hmserved daemon: job queue, two-tier result cache, and
+// HTTP API. Create with New, expose via Handler, stop with Shutdown (to
+// drain) then Close.
+type Server struct {
+	cfg   Config
+	log   *slog.Logger
+	cache *pool.Cache[experiments.Result]
+	disk  *DiskCache
+	mux   *http.ServeMux
+	start time.Time
+
+	rootCtx    context.Context
+	rootCancel context.CancelFunc
+	workersWG  sync.WaitGroup
+
+	mu            sync.Mutex
+	jobs          map[string]*Job
+	byKey         map[string]*Job
+	queue         chan *Job
+	seq           int
+	inflight      int // jobs queued or running (not yet terminal)
+	draining      bool
+	jobsSubmitted int
+	jobsDeduped   int
+	sweepTotal    metrics.SweepStats
+	httpRequests  uint64
+
+	// Test seams: runSweep executes a config grid, figure reproduces a
+	// figure. Defaults run real simulations through the server cache.
+	runSweep func(ctx context.Context, cfgs []experiments.RunConfig) ([]experiments.Result, metrics.SweepStats, error)
+	figure   func(ctx context.Context, id string, opts experiments.Options) (experiments.Figure, error)
+}
+
+// New builds a Server, opening the disk cache and starting the job
+// workers. Call Close (after Shutdown, for a graceful stop) to release
+// them.
+func New(cfg Config) (*Server, error) {
+	if cfg.JobWorkers <= 0 {
+		cfg.JobWorkers = 2
+	}
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = 64
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.Default()
+	}
+	s := &Server{
+		cfg:   cfg,
+		log:   cfg.Logger,
+		cache: experiments.NewResultCache(),
+		jobs:  make(map[string]*Job),
+		byKey: make(map[string]*Job),
+		queue: make(chan *Job, cfg.QueueCap),
+		start: time.Now(),
+	}
+	if cfg.CacheDir != "" {
+		disk, err := OpenDiskCache(cfg.CacheDir, cfg.CacheMaxBytes)
+		if err != nil {
+			return nil, fmt.Errorf("serve: opening disk cache: %w", err)
+		}
+		s.disk = disk
+		s.cache.SetBackend(disk)
+	}
+	s.runSweep = func(_ context.Context, cfgs []experiments.RunConfig) ([]experiments.Result, metrics.SweepStats, error) {
+		e := experiments.NewExecutorWithCache(cfg.SimWorkers, s.cache)
+		res, err := e.Map(cfgs)
+		return res, e.Stats(), err
+	}
+	s.figure = func(_ context.Context, id string, opts experiments.Options) (experiments.Figure, error) {
+		fn, ok := experiments.ByID(id)
+		if !ok {
+			return experiments.Figure{}, fmt.Errorf("unknown figure %q", id)
+		}
+		return fn(opts)
+	}
+	s.rootCtx, s.rootCancel = context.WithCancel(context.Background())
+	s.workersWG.Add(cfg.JobWorkers)
+	for i := 0; i < cfg.JobWorkers; i++ {
+		go s.runJobs(s.rootCtx)
+	}
+	s.buildMux()
+	return s, nil
+}
+
+// Handler returns the daemon's HTTP handler with request logging.
+func (s *Server) Handler() http.Handler { return s.logged(s.mux) }
+
+// Shutdown drains the daemon: new submissions are rejected with 503,
+// still-queued jobs are canceled, and running jobs are given until ctx's
+// deadline to finish. It returns nil once every job has reached a terminal
+// state, or ctx.Err() if the drain deadline expired with jobs still
+// running (those jobs are abandoned when Close cancels the workers).
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	// Cancel everything still waiting in the queue; running jobs keep
+	// going (simulations are not preemptible mid-run).
+	for {
+		select {
+		case j := <-s.queue:
+			if j.State == JobQueued {
+				s.cancelLocked(j)
+			}
+		default:
+			goto drained
+		}
+	}
+drained:
+	s.mu.Unlock()
+
+	tick := time.NewTicker(5 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		s.mu.Lock()
+		n := s.inflight
+		s.mu.Unlock()
+		if n == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			s.log.Warn("drain deadline expired", "jobs_abandoned", n)
+			return ctx.Err()
+		case <-tick.C:
+		}
+	}
+}
+
+// Close stops the job workers. Call after Shutdown for a graceful stop;
+// calling it directly abandons running jobs.
+func (s *Server) Close() {
+	s.rootCancel()
+	s.workersWG.Wait()
+}
+
+// Draining reports whether the server has begun shutdown.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+func (s *Server) buildMux() {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/runs", s.handleSubmitRun)
+	mux.HandleFunc("POST /v1/sweeps", s.handleSubmitSweep)
+	mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
+	mux.HandleFunc("GET /v1/figures/{name}", s.handleFigure)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /debug/vars", s.handleVars)
+	s.mux = mux
+}
+
+// statusRecorder captures the response status for the request log.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	n, err := r.ResponseWriter.Write(b)
+	r.bytes += n
+	return n, err
+}
+
+// logged wraps h with structured request logging and a request counter.
+func (s *Server) logged(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		h.ServeHTTP(rec, r)
+		s.mu.Lock()
+		s.httpRequests++
+		s.mu.Unlock()
+		s.log.Info("request",
+			"method", r.Method, "path", r.URL.Path,
+			"status", rec.status, "bytes", rec.bytes,
+			"dur_ms", float64(time.Since(start).Microseconds())/1000)
+	})
+}
+
+// writeJSON marshals v deterministically (encoding/json sorts map keys)
+// and writes it with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, fmt.Sprintf(`{"error":%q}`, err.Error()), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(b)
+	w.Write([]byte("\n"))
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}
+
+// submitStatus maps a submission error to an HTTP status.
+func submitError(w http.ResponseWriter, err error) {
+	writeError(w, http.StatusServiceUnavailable, err.Error())
+}
+
+// handleSubmitRun enqueues a single RunConfig. Idempotent: the job is
+// keyed by the config's canonical hash.
+func (s *Server) handleSubmitRun(w http.ResponseWriter, r *http.Request) {
+	var rc experiments.RunConfig
+	if err := json.NewDecoder(r.Body).Decode(&rc); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding RunConfig: "+err.Error())
+		return
+	}
+	key := ""
+	if k, ok := experiments.ConfigKey(rc); ok {
+		key = k
+	}
+	j, err := s.submit("run", key, s.sweepExec([]experiments.RunConfig{rc}))
+	if err != nil {
+		submitError(w, err)
+		return
+	}
+	s.respondJob(w, j, http.StatusAccepted)
+}
+
+// sweepRequest is the body of POST /v1/sweeps.
+type sweepRequest struct {
+	Configs []experiments.RunConfig `json:"configs"`
+}
+
+// handleSubmitSweep enqueues a config grid as one job.
+func (s *Server) handleSubmitSweep(w http.ResponseWriter, r *http.Request) {
+	var req sweepRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding sweep request: "+err.Error())
+		return
+	}
+	if len(req.Configs) == 0 {
+		writeError(w, http.StatusBadRequest, "sweep has no configs")
+		return
+	}
+	key := ""
+	if k, ok := sweepKey(req.Configs); ok {
+		key = k
+	}
+	j, err := s.submit("sweep", key, s.sweepExec(req.Configs))
+	if err != nil {
+		submitError(w, err)
+		return
+	}
+	s.respondJob(w, j, http.StatusAccepted)
+}
+
+// sweepExec builds the exec closure shared by run and sweep jobs.
+func (s *Server) sweepExec(cfgs []experiments.RunConfig) func(ctx context.Context, j *Job) error {
+	return func(ctx context.Context, j *Job) error {
+		res, st, err := s.runSweep(ctx, cfgs)
+		if err != nil {
+			return err
+		}
+		s.mu.Lock()
+		j.Results = res
+		j.Sweep = st
+		s.mu.Unlock()
+		return nil
+	}
+}
+
+func (s *Server) respondJob(w http.ResponseWriter, j *Job, status int) {
+	s.mu.Lock()
+	v := j.view(true)
+	s.mu.Unlock()
+	if v.State == JobDone {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, v)
+}
+
+func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	ids := make([]string, 0, len(s.jobs))
+	for id := range s.jobs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	views := make([]jobView, 0, len(ids))
+	for _, id := range ids {
+		views = append(views, s.jobs[id].view(false))
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": views})
+}
+
+func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job "+id)
+		return
+	}
+	s.respondJob(w, j, http.StatusOK)
+}
+
+func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	ok, canceled := s.cancel(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job "+id)
+		return
+	}
+	s.mu.Lock()
+	v := s.jobs[id].view(false)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"canceled": canceled, "job": v})
+}
+
+// handleFigure reproduces a named figure synchronously: it submits an
+// idempotent figure job (deduplicated with any concurrent or prior request
+// for the same figure and options) and waits for it, honoring client
+// disconnect — the job keeps running and lands in the cache either way.
+func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if _, ok := experiments.ByID(name); !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown figure %q (have %s)", name, strings.Join(experiments.IDs(), " ")))
+		return
+	}
+	opts := experiments.Options{Cache: s.cache, Workers: s.cfg.SimWorkers}
+	q := r.URL.Query()
+	if v := q.Get("shrink"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			writeError(w, http.StatusBadRequest, "shrink must be a positive integer")
+			return
+		}
+		opts.Shrink = n
+	}
+	if v := q.Get("workloads"); v != "" {
+		opts.Workloads = strings.Split(v, ",")
+	}
+	if v := q.Get("workers"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, "workers must be a non-negative integer")
+			return
+		}
+		opts.Workers = n
+	}
+
+	key := figureKey(name, opts)
+	j, err := s.submit("figure", key, func(ctx context.Context, j *Job) error {
+		fig, err := s.figure(ctx, name, opts)
+		if err != nil {
+			return err
+		}
+		fr := &FigureResult{
+			ID:       fig.ID,
+			Title:    fig.Title,
+			Text:     fig.Table.String(),
+			CSV:      fig.Table.CSV(),
+			Headline: fig.Headline,
+			Notes:    fig.Notes,
+		}
+		s.mu.Lock()
+		j.Figure = fr
+		j.Sweep = fig.Sweep
+		s.mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		submitError(w, err)
+		return
+	}
+
+	select {
+	case <-r.Context().Done():
+		// Client went away; the job finishes in the background and warms
+		// the cache for the next request.
+		return
+	case <-j.done:
+	}
+	s.mu.Lock()
+	state, errMsg, fr := j.State, j.Err, j.Figure
+	s.mu.Unlock()
+	switch state {
+	case JobDone:
+		writeJSON(w, http.StatusOK, fr)
+	case JobCanceled:
+		writeError(w, http.StatusServiceUnavailable, "job canceled during shutdown")
+	default:
+		writeError(w, http.StatusInternalServerError, errMsg)
+	}
+}
+
+// figureKey is the idempotency key of a figure request: the sha256 of its
+// name and result-affecting options. Workers is included — it cannot
+// change the output (the determinism guarantee), but requests differing in
+// it are distinct submissions, which also lets callers force a re-render
+// through the result cache.
+func figureKey(name string, opts experiments.Options) string {
+	desc := fmt.Sprintf("figure|%s|shrink=%d|workloads=%s|workers=%d",
+		name, opts.Shrink, strings.Join(opts.Workloads, ","), opts.Workers)
+	return hashString(desc)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	inflight := s.inflight
+	s.mu.Unlock()
+	if draining {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status": "draining", "inflight_jobs": inflight,
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"uptime_seconds": time.Since(s.start).Seconds(),
+		"inflight_jobs":  inflight,
+	})
+}
