@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet check bench bench-sweep bench-serve serve clean
+.PHONY: all build test race vet check bench bench-sweep bench-serve serve cluster cluster-smoke clean
 
 all: build
 
@@ -17,10 +17,11 @@ test:
 	$(GO) test ./...
 
 # Race-check the packages that exercise concurrency: the worker-pool sweep
-# executor, every figure sweep dispatched through it, and the daemon's job
-# queue / two-tier cache.
+# executor, every figure sweep dispatched through it, the daemon's job
+# queue / two-tier cache, and the cluster coordinator's dispatch and
+# heartbeat paths.
 race:
-	$(GO) test -race ./internal/experiments/... ./internal/serve/
+	$(GO) test -race ./internal/experiments/... ./internal/serve/ ./internal/cluster/
 
 vet:
 	$(GO) vet ./...
@@ -53,6 +54,16 @@ bench-serve:
 # persist in .hmserved-cache/ across restarts; see EXPERIMENTS.md.
 serve:
 	$(GO) run ./cmd/hmserved
+
+# Start a 3-worker hmserved fleet on localhost:18081-18083 (ctrl-C drains
+# and stops all of them); point hmexp -cluster or hmserved -cluster at it.
+cluster:
+	scripts/cluster.sh fleet 3
+
+# End-to-end cluster check: 2 workers + a coordinator, one figure fetched
+# through the fleet, output diffed byte-for-byte against a local render.
+cluster-smoke:
+	scripts/cluster.sh smoke
 
 clean:
 	$(GO) clean ./...

@@ -9,6 +9,8 @@
 //	hmexp -parallel 4 all                    # figures rendered concurrently
 //	hmexp -workers 1 fig3                    # force sequential simulations
 //	hmexp -server http://localhost:8080 fig3 # offload sweeps to hmserved
+//	hmexp -cluster http://w1:8081,http://w2:8082 fig3   # shard sweeps across a fleet
+//	hmexp -cluster http://w1:8081,http://w2:8082 -cluster-verify fig3
 //
 // Each figure's simulations run on a worker pool sized by -workers
 // (default: all CPUs); -parallel additionally renders whole figures
@@ -17,8 +19,19 @@
 //
 // With -server, figures are fetched from a running hmserved daemon
 // (cmd/hmserved) instead of being simulated locally, sharing its
-// persistent result cache with every other client. The daemon's
-// determinism guarantee makes the output identical to a local run.
+// persistent result cache with every other client. Requests time out
+// after -server-timeout and transient failures (transport errors, 5xx)
+// are retried -server-retries times with exponential backoff. The
+// daemon's determinism guarantee makes the output identical to a local
+// run.
+//
+// With -cluster, figures are rendered locally but each cache-missing
+// simulation is dispatched to the fleet of hmserved workers, routed by
+// rendezvous hashing with retries, failover, and graceful local fallback
+// (an empty or dead fleet just means a slower, purely local run).
+// -cluster-verify additionally re-renders each figure locally and fails
+// unless the two encodings are byte-identical. A dispatch summary is
+// printed to stderr on exit. -server and -cluster are mutually exclusive.
 //
 // Flags must precede the figure identifiers (standard Go flag parsing).
 package main
@@ -33,8 +46,10 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"hetsim"
+	"hetsim/internal/cluster"
 	"hetsim/internal/experiments"
 	"hetsim/internal/experiments/pool"
 	"hetsim/internal/plot"
@@ -55,11 +70,23 @@ func main() {
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		server    = flag.String("server", "", "fetch figures from a running hmserved daemon at this base URL instead of simulating locally")
+		srvTO     = flag.Duration("server-timeout", 10*time.Minute, "per-request timeout for -server fetches")
+		srvRetry  = flag.Int("server-retries", 2, "retries (with backoff) for transient -server failures")
+		fleet     = flag.String("cluster", "", "comma-separated hmserved worker URLs; shard each figure's simulations across this fleet")
+		cVerify   = flag.Bool("cluster-verify", false, "with -cluster, also render each figure locally and fail unless byte-identical")
 	)
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
 		fmt.Fprintf(os.Stderr, "usage: hmexp [flags] all | cdf | %s\n", strings.Join(heteromem.FigureIDs(), " | "))
+		os.Exit(2)
+	}
+	if *server != "" && *fleet != "" {
+		fmt.Fprintln(os.Stderr, "hmexp: -server and -cluster are mutually exclusive")
+		os.Exit(2)
+	}
+	if *cVerify && *fleet == "" {
+		fmt.Fprintln(os.Stderr, "hmexp: -cluster-verify requires -cluster")
 		os.Exit(2)
 	}
 	stopProf, err := prof.Start(*cpuProf, *memProf)
@@ -71,6 +98,29 @@ func main() {
 	opts := heteromem.Options{Shrink: *shrink, Workers: *workers}
 	if *workloads != "" {
 		opts.Workloads = strings.Split(*workloads, ",")
+	}
+
+	var coord *cluster.Coordinator
+	if *fleet != "" {
+		var err error
+		coord, err = cluster.New(cluster.Config{Workers: strings.Split(*fleet, ",")})
+		if err != nil {
+			fatal(err)
+		}
+		defer coord.Close()
+	}
+
+	// figure renders one figure: sharded across the fleet in cluster mode
+	// (optionally verified against a local render), locally otherwise.
+	figure := func(id string) (heteromem.Fig, error) {
+		switch {
+		case coord != nil && *cVerify:
+			return coord.VerifyFigure(id, opts)
+		case coord != nil:
+			return coord.Figure(id, opts)
+		default:
+			return heteromem.Figure(id, opts)
+		}
 	}
 
 	var ids []string
@@ -88,7 +138,7 @@ func main() {
 			if id == "cdf" {
 				return "", fmt.Errorf("the cdf command is local-only; drop -server")
 			}
-			fr, err := fetchFigure(*server, id, opts)
+			fr, err := fetchFigure(*server, id, opts, &http.Client{Timeout: *srvTO}, *srvRetry)
 			if err != nil {
 				return "", err
 			}
@@ -140,7 +190,7 @@ func main() {
 			}
 			return sb.String(), nil
 		}
-		fig, err := heteromem.Figure(id, opts)
+		fig, err := figure(id)
 		if err != nil {
 			return "", err
 		}
@@ -198,6 +248,9 @@ func main() {
 			fmt.Fprintf(os.Stderr, "hmexp: %s: %v\n", ids[i], out.err)
 		}
 	}
+	if coord != nil {
+		fmt.Fprintln(os.Stderr, "hmexp:", coord.String())
+	}
 	if failed {
 		stopProf()
 		os.Exit(1)
@@ -213,8 +266,13 @@ func writeTable(sb *strings.Builder, tb *heteromem.Table, csv bool) {
 }
 
 // fetchFigure asks an hmserved daemon for one figure, passing the local
-// options through as query parameters.
-func fetchFigure(base, id string, opts heteromem.Options) (*serve.FigureResult, error) {
+// options through as query parameters. The client bounds each request
+// (-server-timeout, covering the daemon's whole simulation if the figure
+// is cold), and transient failures — transport errors, timeouts, 5xx —
+// are retried up to `retries` times with exponential backoff. 4xx
+// responses (unknown figure, bad options) fail immediately: retrying
+// cannot change a deterministic rejection.
+func fetchFigure(base, id string, opts heteromem.Options, client *http.Client, retries int) (*serve.FigureResult, error) {
 	u, err := url.Parse(strings.TrimSuffix(base, "/") + "/v1/figures/" + url.PathEscape(id))
 	if err != nil {
 		return nil, fmt.Errorf("bad -server URL: %w", err)
@@ -230,29 +288,56 @@ func fetchFigure(base, id string, opts heteromem.Options) (*serve.FigureResult, 
 		q.Set("workers", fmt.Sprint(opts.Workers))
 	}
 	u.RawQuery = q.Encode()
-	resp, err := http.Get(u.String())
+
+	var lastErr error
+	for attempt := 0; attempt <= retries; attempt++ {
+		if attempt > 0 {
+			delay := 500 * time.Millisecond << (attempt - 1)
+			if delay > 5*time.Second {
+				delay = 5 * time.Second
+			}
+			fmt.Fprintf(os.Stderr, "hmexp: %s: retrying in %s: %v\n", id, delay, lastErr)
+			time.Sleep(delay)
+		}
+		fr, retryable, err := fetchOnce(client, u.String())
+		if err == nil {
+			return fr, nil
+		}
+		if !retryable {
+			return nil, err
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("after %d attempts: %w", retries+1, lastErr)
+}
+
+// fetchOnce performs a single figure fetch; retryable reports whether the
+// failure is transient.
+func fetchOnce(client *http.Client, url string) (fr *serve.FigureResult, retryable bool, err error) {
+	resp, err := client.Get(url)
 	if err != nil {
-		return nil, err
+		return nil, true, err
 	}
 	defer resp.Body.Close()
 	body, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return nil, err
+		return nil, true, err
 	}
 	if resp.StatusCode != http.StatusOK {
+		err = fmt.Errorf("server: %s", resp.Status)
 		var e struct {
 			Error string `json:"error"`
 		}
 		if json.Unmarshal(body, &e) == nil && e.Error != "" {
-			return nil, fmt.Errorf("server: %s (%s)", e.Error, resp.Status)
+			err = fmt.Errorf("server: %s (%s)", e.Error, resp.Status)
 		}
-		return nil, fmt.Errorf("server: %s", resp.Status)
+		return nil, resp.StatusCode >= 500, err
 	}
-	var fr serve.FigureResult
-	if err := json.Unmarshal(body, &fr); err != nil {
-		return nil, fmt.Errorf("decoding figure response: %w", err)
+	fr = new(serve.FigureResult)
+	if err := json.Unmarshal(body, fr); err != nil {
+		return nil, false, fmt.Errorf("decoding figure response: %w", err)
 	}
-	return &fr, nil
+	return fr, false, nil
 }
 
 func cdfPoints(workload string, shrink int) ([][2]float64, error) {

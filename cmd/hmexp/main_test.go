@@ -1,0 +1,69 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hetsim"
+	"hetsim/internal/serve"
+)
+
+func figureHandler(fails *atomic.Int64, failWith int) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if fails.Add(-1) >= 0 {
+			http.Error(w, `{"error":"transient"}`, failWith)
+			return
+		}
+		json.NewEncoder(w).Encode(serve.FigureResult{ID: "fig2a", Text: "ok"})
+	})
+}
+
+func TestFetchFigureRetriesTransientFailures(t *testing.T) {
+	var fails atomic.Int64
+	fails.Store(2) // two 500s, then success
+	ts := httptest.NewServer(figureHandler(&fails, http.StatusInternalServerError))
+	defer ts.Close()
+
+	client := &http.Client{Timeout: time.Second}
+	fr, err := fetchFigure(ts.URL, "fig2a", heteromem.Options{}, client, 2)
+	if err != nil {
+		t.Fatalf("fetch failed despite retries: %v", err)
+	}
+	if fr.ID != "fig2a" || fr.Text != "ok" {
+		t.Errorf("got %+v", fr)
+	}
+}
+
+func TestFetchFigureExhaustsRetries(t *testing.T) {
+	var fails atomic.Int64
+	fails.Store(100)
+	ts := httptest.NewServer(figureHandler(&fails, http.StatusInternalServerError))
+	defer ts.Close()
+
+	_, err := fetchFigure(ts.URL, "fig2a", heteromem.Options{}, &http.Client{}, 1)
+	if err == nil {
+		t.Fatal("want error after exhausting retries")
+	}
+	if got := 100 - fails.Load(); got != 2 {
+		t.Errorf("server saw %d attempts, want 2 (1 + 1 retry)", got)
+	}
+}
+
+func TestFetchFigureNoRetryOn4xx(t *testing.T) {
+	var fails atomic.Int64
+	fails.Store(100)
+	ts := httptest.NewServer(figureHandler(&fails, http.StatusNotFound))
+	defer ts.Close()
+
+	_, err := fetchFigure(ts.URL, "nope", heteromem.Options{}, &http.Client{}, 3)
+	if err == nil {
+		t.Fatal("want error on 404")
+	}
+	if got := 100 - fails.Load(); got != 1 {
+		t.Errorf("server saw %d attempts, want 1 (4xx is not retryable)", got)
+	}
+}

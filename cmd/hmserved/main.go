@@ -8,11 +8,13 @@
 //	hmserved                               # listen on :8080, cache in .hmserved-cache
 //	hmserved -addr :9090 -cache-dir /var/cache/hmserved
 //	hmserved -cache-max-bytes 268435456    # cap the disk tier at 256 MiB
+//	hmserved -cluster http://w1:8081,http://w2:8082   # coordinator over a fleet
 //
 // API:
 //
 //	POST   /v1/runs          submit one RunConfig (idempotent by config hash)
 //	POST   /v1/sweeps        submit a config grid: {"configs": [...]}
+//	POST   /v1/cluster/run   synchronous single-config run (coordinator dispatch)
 //	GET    /v1/jobs          list jobs
 //	GET    /v1/jobs/{id}     job status + results
 //	DELETE /v1/jobs/{id}     cancel a queued job
@@ -21,10 +23,22 @@
 //	GET    /metrics          Prometheus text metrics
 //	GET    /debug/vars       the same counters, expvar-style JSON
 //
+// Every daemon is a cluster worker by construction: POST /v1/cluster/run
+// flows through the same idempotent job queue and two-tier cache as every
+// other submission. With -cluster, the daemon additionally acts as a
+// coordinator: cache-missing simulations are sharded across the listed
+// worker daemons by rendezvous hashing (with retries, failover, and local
+// fallback), and coordinator metrics join the /metrics export.
+//
+// Misconfiguration — a flag repeated on the command line, a negative
+// drain, zero job workers or queue capacity — is rejected at startup with
+// exit status 2 rather than silently proceeding with the last value to
+// win.
+//
 // On SIGINT/SIGTERM the daemon drains: new submissions get 503, queued
 // jobs are canceled, and running jobs get -drain to finish before the
 // process exits. Figure and sweep responses are bit-identical whether
-// served from memory, disk, or fresh simulation.
+// served from memory, disk, fresh simulation, or a worker fleet.
 package main
 
 import (
@@ -36,9 +50,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"hetsim/internal/cluster"
 	"hetsim/internal/serve"
 )
 
@@ -51,18 +67,46 @@ func main() {
 		jobs     = flag.Int("job-workers", 2, "concurrently executing jobs")
 		queueCap = flag.Int("queue", 64, "max queued jobs before submissions get 503")
 		drain    = flag.Duration("drain", 30*time.Second, "graceful-shutdown deadline for running jobs")
+		fleet    = flag.String("cluster", "", "comma-separated worker base URLs; run as coordinator over this fleet")
 	)
+	if dup := duplicateFlags(os.Args[1:]); len(dup) > 0 {
+		fmt.Fprintf(os.Stderr, "hmserved: flag repeated on command line: -%s\n", strings.Join(dup, ", -"))
+		os.Exit(2)
+	}
 	flag.Parse()
 
 	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
-	srv, err := serve.New(serve.Config{
+	if errs := validateFlags(*workers, *jobs, *queueCap, *drain); len(errs) > 0 {
+		for _, e := range errs {
+			logger.Error("invalid configuration", "err", e)
+		}
+		os.Exit(2)
+	}
+
+	cfg := serve.Config{
 		CacheDir:      *cacheDir,
 		CacheMaxBytes: *cacheMax,
 		SimWorkers:    *workers,
 		JobWorkers:    *jobs,
 		QueueCap:      *queueCap,
 		Logger:        logger,
-	})
+	}
+	if *fleet != "" {
+		coord, err := cluster.New(cluster.Config{
+			Workers: strings.Split(*fleet, ","),
+			Logger:  logger,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hmserved:", err)
+			os.Exit(2)
+		}
+		defer coord.Close()
+		cfg.Remote = coord.Run
+		cfg.ExtraMetrics = coord.MetricsMap
+		total, _ := coord.Workers()
+		logger.Info("coordinator mode", "fleet_size", total)
+	}
+	srv, err := serve.New(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hmserved:", err)
 		os.Exit(1)
@@ -95,4 +139,54 @@ func main() {
 		logger.Warn("http shutdown", "err", err)
 	}
 	logger.Info("stopped")
+}
+
+// duplicateFlags returns the names of flags that appear more than once in
+// raw command-line args. The flag package silently lets the last
+// occurrence win, which for a daemon means e.g. a stale -cache-dir earlier
+// in an init script overriding the one an operator just added; repeated
+// flags are almost always a config-management mistake, so the daemon
+// refuses to start on them.
+func duplicateFlags(args []string) []string {
+	seen := map[string]int{}
+	var dups []string
+	for _, a := range args {
+		if a == "--" {
+			break // everything after is positional
+		}
+		if !strings.HasPrefix(a, "-") || a == "-" {
+			continue
+		}
+		name := strings.TrimLeft(a, "-")
+		if i := strings.IndexByte(name, '='); i >= 0 {
+			name = name[:i]
+		}
+		if name == "" {
+			continue
+		}
+		seen[name]++
+		if seen[name] == 2 {
+			dups = append(dups, name)
+		}
+	}
+	return dups
+}
+
+// validateFlags rejects values the serving layer would otherwise quietly
+// clamp or misbehave on.
+func validateFlags(workers, jobWorkers, queueCap int, drain time.Duration) []error {
+	var errs []error
+	if workers < 0 {
+		errs = append(errs, fmt.Errorf("-workers must be >= 0 (0 = all CPUs), got %d", workers))
+	}
+	if jobWorkers <= 0 {
+		errs = append(errs, fmt.Errorf("-job-workers must be > 0, got %d", jobWorkers))
+	}
+	if queueCap <= 0 {
+		errs = append(errs, fmt.Errorf("-queue must be > 0, got %d", queueCap))
+	}
+	if drain < 0 {
+		errs = append(errs, fmt.Errorf("-drain must be >= 0, got %s", drain))
+	}
+	return errs
 }

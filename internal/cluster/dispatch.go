@@ -1,0 +1,221 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"time"
+
+	"hetsim/internal/experiments"
+	"hetsim/internal/serve"
+)
+
+// verdict classifies one worker's handling of a dispatched config.
+type verdict int
+
+const (
+	verdictOK         verdict = iota // result decoded; use it
+	verdictNextWorker                // this worker cannot serve it; fail over
+	verdictLocal                     // no worker can help; run locally
+)
+
+// Run dispatches one canonical config to the fleet and is the
+// experiments.RemoteRunner a distributed executor plugs in: ok=false means
+// "run it locally" — the fleet was empty, every routable worker failed, or
+// the failure is deterministic and retrying elsewhere cannot change it.
+//
+// Routing walks the config's rendezvous order: the first alive worker gets
+// up to 1+Retries attempts (exponential backoff with jitter between them),
+// then the next, and so on. Attempts on one worker are serialized through
+// its in-flight semaphore, bounding the pressure any single coordinator
+// puts on any single worker.
+func (c *Coordinator) Run(key string, rc experiments.RunConfig) (experiments.Result, bool) {
+	c.mu.Lock()
+	c.dispatches++
+	c.mu.Unlock()
+	payload, err := json.Marshal(rc)
+	if err != nil {
+		return c.declined(), false
+	}
+	for i, w := range c.rank(key) {
+		if !w.isAlive() {
+			continue
+		}
+		if i > 0 {
+			// The config's first-choice worker was dead or failed: this
+			// dispatch is a failover down the hash order.
+			c.mu.Lock()
+			c.failovers++
+			c.mu.Unlock()
+		}
+		res, v := c.tryWorker(w, payload)
+		switch v {
+		case verdictOK:
+			c.mu.Lock()
+			c.remoteOK++
+			c.mu.Unlock()
+			return res, true
+		case verdictLocal:
+			return c.declined(), false
+		}
+		// verdictNextWorker: continue down the hash order.
+	}
+	return c.declined(), false
+}
+
+// declined accounts a config handed back for local execution.
+func (c *Coordinator) declined() experiments.Result {
+	c.mu.Lock()
+	c.localFallbacks++
+	c.mu.Unlock()
+	return experiments.Result{}
+}
+
+// tryWorker runs the per-worker attempt loop: acquire an in-flight slot,
+// then up to 1+Retries attempts with backoff between them.
+func (c *Coordinator) tryWorker(w *worker, payload []byte) (experiments.Result, verdict) {
+	w.sem <- struct{}{}
+	defer func() { <-w.sem }()
+	for attempt := 0; ; attempt++ {
+		res, v, retryable := c.once(w, payload)
+		if v != verdictNextWorker || !retryable || attempt >= c.cfg.Retries {
+			return res, v
+		}
+		w.mu.Lock()
+		w.retries++
+		w.mu.Unlock()
+		c.mu.Lock()
+		c.totalRetries++
+		c.mu.Unlock()
+		time.Sleep(backoffDelay(attempt, c.cfg.BackoffBase, c.cfg.BackoffMax))
+	}
+}
+
+// once performs a single dispatch attempt against one worker.
+func (c *Coordinator) once(w *worker, payload []byte) (experiments.Result, verdict, bool) {
+	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.RequestTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		w.url+"/v1/cluster/run", bytes.NewReader(payload))
+	if err != nil {
+		return experiments.Result{}, verdictLocal, false
+	}
+	req.Header.Set("Content-Type", "application/json")
+	start := time.Now()
+	resp, err := c.client.Do(req)
+	if err != nil {
+		// Transport failure or timeout: count toward eviction, retry here.
+		w.mu.Lock()
+		w.errors++
+		w.mu.Unlock()
+		c.markFailure(w, err)
+		return experiments.Result{}, verdictNextWorker, true
+	}
+	body, readErr := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusOK && readErr == nil:
+		var cr serve.ClusterRunResponse
+		if err := json.Unmarshal(body, &cr); err != nil {
+			w.mu.Lock()
+			w.errors++
+			w.mu.Unlock()
+			c.log.Warn("cluster: undecodable worker response", "worker", w.url, "err", err)
+			return experiments.Result{}, verdictNextWorker, false
+		}
+		w.mu.Lock()
+		w.jobs++
+		w.lat.Observe(uint64(time.Since(start).Microseconds()))
+		w.mu.Unlock()
+		c.markSuccess(w)
+		return cr.Result, verdictOK, false
+	case resp.StatusCode == http.StatusServiceUnavailable:
+		// Draining or queue-full: hand this shard to the next worker now.
+		w.mu.Lock()
+		w.errors++
+		w.mu.Unlock()
+		return experiments.Result{}, verdictNextWorker, false
+	case resp.StatusCode == http.StatusUnprocessableEntity,
+		resp.StatusCode == http.StatusBadRequest:
+		// Deterministic simulation failure or malformed config: identical
+		// everywhere, so rerun locally to surface the real error.
+		return experiments.Result{}, verdictLocal, false
+	default:
+		w.mu.Lock()
+		w.errors++
+		w.mu.Unlock()
+		return experiments.Result{}, verdictNextWorker, true
+	}
+}
+
+// rank orders the registry by rendezvous (highest-random-weight) hashing:
+// each worker's score is a hash of (config key, worker URL), and the
+// config prefers workers by descending score. Every client computes the
+// same order with no shared state, each key's preference list is an
+// independent uniform permutation (so load spreads evenly), and removing a
+// worker only remaps the keys that preferred it — the remaining fleet's
+// cached results stay where they were.
+func (c *Coordinator) rank(key string) []*worker {
+	type scored struct {
+		w *worker
+		s uint64
+	}
+	order := make([]scored, len(c.workers))
+	for i, w := range c.workers {
+		sum := sha256.Sum256([]byte(key + "|" + w.url))
+		order[i] = scored{w, binary.BigEndian.Uint64(sum[:8])}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].s != order[j].s {
+			return order[i].s > order[j].s
+		}
+		return order[i].w.url < order[j].w.url
+	})
+	ranked := make([]*worker, len(order))
+	for i, o := range order {
+		ranked[i] = o.w
+	}
+	return ranked
+}
+
+// backoffDelay is the sleep before retry attempt+1: an exponential step
+// capped at max, jittered uniformly over [delay/2, delay) so synchronized
+// retries from many dispatch goroutines spread out instead of thundering.
+func backoffDelay(attempt int, base, max time.Duration) time.Duration {
+	delay := base
+	for i := 0; i < attempt && delay < max; i++ {
+		delay *= 2
+	}
+	if delay > max {
+		delay = max
+	}
+	half := delay / 2
+	if half <= 0 {
+		return delay
+	}
+	return half + time.Duration(rand.Int63n(int64(half)))
+}
+
+// drainBody discards and closes a response body so the connection can be
+// reused.
+func drainBody(resp *http.Response) {
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+}
+
+// String summarizes dispatch activity for CLI output, e.g.
+// "cluster: 10/12 remote (2 local), 3/3 workers alive, 1 retry, 0 failovers".
+func (c *Coordinator) String() string {
+	total, alive := c.Workers()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return fmt.Sprintf("cluster: %d/%d remote (%d local), %d/%d workers alive, %d retries, %d failovers",
+		c.remoteOK, c.dispatches, c.localFallbacks, alive, total, c.totalRetries, c.failovers)
+}

@@ -29,6 +29,12 @@ type Options struct {
 	// persistent disk backend under the in-process map; figure output is
 	// bit-identical either way.
 	Cache *pool.Cache[Result]
+	// Remote, when non-nil, offers each cache-missing config to a remote
+	// execution layer (a worker fleet, see internal/cluster) before
+	// simulating locally. Figure output is bit-identical with or without
+	// it — remote results are required to match local ones, and the
+	// cluster layer asserts so.
+	Remote RemoteRunner
 }
 
 func (o Options) workloadList() []string {
@@ -53,12 +59,14 @@ func (o Options) dataset() workloads.Dataset {
 }
 
 // executor builds this figure's sweep executor: opts-controlled worker
-// count over the process-wide result cache (or Options.Cache if set).
+// count over the process-wide result cache (or Options.Cache if set),
+// offloading cache misses to Options.Remote when configured.
 func (o Options) executor() *Executor {
-	if o.Cache != nil {
-		return newExecutor(o.Workers, o.Cache)
+	cache := o.Cache
+	if cache == nil {
+		cache = sweepCache
 	}
-	return NewExecutor(o.Workers)
+	return newExecutor(o.Workers, cache, o.Remote)
 }
 
 // Figure is one reproduced table or figure.

@@ -33,8 +33,9 @@ import (
 // Stats summarizes the work a Map call performed.
 type Stats struct {
 	Total     int // configs submitted
-	Executed  int // runs actually simulated
+	Executed  int // runs actually simulated (locally or via Offload)
 	CacheHits int // configs served from the cache (in-memory or backend)
+	Offloaded int // executed runs satisfied by Offload (subset of Executed)
 	Errors    int // configs that finished with an error
 	Panics    int // runs that panicked (counted in Errors too)
 	Workers   int // worker goroutines used
@@ -114,6 +115,18 @@ type Pool[C, R any] struct {
 	// Cache holds results across Map calls. If nil and Key is set, the
 	// Pool lazily creates a private cache on first use.
 	Cache *Cache[R]
+	// Offload, when set, is consulted for each cacheable config after the
+	// cache tiers miss and before Run: it may compute the result elsewhere
+	// (e.g. on a remote worker fleet), returning ok=false to fall back to
+	// the local Run. It is invoked inside the singleflight fill — at most
+	// once per key per Cache, with duplicates parked on the fill — and its
+	// successful results are written back to the Backend exactly like local
+	// runs. Uncacheable configs (Key ok=false, or no Key) never offload:
+	// without a canonical identity there is nothing to route or verify.
+	// Offload must be safe for concurrent use, and to preserve Map's
+	// determinism guarantee it must return results bit-identical to Run's
+	// (the cluster layer asserts this end to end).
+	Offload func(key string, cfg C) (R, bool)
 	// Workers caps concurrent runs; <= 0 means runtime.GOMAXPROCS(0).
 	Workers int
 	// OnDone, when set, is called after each config completes (from
@@ -163,7 +176,7 @@ func (p *Pool[C, R]) Map(cfgs []C) ([]R, Stats, error) {
 	st.Cached = make([]bool, n)
 	var mu sync.Mutex // guards st counters and OnDone ordering
 	done := 0
-	finish := func(cached, panicked bool, err error) {
+	finish := func(cached, offloaded, panicked bool, err error) {
 		mu.Lock()
 		defer mu.Unlock()
 		done++
@@ -171,6 +184,9 @@ func (p *Pool[C, R]) Map(cfgs []C) ([]R, Stats, error) {
 			st.CacheHits++
 		} else {
 			st.Executed++
+		}
+		if offloaded {
+			st.Offloaded++
 		}
 		if err != nil {
 			st.Errors++
@@ -190,9 +206,9 @@ func (p *Pool[C, R]) Map(cfgs []C) ([]R, Stats, error) {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				val, err, cached, panicked := p.one(cache, cfgs[i])
+				val, err, cached, offloaded, panicked := p.one(cache, cfgs[i])
 				results[i], errs[i], st.Cached[i] = val, err, cached
-				finish(cached, panicked, err)
+				finish(cached, offloaded, panicked, err)
 			}
 		}()
 	}
@@ -213,15 +229,15 @@ func (p *Pool[C, R]) Map(cfgs []C) ([]R, Stats, error) {
 }
 
 // one executes a single config, consulting the cache when possible.
-func (p *Pool[C, R]) one(cache *Cache[R], cfg C) (val R, err error, cached, panicked bool) {
+func (p *Pool[C, R]) one(cache *Cache[R], cfg C) (val R, err error, cached, offloaded, panicked bool) {
 	if p.Key == nil || cache == nil {
 		val, err, panicked = p.safeRun(cfg)
-		return val, err, false, panicked
+		return val, err, false, false, panicked
 	}
 	key, ok := p.Key(cfg)
 	if !ok {
 		val, err, panicked = p.safeRun(cfg)
-		return val, err, false, panicked
+		return val, err, false, false, panicked
 	}
 	cache.mu.Lock()
 	e, hit := cache.entries[key]
@@ -236,16 +252,27 @@ func (p *Pool[C, R]) one(cache *Cache[R], cfg C) (val R, err error, cached, pani
 		// A waiter never fills an entry, and a filler never waits, so
 		// this cannot deadlock: every wait chain ends at a running fill.
 		<-e.done
-		return e.val, e.err, true, false
+		return e.val, e.err, true, false, false
 	}
-	// Filling goroutine: the backend lookup and the run both happen here,
-	// with every duplicate request parked on e.done, so a slow backend
-	// delays this key without admitting duplicate Gets or runs.
+	// Filling goroutine: the backend lookup, the offload attempt, and the
+	// run all happen here, with every duplicate request parked on e.done,
+	// so a slow backend or remote worker delays this key without admitting
+	// duplicate Gets, offloads, or runs.
 	if backend != nil {
 		if v, ok := backend.Get(key); ok {
 			e.val = v
 			close(e.done)
-			return e.val, nil, true, false
+			return e.val, nil, true, false, false
+		}
+	}
+	if p.Offload != nil {
+		if v, ok := p.Offload(key, cfg); ok {
+			e.val = v
+			if backend != nil {
+				backend.Put(key, e.val)
+			}
+			close(e.done)
+			return e.val, nil, false, true, false
 		}
 	}
 	e.val, e.err, panicked = p.safeRun(cfg)
@@ -255,7 +282,7 @@ func (p *Pool[C, R]) one(cache *Cache[R], cfg C) (val R, err error, cached, pani
 		backend.Put(key, e.val)
 	}
 	close(e.done)
-	return e.val, e.err, false, panicked
+	return e.val, e.err, false, false, panicked
 }
 
 // safeRun invokes Run with panic recovery, converting a panic into an

@@ -224,6 +224,75 @@ func TestMapProgress(t *testing.T) {
 	}
 }
 
+// TestMapOffload: the Offload hook runs inside the singleflight fill — at
+// most once per distinct key — after the backend misses, its results are
+// written back to the backend, and ok=false falls back to the local Run.
+func TestMapOffload(t *testing.T) {
+	backend := &slowBackend{store: map[string]int{}}
+	cache := NewCache[int]()
+	cache.SetBackend(backend)
+	var offloads, executions atomic.Int64
+	p := &Pool[int, int]{
+		Workers: 8,
+		Cache:   cache,
+		Key:     func(i int) (string, bool) { return fmt.Sprintf("k%d", i%3), true },
+		Offload: func(key string, i int) (int, bool) {
+			offloads.Add(1)
+			if i%3 == 2 {
+				return 0, false // declined: this key must run locally
+			}
+			return (i % 3) * 100, true
+		},
+		Run: func(i int) (int, error) {
+			executions.Add(1)
+			return (i % 3) * 100, nil
+		},
+	}
+	cfgs := make([]int, 12)
+	for i := range cfgs {
+		cfgs[i] = i
+	}
+	res, st, err := p.Map(cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range res {
+		if want := (i % 3) * 100; r != want {
+			t.Errorf("res[%d] = %d, want %d", i, r, want)
+		}
+	}
+	if got := offloads.Load(); got != 3 {
+		t.Errorf("Offload called %d times, want 3 (once per key)", got)
+	}
+	if got := executions.Load(); got != 1 {
+		t.Errorf("executed %d local runs, want 1 (the declined key)", got)
+	}
+	if st.Offloaded != 2 || st.Executed != 3 || st.CacheHits != 9 {
+		t.Errorf("stats = %+v, want 2 offloaded of 3 executed + 9 hits", st)
+	}
+	// Offloaded results are persisted to the backend like local runs.
+	if got := backend.puts.Load(); got != 3 {
+		t.Errorf("backend.Put called %d times, want 3", got)
+	}
+}
+
+// TestMapOffloadUncacheable: configs without a canonical key never offload —
+// there is no identity to route by.
+func TestMapOffloadUncacheable(t *testing.T) {
+	var offloads atomic.Int64
+	p := &Pool[int, int]{
+		Workers: 2,
+		Key:     func(int) (string, bool) { return "", false },
+		Offload: func(string, int) (int, bool) { offloads.Add(1); return 0, true },
+		Run:     func(i int) (int, error) { return i, nil },
+	}
+	if _, st, err := p.Map([]int{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	} else if st.Offloaded != 0 || offloads.Load() != 0 {
+		t.Errorf("uncacheable configs offloaded: %+v, %d calls", st, offloads.Load())
+	}
+}
+
 // slowBackend is a deliberately slow second tier that counts its calls, for
 // proving the singleflight guarantee of the Backend contract: Get and Run
 // are each invoked at most once per key no matter how many concurrent

@@ -26,6 +26,16 @@ var sweepCache = pool.NewCache[Result]()
 // their simulations land in — and are served from — the shared cache.
 var defaultExec = NewExecutor(0)
 
+// RemoteRunner executes one canonical config somewhere else — on a worker
+// fleet, typically — and reports ok=false to decline (fleet empty, worker
+// failure after retries), in which case the executor runs the config
+// locally. key is the config's canonical content hash (ConfigKey), which
+// distributed implementations use for routing so equal configs land on the
+// same worker and hit its cache. Implementations must be safe for
+// concurrent use and must return results bit-identical to Run's; the
+// cluster layer (internal/cluster) verifies this end to end.
+type RemoteRunner func(key string, rc RunConfig) (Result, bool)
+
 // Executor dispatches RunConfigs through the worker-pool sweep executor
 // (package pool) and accumulates sweep statistics across Map calls, so a
 // multi-stage figure (profile pass, then policy runs) reports one total.
@@ -45,14 +55,14 @@ type Executor struct {
 // NewExecutor returns an executor running up to workers concurrent
 // simulations (0 means GOMAXPROCS) against the process-wide result cache.
 func NewExecutor(workers int) *Executor {
-	return newExecutor(workers, sweepCache)
+	return newExecutor(workers, sweepCache, nil)
 }
 
 // NewIsolatedExecutor is NewExecutor with a private, empty result cache.
 // Tests and bit-match verifications use it so a prior run cannot serve
 // their configs from the shared cache.
 func NewIsolatedExecutor(workers int) *Executor {
-	return newExecutor(workers, pool.NewCache[Result]())
+	return newExecutor(workers, pool.NewCache[Result](), nil)
 }
 
 // NewResultCache returns an empty private result cache for
@@ -66,7 +76,19 @@ func NewResultCache() *pool.Cache[Result] {
 // of the process-wide one — the pluggable-cache entry point for callers
 // that manage result persistence themselves.
 func NewExecutorWithCache(workers int, cache *pool.Cache[Result]) *Executor {
-	return newExecutor(workers, cache)
+	return newExecutor(workers, cache, nil)
+}
+
+// NewDistributedExecutor is NewExecutorWithCache with a RemoteRunner
+// layered between the cache tiers and local execution: each cacheable
+// config that misses the cache is offered to remote first and simulated
+// locally only if remote declines. A nil cache uses a private one; a nil
+// remote degrades to a purely local executor.
+func NewDistributedExecutor(workers int, cache *pool.Cache[Result], remote RemoteRunner) *Executor {
+	if cache == nil {
+		cache = pool.NewCache[Result]()
+	}
+	return newExecutor(workers, cache, remote)
 }
 
 // ConfigKey reports the canonical content hash identifying rc's result —
@@ -76,13 +98,19 @@ func ConfigKey(rc RunConfig) (key string, ok bool) {
 	return canonicalKey(rc)
 }
 
-func newExecutor(workers int, cache *pool.Cache[Result]) *Executor {
-	return &Executor{p: pool.Pool[RunConfig, Result]{
+func newExecutor(workers int, cache *pool.Cache[Result], remote RemoteRunner) *Executor {
+	e := &Executor{p: pool.Pool[RunConfig, Result]{
 		Run:     Run,
 		Key:     canonicalKey,
 		Cache:   cache,
 		Workers: workers,
 	}}
+	if remote != nil {
+		e.p.Offload = func(key string, rc RunConfig) (Result, bool) {
+			return remote(key, rc)
+		}
+	}
+	return e
 }
 
 // Map executes every config and returns results in input order; see the
@@ -100,6 +128,7 @@ func (e *Executor) Map(cfgs []RunConfig) ([]Result, error) {
 	e.st.Add(metrics.SweepStats{
 		Runs:      st.Executed,
 		CacheHits: st.CacheHits,
+		Remote:    st.Offloaded,
 		Errors:    st.Errors,
 		Workers:   st.Workers,
 		Accesses:  accesses,

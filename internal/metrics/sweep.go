@@ -11,8 +11,9 @@ import (
 // command-line tools print it, so a user can see both the progress a
 // figure made and what the cache saved.
 type SweepStats struct {
-	Runs      int    // simulations executed
+	Runs      int    // simulations executed (locally or on a remote worker)
 	CacheHits int    // configs answered from the result cache
+	Remote    int    // executed runs offloaded to a worker fleet (subset of Runs)
 	Errors    int    // configs that finished with an error
 	Workers   int    // maximum worker goroutines used
 	Accesses  uint64 // post-L1 accesses simulated by executed runs (cache hits excluded)
@@ -27,6 +28,7 @@ func (s SweepStats) Total() int { return s.Runs + s.CacheHits }
 func (s *SweepStats) Add(o SweepStats) {
 	s.Runs += o.Runs
 	s.CacheHits += o.CacheHits
+	s.Remote += o.Remote
 	s.Errors += o.Errors
 	if o.Workers > s.Workers {
 		s.Workers = o.Workers
@@ -51,10 +53,14 @@ func (s SweepStats) String() string {
 	if s.CacheHits > 0 {
 		cached = fmt.Sprintf(" (+%d cached)", s.CacheHits)
 	}
+	remote := ""
+	if s.Remote > 0 {
+		remote = fmt.Sprintf(", %d remote", s.Remote)
+	}
 	errs := ""
 	if s.Errors > 0 {
 		errs = fmt.Sprintf(", %d errors", s.Errors)
 	}
-	return fmt.Sprintf("%d runs%s in %s, %d workers%s",
-		s.Runs, cached, s.Wall.Round(10*time.Millisecond), s.Workers, errs)
+	return fmt.Sprintf("%d runs%s in %s, %d workers%s%s",
+		s.Runs, cached, s.Wall.Round(10*time.Millisecond), s.Workers, remote, errs)
 }

@@ -43,6 +43,7 @@ func (s *Server) snapshot() snapshot {
 
 		"sim_runs_total":       float64(sweep.Runs),
 		"sim_cache_hits_total": float64(sweep.CacheHits),
+		"sim_remote_total":     float64(sweep.Remote),
 		"sim_errors_total":     float64(sweep.Errors),
 		"sim_accesses_total":   float64(sweep.Accesses),
 		"sim_wall_seconds":     sweep.Wall.Seconds(),
@@ -64,6 +65,11 @@ func (s *Server) snapshot() snapshot {
 		c["cache_disk_puts_total"] = float64(ds.Puts)
 		c["cache_disk_evictions_total"] = float64(ds.Evictions)
 		c["cache_disk_load_errors_total"] = float64(ds.LoadErrors)
+	}
+	if s.cfg.ExtraMetrics != nil {
+		for name, v := range s.cfg.ExtraMetrics() {
+			c[name] = v
+		}
 	}
 	return snapshot{counters: c, states: states}
 }

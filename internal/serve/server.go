@@ -34,6 +34,17 @@ type Config struct {
 	// Logger receives structured request and job logs (default: slog
 	// default logger).
 	Logger *slog.Logger
+	// Remote, when non-nil, turns this daemon into a cluster coordinator:
+	// every cache-missing simulation is offered to it (a worker fleet,
+	// internal/cluster) before running locally. Results are bit-identical
+	// either way.
+	Remote experiments.RemoteRunner
+	// ExtraMetrics, when non-nil, is polled on every /metrics and
+	// /debug/vars scrape and merged into the counter set — the hook the
+	// cluster coordinator uses to export per-worker dispatch metrics
+	// through the daemon's existing metrics path. Keys may carry
+	// Prometheus label syntax (`name{label="v"}`).
+	ExtraMetrics func() map[string]float64
 }
 
 // FigureResult is the wire form of a reproduced figure. It deliberately
@@ -49,6 +60,20 @@ type FigureResult struct {
 	CSV      string             `json:"csv"`
 	Headline map[string]float64 `json:"headline,omitempty"`
 	Notes    []string           `json:"notes,omitempty"`
+}
+
+// NewFigureResult renders a figure into its timing-free wire form — the
+// canonical encoding used for byte-identity comparisons by the daemon's
+// figure endpoint and the cluster merge stage.
+func NewFigureResult(fig experiments.Figure) *FigureResult {
+	return &FigureResult{
+		ID:       fig.ID,
+		Title:    fig.Title,
+		Text:     fig.Table.String(),
+		CSV:      fig.Table.CSV(),
+		Headline: fig.Headline,
+		Notes:    fig.Notes,
+	}
 }
 
 // Server is the hmserved daemon: job queue, two-tier result cache, and
@@ -115,7 +140,7 @@ func New(cfg Config) (*Server, error) {
 		s.cache.SetBackend(disk)
 	}
 	s.runSweep = func(_ context.Context, cfgs []experiments.RunConfig) ([]experiments.Result, metrics.SweepStats, error) {
-		e := experiments.NewExecutorWithCache(cfg.SimWorkers, s.cache)
+		e := experiments.NewDistributedExecutor(cfg.SimWorkers, s.cache, cfg.Remote)
 		res, err := e.Map(cfgs)
 		return res, e.Stats(), err
 	}
@@ -201,6 +226,7 @@ func (s *Server) buildMux() {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
 	mux.HandleFunc("GET /v1/figures/{name}", s.handleFigure)
+	mux.HandleFunc("POST /v1/cluster/run", s.handleClusterRun)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /debug/vars", s.handleVars)
@@ -312,6 +338,61 @@ func (s *Server) handleSubmitSweep(w http.ResponseWriter, r *http.Request) {
 	s.respondJob(w, j, http.StatusAccepted)
 }
 
+// ClusterRunResponse is the wire form of a synchronous worker-mode run:
+// the config's canonical hash (so the coordinator can sanity-check its
+// routing key) and the simulation result. Like FigureResult it carries no
+// timings — the body is a deterministic function of the config, identical
+// whether the run was fresh, memory-cached, or disk-cached.
+type ClusterRunResponse struct {
+	Key    string             `json:"key,omitempty"`
+	JobID  string             `json:"job_id"`
+	Result experiments.Result `json:"result"`
+}
+
+// handleClusterRun is the coordinator-push worker endpoint: it executes one
+// RunConfig synchronously and returns the result. Submissions flow through
+// the same idempotent job queue as everything else, so a coordinator retry
+// of an in-flight config parks on the running job instead of duplicating
+// work, results land in the worker's two-tier cache, and a draining worker
+// answers 503 (the coordinator's cue to fail the config over). Simulation
+// failures are deterministic, so they return 422 — retrying elsewhere
+// cannot help, and the coordinator falls back to a local run to surface
+// the error.
+func (s *Server) handleClusterRun(w http.ResponseWriter, r *http.Request) {
+	var rc experiments.RunConfig
+	if err := json.NewDecoder(r.Body).Decode(&rc); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding RunConfig: "+err.Error())
+		return
+	}
+	key := ""
+	if k, ok := experiments.ConfigKey(rc); ok {
+		key = k
+	}
+	j, err := s.submit("crun", key, s.sweepExec([]experiments.RunConfig{rc}))
+	if err != nil {
+		submitError(w, err)
+		return
+	}
+	select {
+	case <-r.Context().Done():
+		// Coordinator timed out or went away; the job finishes in the
+		// background and a retried dispatch dedups onto it.
+		return
+	case <-j.done:
+	}
+	s.mu.Lock()
+	state, errMsg, res := j.State, j.Err, j.Results
+	s.mu.Unlock()
+	switch {
+	case state == JobDone && len(res) == 1:
+		writeJSON(w, http.StatusOK, ClusterRunResponse{Key: key, JobID: j.ID, Result: res[0]})
+	case state == JobCanceled:
+		writeError(w, http.StatusServiceUnavailable, "job canceled during shutdown")
+	default:
+		writeError(w, http.StatusUnprocessableEntity, errMsg)
+	}
+}
+
 // sweepExec builds the exec closure shared by run and sweep jobs.
 func (s *Server) sweepExec(cfgs []experiments.RunConfig) func(ctx context.Context, j *Job) error {
 	return func(ctx context.Context, j *Job) error {
@@ -387,7 +468,7 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown figure %q (have %s)", name, strings.Join(experiments.IDs(), " ")))
 		return
 	}
-	opts := experiments.Options{Cache: s.cache, Workers: s.cfg.SimWorkers}
+	opts := experiments.Options{Cache: s.cache, Workers: s.cfg.SimWorkers, Remote: s.cfg.Remote}
 	q := r.URL.Query()
 	if v := q.Get("shrink"); v != "" {
 		n, err := strconv.Atoi(v)
@@ -415,14 +496,7 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return err
 		}
-		fr := &FigureResult{
-			ID:       fig.ID,
-			Title:    fig.Title,
-			Text:     fig.Table.String(),
-			CSV:      fig.Table.CSV(),
-			Headline: fig.Headline,
-			Notes:    fig.Notes,
-		}
+		fr := NewFigureResult(fig)
 		s.mu.Lock()
 		j.Figure = fr
 		j.Sweep = fig.Sweep

@@ -247,6 +247,102 @@ func TestRunAndSweepJobs(t *testing.T) {
 	}
 }
 
+// TestClusterRunEndpoint: the synchronous worker-mode endpoint returns the
+// canonical key and a result identical to /v1/runs', dedups repeats onto
+// the cached job, and 422s deterministic simulation failures.
+func TestClusterRunEndpoint(t *testing.T) {
+	_, ts := testServer(t, Config{CacheDir: t.TempDir()})
+	body := `{"Workload":"bfs","Shrink":16}`
+	code, respBody := post(t, ts.URL+"/v1/cluster/run", body)
+	if code != http.StatusOK {
+		t.Fatalf("cluster run: status %d, body %s", code, respBody)
+	}
+	var resp ClusterRunResponse
+	if err := json.Unmarshal(respBody, &resp); err != nil {
+		t.Fatal(err)
+	}
+	wantKey, _ := experiments.ConfigKey(experiments.RunConfig{Workload: "bfs", Shrink: 16})
+	if resp.Key != wantKey {
+		t.Errorf("key = %s, want %s", resp.Key, wantKey)
+	}
+	if resp.Result.Perf <= 0 {
+		t.Errorf("bad result: %+v", resp.Result)
+	}
+
+	// A repeat is answered from the result cache, byte-identical except for
+	// the job id — so compare the result fields.
+	code, respBody2 := post(t, ts.URL+"/v1/cluster/run", body)
+	if code != http.StatusOK {
+		t.Fatalf("repeat cluster run: status %d", code)
+	}
+	var resp2 ClusterRunResponse
+	if err := json.Unmarshal(respBody2, &resp2); err != nil {
+		t.Fatal(err)
+	}
+	if resp2.JobID != resp.JobID {
+		t.Errorf("repeat got job %s, want dedup onto %s", resp2.JobID, resp.JobID)
+	}
+	r1, _ := json.Marshal(resp.Result)
+	r2, _ := json.Marshal(resp2.Result)
+	if !bytes.Equal(r1, r2) {
+		t.Error("cached cluster-run result not byte-identical")
+	}
+	if runs := metric(t, ts, "sim_runs_total"); runs != 1 {
+		t.Errorf("sim_runs_total = %v, want 1", runs)
+	}
+
+	// A config that fails deterministically (unknown workload) is 422:
+	// retrying it on another worker cannot help.
+	code, respBody = post(t, ts.URL+"/v1/cluster/run", `{"Workload":"nosuch","Shrink":16}`)
+	if code != http.StatusUnprocessableEntity {
+		t.Errorf("failing config: status %d (body %s), want 422", code, respBody)
+	}
+}
+
+// TestClusterRunDraining: a draining worker refuses cluster runs with 503 —
+// the coordinator's signal to fail the config over to the next worker.
+func TestClusterRunDraining(t *testing.T) {
+	s, ts := testServer(t, Config{JobWorkers: 1})
+	release := make(chan struct{})
+	s.runSweep = slowSweep(release)
+	defer close(release)
+	if code, _ := post(t, ts.URL+"/v1/runs", `{"Workload":"bfs","Shrink":16}`); code != http.StatusAccepted {
+		t.Fatal("could not occupy the worker")
+	}
+	go s.Shutdown(context.Background())
+	waitDraining(t, s)
+	code, _ := post(t, ts.URL+"/v1/cluster/run", `{"Workload":"stencil","Shrink":16}`)
+	if code != http.StatusServiceUnavailable {
+		t.Errorf("cluster run while draining: status %d, want 503", code)
+	}
+}
+
+// TestExtraMetrics: Config.ExtraMetrics entries appear on /metrics (with
+// label syntax intact) and /debug/vars.
+func TestExtraMetrics(t *testing.T) {
+	_, ts := testServer(t, Config{ExtraMetrics: func() map[string]float64 {
+		return map[string]float64{
+			"cluster_workers_alive":                 2,
+			`cluster_worker_jobs_total{worker="a"}`: 7,
+		}
+	}})
+	if v := metric(t, ts, "cluster_workers_alive"); v != 2 {
+		t.Errorf("cluster_workers_alive = %v, want 2", v)
+	}
+	_, body := get(t, ts.URL+"/metrics")
+	if !strings.Contains(string(body), `hmserved_cluster_worker_jobs_total{worker="a"} 7`) {
+		t.Errorf("labeled extra metric missing from /metrics:\n%s", body)
+	}
+	_, body = get(t, ts.URL+"/debug/vars")
+	var vars map[string]any
+	if err := json.Unmarshal(body, &vars); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := vars["cluster_workers_alive"]; !ok {
+		t.Error("/debug/vars missing extra metric")
+	}
+}
+
 // TestUnknownFigure: bad figure names 404 rather than queueing work.
 func TestUnknownFigure(t *testing.T) {
 	_, ts := testServer(t, Config{}) // no disk tier

@@ -1,0 +1,108 @@
+#!/usr/bin/env sh
+# Local hmserved fleet helper.
+#
+#   scripts/cluster.sh fleet [n]    start n workers (default 3) on
+#                                   localhost:18081.. and stream their logs;
+#                                   ctrl-C drains and stops them all
+#   scripts/cluster.sh smoke        2-worker + coordinator end-to-end check:
+#                                   fetch one figure through the cluster with
+#                                   -cluster-verify (bytes vs a local render)
+#                                   and again via a coordinator daemon, then
+#                                   diff the CSVs against a plain local run
+#
+# Workers use throwaway cache directories so repeated runs stay hermetic.
+# Everything binds to 127.0.0.1 only.
+set -eu
+
+BASE_PORT="${BASE_PORT:-18081}"
+FIG="${FIG:-fig2a}"
+SWEEP_OPTS="-shrink 16 -workloads bfs,stencil"
+
+cd "$(dirname "$0")/.."
+
+tmp="$(mktemp -d "${TMPDIR:-/tmp}/hmcluster.XXXXXX")"
+pids=""
+cleanup() {
+    # Signal the whole fleet, then wait so drains finish before we rm -rf.
+    for p in $pids; do kill "$p" 2>/dev/null || true; done
+    for p in $pids; do wait "$p" 2>/dev/null || true; done
+    rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+go build -o "$tmp/hmserved" ./cmd/hmserved
+go build -o "$tmp/hmexp" ./cmd/hmexp
+
+start_worker() { # port
+    "$tmp/hmserved" -addr "127.0.0.1:$1" -cache-dir "$tmp/cache-$1" \
+        -drain 5s 2>>"$tmp/worker-$1.log" &
+    pids="$pids $!"
+}
+
+wait_healthy() { # url
+    for _ in $(seq 1 50); do
+        if command -v curl >/dev/null 2>&1; then
+            curl -fsS "$1/healthz" >/dev/null 2>&1 && return 0
+        else
+            wget -qO- "$1/healthz" >/dev/null 2>&1 && return 0
+        fi
+        sleep 0.2
+    done
+    echo "cluster.sh: worker at $1 never became healthy" >&2
+    cat "$tmp"/worker-*.log >&2 || true
+    return 1
+}
+
+case "${1:-fleet}" in
+fleet)
+    n="${2:-3}"
+    urls=""
+    i=0
+    while [ "$i" -lt "$n" ]; do
+        port=$((BASE_PORT + i))
+        start_worker "$port"
+        urls="$urls${urls:+,}http://127.0.0.1:$port"
+        i=$((i + 1))
+    done
+    for u in $(echo "$urls" | tr ',' ' '); do wait_healthy "$u"; done
+    echo "fleet up: $urls"
+    echo "try: go run ./cmd/hmexp -cluster $urls $SWEEP_OPTS $FIG"
+    echo "ctrl-C stops the fleet"
+    tail -f "$tmp"/worker-*.log
+    ;;
+smoke)
+    w1="http://127.0.0.1:$BASE_PORT"
+    w2="http://127.0.0.1:$((BASE_PORT + 1))"
+    start_worker "$BASE_PORT"
+    start_worker "$((BASE_PORT + 1))"
+    wait_healthy "$w1"
+    wait_healthy "$w2"
+
+    echo "== cluster render of $FIG with byte-identity verification =="
+    # shellcheck disable=SC2086
+    "$tmp/hmexp" -cluster "$w1,$w2" -cluster-verify $SWEEP_OPTS \
+        -out "$tmp/out-cluster" "$FIG"
+
+    echo "== same figure via a coordinator daemon =="
+    coord_port=$((BASE_PORT + 2))
+    "$tmp/hmserved" -addr "127.0.0.1:$coord_port" -cache-dir "$tmp/cache-coord" \
+        -cluster "$w1,$w2" -drain 5s 2>>"$tmp/worker-$coord_port.log" &
+    pids="$pids $!"
+    wait_healthy "http://127.0.0.1:$coord_port"
+    # shellcheck disable=SC2086
+    "$tmp/hmexp" -server "http://127.0.0.1:$coord_port" $SWEEP_OPTS \
+        -out "$tmp/out-coord" "$FIG" >/dev/null
+
+    echo "== plain local render =="
+    # shellcheck disable=SC2086
+    "$tmp/hmexp" $SWEEP_OPTS -out "$tmp/out-local" "$FIG" >/dev/null
+
+    diff "$tmp/out-cluster/$FIG.csv" "$tmp/out-local/$FIG.csv"
+    diff "$tmp/out-coord/$FIG.csv" "$tmp/out-local/$FIG.csv"
+    echo "cluster smoke OK: $FIG byte-identical across cluster, coordinator daemon, and local runs"
+    ;;
+*)
+    echo "usage: scripts/cluster.sh fleet [n] | smoke" >&2
+    exit 2
+    ;;
+esac
