@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet check bench bench-sweep bench-serve serve cluster cluster-smoke clean
+.PHONY: all build test race vet check bench bench-compare bench-sweep bench-serve serve cluster cluster-smoke trace-smoke clean
 
 all: build
 
@@ -18,10 +18,10 @@ test:
 
 # Race-check the packages that exercise concurrency: the worker-pool sweep
 # executor, every figure sweep dispatched through it, the daemon's job
-# queue / two-tier cache, and the cluster coordinator's dispatch and
-# heartbeat paths.
+# queue / two-tier cache, the cluster coordinator's dispatch and heartbeat
+# paths, and the telemetry recorder fed by all of them in parallel.
 race:
-	$(GO) test -race ./internal/experiments/... ./internal/serve/ ./internal/cluster/
+	$(GO) test -race ./internal/experiments/... ./internal/serve/ ./internal/cluster/ ./internal/telemetry/ ./internal/metrics/
 
 vet:
 	$(GO) vet ./...
@@ -40,6 +40,16 @@ bench:
 	  | tee bench_$(BENCH_SHA).txt
 	$(GO) run ./cmd/benchjson -commit $(BENCH_SHA) < bench_$(BENCH_SHA).txt > BENCH_$(BENCH_SHA).json
 	@echo wrote BENCH_$(BENCH_SHA).json
+
+# Benchmark guardrail: take a fresh snapshot and diff it against the
+# committed baseline, failing on regressions beyond BENCH_THRESHOLD
+# percent on ns/op. CI runs this non-blocking (shared runners are noisy);
+# locally it is the quick "did I slow the simulator down" check.
+BENCH_BASELINE ?= BENCH_d0de864.json
+BENCH_THRESHOLD ?= 25
+bench-compare: bench
+	$(GO) run ./cmd/benchjson compare -threshold $(BENCH_THRESHOLD) \
+	  $(BENCH_BASELINE) BENCH_$(BENCH_SHA).json
 
 # Sweep-scaling headline: the Figure 2a grid with one worker vs all CPUs.
 bench-sweep:
@@ -64,6 +74,13 @@ cluster:
 # through the fleet, output diffed byte-for-byte against a local render.
 cluster-smoke:
 	scripts/cluster.sh smoke
+
+# End-to-end telemetry check: a tiny sweep through a 2-worker fleet with
+# -trace-out, then the emitted Chrome/Perfetto trace (trace-smoke.json)
+# is validated with hmtrace. CI uploads the file as an artifact, so every
+# run leaves an openable timeline behind.
+trace-smoke:
+	scripts/cluster.sh trace
 
 clean:
 	$(GO) clean ./...

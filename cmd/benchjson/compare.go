@@ -1,0 +1,120 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// comparison is the verdict for one benchmark shared by both artifacts.
+type comparison struct {
+	Name       string
+	Old, New   float64
+	DeltaPct   float64 // (new-old)/old * 100; positive = slower
+	Regression bool    // DeltaPct > threshold
+}
+
+// compareMain implements `benchjson compare [flags] old.json new.json`.
+// Returns the process exit code: 0 when no shared benchmark regressed
+// beyond the threshold, 1 when one did, 2 on usage or read errors.
+func compareMain(args []string) int {
+	fs := flag.NewFlagSet("benchjson compare", flag.ContinueOnError)
+	threshold := fs.Float64("threshold", 10, "fail when a benchmark slows down by more than this percent")
+	metric := fs.String("metric", "ns/op", "metric to compare (higher = worse)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchjson compare [-threshold pct] [-metric ns/op] old.json new.json")
+		return 2
+	}
+	oldArt, err := readArtifact(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson compare:", err)
+		return 2
+	}
+	newArt, err := readArtifact(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson compare:", err)
+		return 2
+	}
+
+	comps, onlyOld, onlyNew := compare(oldArt, newArt, *metric, *threshold)
+	failed := false
+	for _, c := range comps {
+		mark := " "
+		if c.Regression {
+			mark = "!"
+			failed = true
+		}
+		fmt.Printf("%s %-48s %14.2f -> %14.2f  %+7.2f%%\n", mark, c.Name, c.Old, c.New, c.DeltaPct)
+	}
+	for _, n := range onlyOld {
+		fmt.Printf("  %-48s only in %s\n", n, fs.Arg(0))
+	}
+	for _, n := range onlyNew {
+		fmt.Printf("  %-48s only in %s\n", n, fs.Arg(1))
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchjson compare: regression above %.1f%% on %s\n", *threshold, *metric)
+		return 1
+	}
+	fmt.Printf("ok: %d benchmarks within %.1f%% on %s\n", len(comps), *threshold, *metric)
+	return 0
+}
+
+func readArtifact(path string) (Artifact, error) {
+	var art Artifact
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return art, err
+	}
+	if err := json.Unmarshal(b, &art); err != nil {
+		return art, fmt.Errorf("%s: %w", path, err)
+	}
+	return art, nil
+}
+
+// compare diffs the shared benchmarks of two artifacts on one metric.
+// Benchmarks carrying the metric in both artifacts are compared;
+// everything else lands in onlyOld/onlyNew (missing entirely, or missing
+// the metric). Results are sorted by name for deterministic output.
+func compare(oldArt, newArt Artifact, metric string, threshold float64) (comps []comparison, onlyOld, onlyNew []string) {
+	oldBy := map[string]float64{}
+	for _, b := range oldArt.Benchmarks {
+		if v, ok := b.Metrics[metric]; ok {
+			oldBy[b.Name] = v
+		}
+	}
+	seen := map[string]bool{}
+	for _, b := range newArt.Benchmarks {
+		nv, ok := b.Metrics[metric]
+		if !ok {
+			onlyNew = append(onlyNew, b.Name)
+			continue
+		}
+		ov, shared := oldBy[b.Name]
+		if !shared {
+			onlyNew = append(onlyNew, b.Name)
+			continue
+		}
+		seen[b.Name] = true
+		c := comparison{Name: b.Name, Old: ov, New: nv}
+		if ov > 0 {
+			c.DeltaPct = (nv - ov) / ov * 100
+		}
+		c.Regression = c.DeltaPct > threshold
+		comps = append(comps, c)
+	}
+	for name := range oldBy {
+		if !seen[name] {
+			onlyOld = append(onlyOld, name)
+		}
+	}
+	sort.Slice(comps, func(i, j int) bool { return comps[i].Name < comps[j].Name })
+	sort.Strings(onlyOld)
+	sort.Strings(onlyNew)
+	return comps, onlyOld, onlyNew
+}

@@ -1,0 +1,125 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+)
+
+func art(benches ...Benchmark) Artifact { return Artifact{Benchmarks: benches} }
+
+func bench(name string, nsop float64) Benchmark {
+	return Benchmark{Name: name, Metrics: map[string]float64{"ns/op": nsop}}
+}
+
+func TestCompare(t *testing.T) {
+	tests := []struct {
+		name      string
+		oldA, new Artifact
+		metric    string
+		threshold float64
+		wantComps []comparison
+		wantOld   []string
+		wantNew   []string
+		wantFail  bool
+	}{
+		{
+			name:      "within threshold",
+			oldA:      art(bench("BenchmarkRun", 100)),
+			new:       art(bench("BenchmarkRun", 105)),
+			metric:    "ns/op",
+			threshold: 10,
+			wantComps: []comparison{{Name: "BenchmarkRun", Old: 100, New: 105, DeltaPct: 5}},
+		},
+		{
+			name:      "regression beyond threshold",
+			oldA:      art(bench("BenchmarkRun", 100)),
+			new:       art(bench("BenchmarkRun", 125)),
+			metric:    "ns/op",
+			threshold: 10,
+			wantComps: []comparison{{Name: "BenchmarkRun", Old: 100, New: 125, DeltaPct: 25, Regression: true}},
+			wantFail:  true,
+		},
+		{
+			name:      "improvement never fails",
+			oldA:      art(bench("BenchmarkRun", 100)),
+			new:       art(bench("BenchmarkRun", 50)),
+			metric:    "ns/op",
+			threshold: 10,
+			wantComps: []comparison{{Name: "BenchmarkRun", Old: 100, New: 50, DeltaPct: -50}},
+		},
+		{
+			name:      "exactly at threshold passes",
+			oldA:      art(bench("BenchmarkRun", 100)),
+			new:       art(bench("BenchmarkRun", 110)),
+			metric:    "ns/op",
+			threshold: 10,
+			wantComps: []comparison{{Name: "BenchmarkRun", Old: 100, New: 110, DeltaPct: 10}},
+		},
+		{
+			name:      "benchmarks in only one artifact are reported, never fatal",
+			oldA:      art(bench("BenchmarkRetired", 100), bench("BenchmarkShared", 10)),
+			new:       art(bench("BenchmarkShared", 10), bench("BenchmarkAdded", 999)),
+			metric:    "ns/op",
+			threshold: 10,
+			wantComps: []comparison{{Name: "BenchmarkShared", Old: 10, New: 10}},
+			wantOld:   []string{"BenchmarkRetired"},
+			wantNew:   []string{"BenchmarkAdded"},
+		},
+		{
+			name:      "missing metric lands in onlyNew",
+			oldA:      art(bench("BenchmarkRun", 100)),
+			new:       art(Benchmark{Name: "BenchmarkRun", Metrics: map[string]float64{"B/op": 48}}),
+			metric:    "ns/op",
+			threshold: 10,
+			wantOld:   []string{"BenchmarkRun"},
+			wantNew:   []string{"BenchmarkRun"},
+		},
+		{
+			name:      "alternate metric",
+			oldA:      art(Benchmark{Name: "BenchmarkRun", Metrics: map[string]float64{"allocs/op": 0}}),
+			new:       art(Benchmark{Name: "BenchmarkRun", Metrics: map[string]float64{"allocs/op": 3}}),
+			metric:    "allocs/op",
+			threshold: 10,
+			wantComps: []comparison{{Name: "BenchmarkRun", Old: 0, New: 3, DeltaPct: 0}},
+		},
+		{
+			name:      "sorted output across several benchmarks",
+			oldA:      art(bench("BenchmarkZ", 10), bench("BenchmarkA", 10)),
+			new:       art(bench("BenchmarkZ", 10), bench("BenchmarkA", 10)),
+			metric:    "ns/op",
+			threshold: 10,
+			wantComps: []comparison{
+				{Name: "BenchmarkA", Old: 10, New: 10},
+				{Name: "BenchmarkZ", Old: 10, New: 10},
+			},
+		},
+		{
+			name:      "empty artifacts",
+			oldA:      art(),
+			new:       art(),
+			metric:    "ns/op",
+			threshold: 10,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			comps, onlyOld, onlyNew := compare(tt.oldA, tt.new, tt.metric, tt.threshold)
+			if !reflect.DeepEqual(comps, tt.wantComps) {
+				t.Errorf("comps = %+v, want %+v", comps, tt.wantComps)
+			}
+			if !reflect.DeepEqual(onlyOld, tt.wantOld) {
+				t.Errorf("onlyOld = %v, want %v", onlyOld, tt.wantOld)
+			}
+			if !reflect.DeepEqual(onlyNew, tt.wantNew) {
+				t.Errorf("onlyNew = %v, want %v", onlyNew, tt.wantNew)
+			}
+			failed := false
+			for _, c := range comps {
+				failed = failed || c.Regression
+			}
+			if failed != tt.wantFail {
+				t.Errorf("regression verdict = %v, want %v", failed, tt.wantFail)
+			}
+		})
+	}
+}

@@ -12,6 +12,16 @@
 // becomes one record keyed by the benchmark name (GOMAXPROCS suffix
 // stripped) with every value/unit pair kept verbatim, so custom metrics
 // such as events/sec survive alongside ns/op, B/op, and allocs/op.
+//
+// The compare subcommand diffs two artifacts and exits nonzero when any
+// shared benchmark regressed beyond the threshold — the CI guardrail
+// against quiet performance loss:
+//
+//	benchjson compare -threshold 10 BENCH_old.json BENCH_new.json
+//
+// Comparison is on -metric (default ns/op, where higher is worse).
+// Benchmarks present in only one artifact are reported but never fail the
+// comparison, so adding or retiring benchmarks doesn't break CI.
 package main
 
 import (
@@ -42,6 +52,9 @@ type Artifact struct {
 }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "compare" {
+		os.Exit(compareMain(os.Args[2:]))
+	}
 	commit := flag.String("commit", "", "git commit identifier recorded in the artifact")
 	flag.Parse()
 

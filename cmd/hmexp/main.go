@@ -11,6 +11,7 @@
 //	hmexp -server http://localhost:8080 fig3 # offload sweeps to hmserved
 //	hmexp -cluster http://w1:8081,http://w2:8082 fig3   # shard sweeps across a fleet
 //	hmexp -cluster http://w1:8081,http://w2:8082 -cluster-verify fig3
+//	hmexp -trace-out sweep.json -shrink 16 fig2a     # Perfetto timeline of the run
 //
 // Each figure's simulations run on a worker pool sized by -workers
 // (default: all CPUs); -parallel additionally renders whole figures
@@ -32,6 +33,13 @@
 // -cluster-verify additionally re-renders each figure locally and fails
 // unless the two encodings are byte-identical. A dispatch summary is
 // printed to stderr on exit. -server and -cluster are mutually exclusive.
+//
+// With -trace-out, the run's execution telemetry (internal/telemetry) is
+// recorded and written as Chrome trace-event JSON, loadable in Perfetto
+// (ui.perfetto.dev): per-figure sweeps, cache-tier consultations, cluster
+// dispatches, and — when workers run with -telemetry or receive the trace
+// header — the worker-side queue waits and simulation runs, all under one
+// trace ID. Results are byte-identical with or without tracing.
 //
 // Flags must precede the figure identifiers (standard Go flag parsing).
 package main
@@ -55,6 +63,7 @@ import (
 	"hetsim/internal/plot"
 	"hetsim/internal/prof"
 	"hetsim/internal/serve"
+	"hetsim/internal/telemetry"
 )
 
 func main() {
@@ -74,6 +83,8 @@ func main() {
 		srvRetry  = flag.Int("server-retries", 2, "retries (with backoff) for transient -server failures")
 		fleet     = flag.String("cluster", "", "comma-separated hmserved worker URLs; shard each figure's simulations across this fleet")
 		cVerify   = flag.Bool("cluster-verify", false, "with -cluster, also render each figure locally and fail unless byte-identical")
+		traceOut  = flag.String("trace-out", "", "write a Chrome trace-event JSON timeline of this run to the file (open in Perfetto)")
+		cMetrics  = flag.String("cluster-metrics", "", "with -cluster, serve the coordinator's Prometheus /metrics on this address (e.g. :9090)")
 	)
 	flag.Parse()
 	args := flag.Args()
@@ -89,11 +100,43 @@ func main() {
 		fmt.Fprintln(os.Stderr, "hmexp: -cluster-verify requires -cluster")
 		os.Exit(2)
 	}
+	if *cMetrics != "" && *fleet == "" {
+		fmt.Fprintln(os.Stderr, "hmexp: -cluster-metrics requires -cluster")
+		os.Exit(2)
+	}
 	stopProf, err := prof.Start(*cpuProf, *memProf)
 	if err != nil {
 		fatal(err)
 	}
 	defer stopProf()
+
+	// -trace-out turns on the process recorder and, at exit (success or
+	// failure), dumps everything it collected — including spans imported
+	// from workers — as a Perfetto-loadable Chrome trace.
+	var root *telemetry.Span
+	if *traceOut != "" {
+		telemetry.Default.SetEnabled(true)
+		telemetry.Default.SetProc("hmexp")
+		root = telemetry.Default.Trace("").Start(nil, "hmexp")
+		root.SetAttr("args", strings.Join(args, " "))
+		flushTrace = func() {
+			root.End()
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "hmexp: trace-out:", err)
+				return
+			}
+			defer f.Close()
+			recs := telemetry.Default.Records()
+			if err := telemetry.WriteChromeTrace(f, recs); err != nil {
+				fmt.Fprintln(os.Stderr, "hmexp: trace-out:", err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "hmexp: wrote %d spans (trace %s) to %s\n",
+				len(recs), root.TraceID(), *traceOut)
+		}
+		defer flushTrace()
+	}
 
 	opts := heteromem.Options{Shrink: *shrink, Workers: *workers}
 	if *workloads != "" {
@@ -109,17 +152,27 @@ func main() {
 		}
 		defer coord.Close()
 	}
+	if *cMetrics != "" {
+		go func() {
+			if err := http.ListenAndServe(*cMetrics, coord.MetricsHandler()); err != nil {
+				fmt.Fprintln(os.Stderr, "hmexp: cluster-metrics:", err)
+			}
+		}()
+	}
 
 	// figure renders one figure: sharded across the fleet in cluster mode
-	// (optionally verified against a local render), locally otherwise.
-	figure := func(id string) (heteromem.Fig, error) {
+	// (optionally verified against a local render), locally otherwise. sp
+	// scopes the figure's telemetry (nil when -trace-out is off).
+	figure := func(sp *telemetry.Span, id string) (heteromem.Fig, error) {
+		fopts := opts
+		fopts.Span = sp
 		switch {
 		case coord != nil && *cVerify:
-			return coord.VerifyFigure(id, opts)
+			return coord.VerifyFigure(id, fopts)
 		case coord != nil:
-			return coord.Figure(id, opts)
+			return coord.Figure(id, fopts)
 		default:
-			return heteromem.Figure(id, opts)
+			return heteromem.Figure(id, fopts)
 		}
 	}
 
@@ -132,13 +185,13 @@ func main() {
 		ids = append(ids, a)
 	}
 
-	render := func(id string) (string, error) {
+	render := func(sp *telemetry.Span, id string) (string, error) {
 		var sb strings.Builder
 		if *server != "" {
 			if id == "cdf" {
 				return "", fmt.Errorf("the cdf command is local-only; drop -server")
 			}
-			fr, err := fetchFigure(*server, id, opts, &http.Client{Timeout: *srvTO}, *srvRetry)
+			fr, err := fetchFigure(sp, *server, id, opts, &http.Client{Timeout: *srvTO}, *srvRetry)
 			if err != nil {
 				return "", err
 			}
@@ -190,7 +243,7 @@ func main() {
 			}
 			return sb.String(), nil
 		}
-		fig, err := figure(id)
+		fig, err := figure(sp, id)
 		if err != nil {
 			return "", err
 		}
@@ -231,12 +284,15 @@ func main() {
 	}
 	p := pool.Pool[string, rendered]{
 		Workers: *parallel,
-		Run: func(id string) (rendered, error) {
-			text, err := render(id)
+		Run: func(sp *telemetry.Span, id string) (rendered, error) {
+			if sp != nil {
+				sp.SetAttr("figure", id)
+			}
+			text, err := render(sp, id)
 			return rendered{text, err}, nil
 		},
 	}
-	outs, _, err := p.Map(ids)
+	outs, _, err := p.MapSpan(root, ids)
 	if err != nil {
 		fatal(err)
 	}
@@ -253,9 +309,15 @@ func main() {
 	}
 	if failed {
 		stopProf()
+		flushTrace()
 		os.Exit(1)
 	}
 }
+
+// flushTrace dumps the collected telemetry spans to -trace-out; a no-op
+// until -trace-out installs the real writer. Exit paths that bypass defers
+// (os.Exit) call it explicitly.
+var flushTrace = func() {}
 
 func writeTable(sb *strings.Builder, tb *heteromem.Table, csv bool) {
 	if csv {
@@ -272,7 +334,7 @@ func writeTable(sb *strings.Builder, tb *heteromem.Table, csv bool) {
 // are retried up to `retries` times with exponential backoff. 4xx
 // responses (unknown figure, bad options) fail immediately: retrying
 // cannot change a deterministic rejection.
-func fetchFigure(base, id string, opts heteromem.Options, client *http.Client, retries int) (*serve.FigureResult, error) {
+func fetchFigure(sp *telemetry.Span, base, id string, opts heteromem.Options, client *http.Client, retries int) (*serve.FigureResult, error) {
 	u, err := url.Parse(strings.TrimSuffix(base, "/") + "/v1/figures/" + url.PathEscape(id))
 	if err != nil {
 		return nil, fmt.Errorf("bad -server URL: %w", err)
@@ -299,7 +361,7 @@ func fetchFigure(base, id string, opts heteromem.Options, client *http.Client, r
 			fmt.Fprintf(os.Stderr, "hmexp: %s: retrying in %s: %v\n", id, delay, lastErr)
 			time.Sleep(delay)
 		}
-		fr, retryable, err := fetchOnce(client, u.String())
+		fr, retryable, err := fetchOnce(sp, client, u.String())
 		if err == nil {
 			return fr, nil
 		}
@@ -312,9 +374,15 @@ func fetchFigure(base, id string, opts heteromem.Options, client *http.Client, r
 }
 
 // fetchOnce performs a single figure fetch; retryable reports whether the
-// failure is transient.
-func fetchOnce(client *http.Client, url string) (fr *serve.FigureResult, retryable bool, err error) {
-	resp, err := client.Get(url)
+// failure is transient. A live span rides along in the trace header so the
+// daemon's request log carries this run's trace ID.
+func fetchOnce(sp *telemetry.Span, client *http.Client, url string) (fr *serve.FigureResult, retryable bool, err error) {
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		return nil, false, err
+	}
+	telemetry.InjectHeader(req.Header, sp)
+	resp, err := client.Do(req)
 	if err != nil {
 		return nil, true, err
 	}
@@ -372,6 +440,7 @@ func sortedKeys(m map[string]float64) []string {
 
 func fatal(err error) {
 	prof.StopAll() // os.Exit bypasses defers; flush profiles explicitly
+	flushTrace()
 	fmt.Fprintln(os.Stderr, "hmexp:", err)
 	os.Exit(1)
 }

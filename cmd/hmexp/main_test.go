@@ -29,7 +29,7 @@ func TestFetchFigureRetriesTransientFailures(t *testing.T) {
 	defer ts.Close()
 
 	client := &http.Client{Timeout: time.Second}
-	fr, err := fetchFigure(ts.URL, "fig2a", heteromem.Options{}, client, 2)
+	fr, err := fetchFigure(nil, ts.URL, "fig2a", heteromem.Options{}, client, 2)
 	if err != nil {
 		t.Fatalf("fetch failed despite retries: %v", err)
 	}
@@ -44,7 +44,7 @@ func TestFetchFigureExhaustsRetries(t *testing.T) {
 	ts := httptest.NewServer(figureHandler(&fails, http.StatusInternalServerError))
 	defer ts.Close()
 
-	_, err := fetchFigure(ts.URL, "fig2a", heteromem.Options{}, &http.Client{}, 1)
+	_, err := fetchFigure(nil, ts.URL, "fig2a", heteromem.Options{}, &http.Client{}, 1)
 	if err == nil {
 		t.Fatal("want error after exhausting retries")
 	}
@@ -59,7 +59,7 @@ func TestFetchFigureNoRetryOn4xx(t *testing.T) {
 	ts := httptest.NewServer(figureHandler(&fails, http.StatusNotFound))
 	defer ts.Close()
 
-	_, err := fetchFigure(ts.URL, "nope", heteromem.Options{}, &http.Client{}, 3)
+	_, err := fetchFigure(nil, ts.URL, "nope", heteromem.Options{}, &http.Client{}, 3)
 	if err == nil {
 		t.Fatal("want error on 404")
 	}

@@ -35,6 +35,14 @@
 // exit status 2 rather than silently proceeding with the last value to
 // win.
 //
+// With -telemetry, the daemon records execution spans (internal/telemetry)
+// for every request: structured span logs with trace/span IDs, and span
+// duration histograms merged into /metrics. Requests arriving with the
+// X-Hetsim-Trace header (a tracing hmexp or coordinator) are traced and
+// answered with their span records regardless of -telemetry, so client
+// timelines always include the worker side. Results are byte-identical
+// with telemetry on or off.
+//
 // On SIGINT/SIGTERM the daemon drains: new submissions get 503, queued
 // jobs are canceled, and running jobs get -drain to finish before the
 // process exits. Figure and sweep responses are bit-identical whether
@@ -56,6 +64,7 @@ import (
 
 	"hetsim/internal/cluster"
 	"hetsim/internal/serve"
+	"hetsim/internal/telemetry"
 )
 
 func main() {
@@ -68,6 +77,7 @@ func main() {
 		queueCap = flag.Int("queue", 64, "max queued jobs before submissions get 503")
 		drain    = flag.Duration("drain", 30*time.Second, "graceful-shutdown deadline for running jobs")
 		fleet    = flag.String("cluster", "", "comma-separated worker base URLs; run as coordinator over this fleet")
+		telem    = flag.Bool("telemetry", false, "record execution spans for every request (structured span logs + telemetry histograms on /metrics); header-traced requests are recorded regardless")
 	)
 	if dup := duplicateFlags(os.Args[1:]); len(dup) > 0 {
 		fmt.Fprintf(os.Stderr, "hmserved: flag repeated on command line: -%s\n", strings.Join(dup, ", -"))
@@ -83,6 +93,14 @@ func main() {
 		os.Exit(2)
 	}
 
+	rec := telemetry.NewRecorder()
+	rec.SetProc("hmserved " + *addr)
+	if *telem {
+		rec.SetEnabled(true)
+		rec.SetLogger(logger)
+		logger.Info("telemetry enabled")
+	}
+
 	cfg := serve.Config{
 		CacheDir:      *cacheDir,
 		CacheMaxBytes: *cacheMax,
@@ -90,6 +108,7 @@ func main() {
 		JobWorkers:    *jobs,
 		QueueCap:      *queueCap,
 		Logger:        logger,
+		Telemetry:     rec,
 	}
 	if *fleet != "" {
 		coord, err := cluster.New(cluster.Config{

@@ -1,0 +1,46 @@
+// Command hmtrace works with execution-trace files produced by
+// `hmexp -trace-out` (Chrome trace-event JSON, loadable in Perfetto or
+// chrome://tracing). It is the CI-side counterpart of the exporter: the
+// trace-smoke target runs a tiny cluster sweep and then uses hmtrace to
+// prove the emitted timeline is well-formed before uploading it as an
+// artifact.
+//
+//	hmtrace validate sweep.json    # exit 0 iff the file is a valid, non-empty trace
+//
+// validate parses the file with the same rules Perfetto applies to the
+// JSON trace format — a traceEvents array whose entries are "M" metadata
+// or "X" complete events with name, ts, dur, pid, and tid — and prints a
+// one-line summary (span count). An unreadable, malformed, or span-free
+// trace exits nonzero so a regression in the exporter fails CI instead of
+// silently producing timelines nobody can open.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"hetsim/internal/telemetry"
+)
+
+func main() {
+	if len(os.Args) != 3 || os.Args[1] != "validate" {
+		fmt.Fprintln(os.Stderr, "usage: hmtrace validate <trace.json>")
+		os.Exit(2)
+	}
+	path := os.Args[2]
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hmtrace:", err)
+		os.Exit(1)
+	}
+	spans, err := telemetry.ValidateChromeTrace(data)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hmtrace: %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	if spans == 0 {
+		fmt.Fprintf(os.Stderr, "hmtrace: %s: valid but contains no spans\n", path)
+		os.Exit(1)
+	}
+	fmt.Printf("%s: valid Chrome trace, %d spans\n", path, spans)
+}

@@ -235,7 +235,7 @@ func TestSlowWorkerRetry(t *testing.T) {
 		t.Fatal("config not cacheable")
 	}
 	start := time.Now()
-	res, ok := c.Run(key, rc)
+	res, ok := c.Run(nil, key, rc)
 	if !ok {
 		t.Fatalf("dispatch fell back locally (stats %+v)", c.Stats())
 	}
@@ -267,7 +267,7 @@ func TestHeartbeatEvictionRevival(t *testing.T) {
 	waitFor(t, "eviction", func() bool { _, alive := c.Workers(); return alive == 0 })
 	rc := experiments.RunConfig{Workload: "bfs", Shrink: 16}
 	key, _ := experiments.ConfigKey(rc)
-	if _, ok := c.Run(key, rc); ok {
+	if _, ok := c.Run(nil, key, rc); ok {
 		t.Error("dispatch succeeded against an evicted fleet")
 	}
 	if st := c.Stats(); st.Evictions == 0 || st.LocalFallbacks == 0 {
@@ -279,7 +279,7 @@ func TestHeartbeatEvictionRevival(t *testing.T) {
 	if st := c.Stats(); st.Revivals == 0 {
 		t.Errorf("stats = %+v, want a revival", st)
 	}
-	if _, ok := c.Run(key, rc); !ok {
+	if _, ok := c.Run(nil, key, rc); !ok {
 		t.Error("dispatch still declined after revival")
 	}
 }

@@ -15,6 +15,7 @@ import (
 
 	"hetsim/internal/experiments"
 	"hetsim/internal/serve"
+	"hetsim/internal/telemetry"
 )
 
 // verdict classifies one worker's handling of a dispatched config.
@@ -36,7 +37,13 @@ const (
 // then the next, and so on. Attempts on one worker are serialized through
 // its in-flight semaphore, bounding the pressure any single coordinator
 // puts on any single worker.
-func (c *Coordinator) Run(key string, rc experiments.RunConfig) (experiments.Result, bool) {
+//
+// When sp is a live telemetry span, each attempt is recorded as a
+// "dispatch" child span (worker, rank position, attempt number, outcome),
+// the trace context rides to the worker in the telemetry.TraceHeader, and
+// the span records the worker ships back are imported under sp — one trace
+// ID across client, coordinator, and worker.
+func (c *Coordinator) Run(sp *telemetry.Span, key string, rc experiments.RunConfig) (experiments.Result, bool) {
 	c.mu.Lock()
 	c.dispatches++
 	c.mu.Unlock()
@@ -54,13 +61,15 @@ func (c *Coordinator) Run(key string, rc experiments.RunConfig) (experiments.Res
 			c.mu.Lock()
 			c.failovers++
 			c.mu.Unlock()
+			sp.SetAttr("failovers", i)
 		}
-		res, v := c.tryWorker(w, payload)
+		res, v := c.tryWorker(sp, w, i, payload)
 		switch v {
 		case verdictOK:
 			c.mu.Lock()
 			c.remoteOK++
 			c.mu.Unlock()
+			sp.SetAttr("served_by", w.url)
 			return res, true
 		case verdictLocal:
 			return c.declined(), false
@@ -80,11 +89,21 @@ func (c *Coordinator) declined() experiments.Result {
 
 // tryWorker runs the per-worker attempt loop: acquire an in-flight slot,
 // then up to 1+Retries attempts with backoff between them.
-func (c *Coordinator) tryWorker(w *worker, payload []byte) (experiments.Result, verdict) {
+func (c *Coordinator) tryWorker(sp *telemetry.Span, w *worker, rank int, payload []byte) (experiments.Result, verdict) {
 	w.sem <- struct{}{}
 	defer func() { <-w.sem }()
 	for attempt := 0; ; attempt++ {
-		res, v, retryable := c.once(w, payload)
+		asp := sp.Child("dispatch")
+		if asp != nil {
+			asp.SetAttr("worker", w.url)
+			asp.SetAttr("rank", rank)
+			asp.SetAttr("attempt", attempt)
+		}
+		res, v, retryable := c.once(asp, w, payload)
+		if asp != nil {
+			asp.SetAttr("outcome", verdictName(v, retryable))
+			asp.End()
+		}
 		if v != verdictNextWorker || !retryable || attempt >= c.cfg.Retries {
 			return res, v
 		}
@@ -98,8 +117,23 @@ func (c *Coordinator) tryWorker(w *worker, payload []byte) (experiments.Result, 
 	}
 }
 
+// verdictName labels a dispatch outcome for span attributes.
+func verdictName(v verdict, retryable bool) string {
+	switch v {
+	case verdictOK:
+		return "ok"
+	case verdictLocal:
+		return "local"
+	default:
+		if retryable {
+			return "retry"
+		}
+		return "next_worker"
+	}
+}
+
 // once performs a single dispatch attempt against one worker.
-func (c *Coordinator) once(w *worker, payload []byte) (experiments.Result, verdict, bool) {
+func (c *Coordinator) once(sp *telemetry.Span, w *worker, payload []byte) (experiments.Result, verdict, bool) {
 	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.RequestTimeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
@@ -108,6 +142,7 @@ func (c *Coordinator) once(w *worker, payload []byte) (experiments.Result, verdi
 		return experiments.Result{}, verdictLocal, false
 	}
 	req.Header.Set("Content-Type", "application/json")
+	telemetry.InjectHeader(req.Header, sp)
 	start := time.Now()
 	resp, err := c.client.Do(req)
 	if err != nil {
@@ -135,6 +170,9 @@ func (c *Coordinator) once(w *worker, payload []byte) (experiments.Result, verdi
 		w.lat.Observe(uint64(time.Since(start).Microseconds()))
 		w.mu.Unlock()
 		c.markSuccess(w)
+		// Spans the worker recorded for this request join our trace, so the
+		// exported timeline spans all three processes.
+		sp.Import(cr.Spans)
 		return cr.Result, verdictOK, false
 	case resp.StatusCode == http.StatusServiceUnavailable:
 		// Draining or queue-full: hand this shard to the next worker now.

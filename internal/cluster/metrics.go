@@ -1,6 +1,11 @@
 package cluster
 
-import "fmt"
+import (
+	"fmt"
+	"net/http"
+
+	"hetsim/internal/metrics"
+)
 
 // Stats is a point-in-time snapshot of the coordinator's aggregate
 // counters, for tests and CLI summaries.
@@ -81,4 +86,19 @@ func (c *Coordinator) MetricsMap() map[string]float64 {
 		w.mu.Unlock()
 	}
 	return m
+}
+
+// MetricsHandler serves the coordinator's own Prometheus /metrics endpoint
+// under the hmcluster_ prefix — dispatch, failover, and heartbeat counters
+// plus the per-worker labeled series — so a standalone coordinator (hmexp
+// -cluster, hmserved -cluster before ExtraMetrics wiring) exports the same
+// observability surface as its workers.
+func (c *Coordinator) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		fmt.Fprintln(w, "hmcluster_up 1")
+		// Map keys already carry the cluster_ prefix, so "hm" yields
+		// hmcluster_-prefixed series matching the gauge above.
+		metrics.WriteText(w, "hm", c.MetricsMap())
+	})
 }

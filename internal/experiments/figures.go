@@ -8,6 +8,7 @@ import (
 	"hetsim/internal/gpu"
 	"hetsim/internal/memsys"
 	"hetsim/internal/metrics"
+	"hetsim/internal/telemetry"
 	"hetsim/internal/vm"
 	"hetsim/internal/workloads"
 )
@@ -35,6 +36,11 @@ type Options struct {
 	// it — remote results are required to match local ones, and the
 	// cluster layer asserts so.
 	Remote RemoteRunner
+	// Span, when non-nil, is the telemetry parent for this reproduction:
+	// every sweep the figure dispatches becomes a child span of it (see
+	// internal/telemetry). Purely observational — results are identical
+	// with or without it.
+	Span *telemetry.Span
 }
 
 func (o Options) workloadList() []string {
@@ -66,7 +72,7 @@ func (o Options) executor() *Executor {
 	if cache == nil {
 		cache = sweepCache
 	}
-	return newExecutor(o.Workers, cache, o.Remote)
+	return newExecutor(o.Workers, cache, o.Remote).WithSpan(o.Span)
 }
 
 // Figure is one reproduced table or figure.

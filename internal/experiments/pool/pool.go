@@ -28,6 +28,8 @@ import (
 	"runtime/debug"
 	"sync"
 	"time"
+
+	"hetsim/internal/telemetry"
 )
 
 // Stats summarizes the work a Map call performed.
@@ -107,8 +109,11 @@ func (c *Cache[R]) Len() int {
 type Pool[C, R any] struct {
 	// Run executes one config. It must be safe for concurrent use and
 	// deterministic in its config (the determinism guarantee of Map is
-	// exactly the determinism of Run).
-	Run func(C) (R, error)
+	// exactly the determinism of Run). The span is the run's telemetry
+	// scope — nil unless the Map was handed a parent span and telemetry is
+	// active — and implementations may attach attributes or child spans to
+	// it; it must never influence the result.
+	Run func(sp *telemetry.Span, cfg C) (R, error)
 	// Key returns the canonical cache key for a config, or ok=false for
 	// configs that must not be cached. Nil disables caching entirely.
 	Key func(C) (key string, ok bool)
@@ -125,8 +130,10 @@ type Pool[C, R any] struct {
 	// without a canonical identity there is nothing to route or verify.
 	// Offload must be safe for concurrent use, and to preserve Map's
 	// determinism guarantee it must return results bit-identical to Run's
-	// (the cluster layer asserts this end to end).
-	Offload func(key string, cfg C) (R, bool)
+	// (the cluster layer asserts this end to end). The span is the
+	// attempt's telemetry scope (nil when telemetry is off) and must never
+	// influence the result.
+	Offload func(sp *telemetry.Span, key string, cfg C) (R, bool)
 	// Workers caps concurrent runs; <= 0 means runtime.GOMAXPROCS(0).
 	Workers int
 	// OnDone, when set, is called after each config completes (from
@@ -157,6 +164,17 @@ func (p *Pool[C, R]) workers(n int) int {
 // every failing index (nil if all succeeded); results at failing indices
 // are zero values.
 func (p *Pool[C, R]) Map(cfgs []C) ([]R, Stats, error) {
+	return p.MapSpan(nil, cfgs)
+}
+
+// MapSpan is Map with a telemetry scope: when parent is a live span, each
+// config's lifecycle stages — the cache tier that satisfied it (memory,
+// disk, fleet) and the local run — are recorded as child spans, one
+// timeline lane per worker goroutine, plus a final merge span covering the
+// index-ordered result assembly. A nil parent (or disabled telemetry)
+// makes this identical to Map: spans are nil and every telemetry call is a
+// no-op. Results are unaffected either way.
+func (p *Pool[C, R]) MapSpan(parent *telemetry.Span, cfgs []C) ([]R, Stats, error) {
 	start := time.Now()
 	n := len(cfgs)
 	results := make([]R, n)
@@ -203,14 +221,18 @@ func (p *Pool[C, R]) Map(cfgs []C) ([]R, Stats, error) {
 	var wg sync.WaitGroup
 	for w := 0; w < st.Workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			lane := ""
+			if parent != nil {
+				lane = fmt.Sprintf("pool-%d", w)
+			}
 			for i := range idx {
-				val, err, cached, offloaded, panicked := p.one(cache, cfgs[i])
+				val, err, cached, offloaded, panicked := p.one(parent, lane, i, cache, cfgs[i])
 				results[i], errs[i], st.Cached[i] = val, err, cached
 				finish(cached, offloaded, panicked, err)
 			}
-		}()
+		}(w)
 	}
 	for i := range cfgs {
 		idx <- i
@@ -218,6 +240,7 @@ func (p *Pool[C, R]) Map(cfgs []C) ([]R, Stats, error) {
 	close(idx)
 	wg.Wait()
 
+	msp := parent.Child("merge")
 	st.Wall = time.Since(start)
 	var joined []error
 	for i, err := range errs {
@@ -225,18 +248,35 @@ func (p *Pool[C, R]) Map(cfgs []C) ([]R, Stats, error) {
 			joined = append(joined, fmt.Errorf("config %d: %w", i, err))
 		}
 	}
+	if msp != nil {
+		msp.SetAttr("total", st.Total)
+		msp.SetAttr("executed", st.Executed)
+		msp.SetAttr("cache_hits", st.CacheHits)
+		msp.SetAttr("errors", st.Errors)
+		msp.End()
+	}
 	return results, st, errors.Join(joined...)
 }
 
+// stage opens one lifecycle child span on a worker's lane (nil-safe).
+func stage(parent *telemetry.Span, lane, name string, idx int) *telemetry.Span {
+	sp := parent.Child(name)
+	if sp != nil {
+		sp.SetLane(lane)
+		sp.SetAttr("idx", idx)
+	}
+	return sp
+}
+
 // one executes a single config, consulting the cache when possible.
-func (p *Pool[C, R]) one(cache *Cache[R], cfg C) (val R, err error, cached, offloaded, panicked bool) {
+func (p *Pool[C, R]) one(parent *telemetry.Span, lane string, i int, cache *Cache[R], cfg C) (val R, err error, cached, offloaded, panicked bool) {
 	if p.Key == nil || cache == nil {
-		val, err, panicked = p.safeRun(cfg)
+		val, err, panicked = p.runStage(parent, lane, i, cfg)
 		return val, err, false, false, panicked
 	}
 	key, ok := p.Key(cfg)
 	if !ok {
-		val, err, panicked = p.safeRun(cfg)
+		val, err, panicked = p.runStage(parent, lane, i, cfg)
 		return val, err, false, false, panicked
 	}
 	cache.mu.Lock()
@@ -251,7 +291,9 @@ func (p *Pool[C, R]) one(cache *Cache[R], cfg C) (val R, err error, cached, offl
 	if hit {
 		// A waiter never fills an entry, and a filler never waits, so
 		// this cannot deadlock: every wait chain ends at a running fill.
+		sp := stage(parent, lane, "cache.memory", i)
 		<-e.done
+		sp.End()
 		return e.val, e.err, true, false, false
 	}
 	// Filling goroutine: the backend lookup, the offload attempt, and the
@@ -259,14 +301,22 @@ func (p *Pool[C, R]) one(cache *Cache[R], cfg C) (val R, err error, cached, offl
 	// so a slow backend or remote worker delays this key without admitting
 	// duplicate Gets, offloads, or runs.
 	if backend != nil {
-		if v, ok := backend.Get(key); ok {
+		sp := stage(parent, lane, "cache.disk", i)
+		v, ok := backend.Get(key)
+		sp.SetAttr("hit", ok)
+		sp.End()
+		if ok {
 			e.val = v
 			close(e.done)
 			return e.val, nil, true, false, false
 		}
 	}
 	if p.Offload != nil {
-		if v, ok := p.Offload(key, cfg); ok {
+		sp := stage(parent, lane, "cache.fleet", i)
+		v, ok := p.Offload(sp, key, cfg)
+		sp.SetAttr("hit", ok)
+		sp.End()
+		if ok {
 			e.val = v
 			if backend != nil {
 				backend.Put(key, e.val)
@@ -275,7 +325,7 @@ func (p *Pool[C, R]) one(cache *Cache[R], cfg C) (val R, err error, cached, offl
 			return e.val, nil, false, true, false
 		}
 	}
-	e.val, e.err, panicked = p.safeRun(cfg)
+	e.val, e.err, panicked = p.runStage(parent, lane, i, cfg)
 	if e.err == nil && backend != nil {
 		// Persist before publishing: once a result is observable, it is
 		// durable, so a drained shutdown cannot strand completed work.
@@ -285,15 +335,26 @@ func (p *Pool[C, R]) one(cache *Cache[R], cfg C) (val R, err error, cached, offl
 	return e.val, e.err, false, false, panicked
 }
 
+// runStage wraps a local run in its telemetry span.
+func (p *Pool[C, R]) runStage(parent *telemetry.Span, lane string, i int, cfg C) (val R, err error, panicked bool) {
+	sp := stage(parent, lane, "run", i)
+	val, err, panicked = p.safeRun(sp, cfg)
+	if sp != nil {
+		sp.SetAttr("err", err != nil)
+		sp.End()
+	}
+	return val, err, panicked
+}
+
 // safeRun invokes Run with panic recovery, converting a panic into an
 // error that carries the panic value and stack.
-func (p *Pool[C, R]) safeRun(cfg C) (val R, err error, panicked bool) {
+func (p *Pool[C, R]) safeRun(sp *telemetry.Span, cfg C) (val R, err error, panicked bool) {
 	defer func() {
 		if r := recover(); r != nil {
 			panicked = true
 			err = fmt.Errorf("pool: run panicked: %v\n%s", r, debug.Stack())
 		}
 	}()
-	val, err = p.Run(cfg)
+	val, err = p.Run(sp, cfg)
 	return val, err, false
 }

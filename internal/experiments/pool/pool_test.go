@@ -8,6 +8,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"hetsim/internal/telemetry"
 )
 
 // TestMapOrdering: results land at the index of their input regardless of
@@ -20,7 +22,7 @@ func TestMapOrdering(t *testing.T) {
 	}
 	p := &Pool[int, string]{
 		Workers: 8,
-		Run: func(i int) (string, error) {
+		Run: func(_ *telemetry.Span, i int) (string, error) {
 			time.Sleep(time.Duration(n-i) * 100 * time.Microsecond)
 			return fmt.Sprintf("r%d", i), nil
 		},
@@ -44,7 +46,7 @@ func TestMapOrdering(t *testing.T) {
 func TestMapPanicRecovery(t *testing.T) {
 	p := &Pool[int, int]{
 		Workers: 4,
-		Run: func(i int) (int, error) {
+		Run: func(_ *telemetry.Span, i int) (int, error) {
 			if i == 2 {
 				panic("boom")
 			}
@@ -72,7 +74,7 @@ func TestMapErrorCollection(t *testing.T) {
 	sentinel := errors.New("bad cfg")
 	p := &Pool[int, int]{
 		Workers: 2,
-		Run: func(i int) (int, error) {
+		Run: func(_ *telemetry.Span, i int) (int, error) {
 			if i%2 == 1 {
 				return 0, fmt.Errorf("%w %d", sentinel, i)
 			}
@@ -104,7 +106,7 @@ func TestMapCacheDedup(t *testing.T) {
 			Workers: 8,
 			Cache:   cache,
 			Key:     func(i int) (string, bool) { return fmt.Sprintf("k%d", i%3), true },
-			Run: func(i int) (int, error) {
+			Run: func(_ *telemetry.Span, i int) (int, error) {
 				executions.Add(1)
 				time.Sleep(time.Millisecond)
 				return (i % 3) * 100, nil
@@ -152,7 +154,7 @@ func TestMapUncacheable(t *testing.T) {
 	p := &Pool[int, int]{
 		Workers: 4,
 		Key:     func(int) (string, bool) { return "", false },
-		Run: func(i int) (int, error) {
+		Run: func(_ *telemetry.Span, i int) (int, error) {
 			executions.Add(1)
 			return i, nil
 		},
@@ -171,7 +173,7 @@ func TestMapCachedErrors(t *testing.T) {
 	p := &Pool[int, int]{
 		Workers: 1,
 		Key:     func(i int) (string, bool) { return "same", true },
-		Run: func(i int) (int, error) {
+		Run: func(_ *telemetry.Span, i int) (int, error) {
 			executions.Add(1)
 			return 0, errors.New("always fails")
 		},
@@ -190,7 +192,7 @@ func TestMapCachedErrors(t *testing.T) {
 
 // TestMapEmptyAndDefaults: empty input, zero Workers (GOMAXPROCS default).
 func TestMapEmptyAndDefaults(t *testing.T) {
-	p := &Pool[int, int]{Run: func(i int) (int, error) { return i, nil }}
+	p := &Pool[int, int]{Run: func(_ *telemetry.Span, i int) (int, error) { return i, nil }}
 	res, st, err := p.Map(nil)
 	if err != nil || len(res) != 0 || st.Total != 0 {
 		t.Fatalf("empty map: res=%v st=%+v err=%v", res, st, err)
@@ -207,7 +209,7 @@ func TestMapProgress(t *testing.T) {
 	last := 0
 	p := &Pool[int, int]{
 		Workers: 3,
-		Run:     func(i int) (int, error) { return i, nil },
+		Run:     func(_ *telemetry.Span, i int) (int, error) { return i, nil },
 		OnDone: func(done, total int, cached bool) {
 			calls++
 			if done != last+1 || total != 7 {
@@ -236,14 +238,14 @@ func TestMapOffload(t *testing.T) {
 		Workers: 8,
 		Cache:   cache,
 		Key:     func(i int) (string, bool) { return fmt.Sprintf("k%d", i%3), true },
-		Offload: func(key string, i int) (int, bool) {
+		Offload: func(_ *telemetry.Span, key string, i int) (int, bool) {
 			offloads.Add(1)
 			if i%3 == 2 {
 				return 0, false // declined: this key must run locally
 			}
 			return (i % 3) * 100, true
 		},
-		Run: func(i int) (int, error) {
+		Run: func(_ *telemetry.Span, i int) (int, error) {
 			executions.Add(1)
 			return (i % 3) * 100, nil
 		},
@@ -283,8 +285,8 @@ func TestMapOffloadUncacheable(t *testing.T) {
 	p := &Pool[int, int]{
 		Workers: 2,
 		Key:     func(int) (string, bool) { return "", false },
-		Offload: func(string, int) (int, bool) { offloads.Add(1); return 0, true },
-		Run:     func(i int) (int, error) { return i, nil },
+		Offload: func(*telemetry.Span, string, int) (int, bool) { offloads.Add(1); return 0, true },
+		Run:     func(_ *telemetry.Span, i int) (int, error) { return i, nil },
 	}
 	if _, st, err := p.Map([]int{1, 2, 3}); err != nil {
 		t.Fatal(err)
@@ -335,7 +337,7 @@ func TestBackendSingleflight(t *testing.T) {
 		Workers: 16,
 		Cache:   cache,
 		Key:     func(i int) (string, bool) { return fmt.Sprintf("k%d", i%3), true },
-		Run: func(i int) (int, error) {
+		Run: func(_ *telemetry.Span, i int) (int, error) {
 			executions.Add(1)
 			return (i % 3) * 100, nil
 		},

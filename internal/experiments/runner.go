@@ -19,6 +19,7 @@ import (
 	"hetsim/internal/memsys"
 	"hetsim/internal/migrate"
 	"hetsim/internal/sim"
+	"hetsim/internal/telemetry"
 	"hetsim/internal/tlb"
 	"hetsim/internal/trace"
 	"hetsim/internal/vm"
@@ -148,6 +149,15 @@ func SBITFor(cfg memsys.Config) core.SBIT {
 // Run executes one workload under one placement policy and returns the
 // measured result.
 func Run(rc RunConfig) (Result, error) {
+	return runTraced(nil, rc)
+}
+
+// runTraced is Run with a telemetry scope: after the simulation completes,
+// the engine/memory/GPU phase counters that already exist for the paper's
+// metrics are snapshotted onto sp as attributes. The hot event loop is
+// untouched — no sampling, no per-event work — so a nil span (telemetry
+// off) is exactly Run, and the Result is bit-identical either way.
+func runTraced(sp *telemetry.Span, rc RunConfig) (Result, error) {
 	spec, err := workloads.Build(rc.Workload, rc.Dataset)
 	if err != nil {
 		return Result{}, err
@@ -271,6 +281,11 @@ func Run(rc RunConfig) (Result, error) {
 	if mig != nil {
 		migStats = mig.Stats()
 	}
+	if sp != nil {
+		sp.SetAttr("workload", spec.Name)
+		sp.SetAttr("policy", policyLabel(rc))
+		attachSimTelemetry(sp, eng, mem, g, cycles)
+	}
 	return Result{
 		Migration:   migStats,
 		EnergyNJ:    mem.TotalEnergyNJ(),
@@ -287,6 +302,49 @@ func Run(rc RunConfig) (Result, error) {
 		GPUStats:    g.Stats(),
 		Footprint:   spec.Footprint(),
 	}, nil
+}
+
+// attachSimTelemetry snapshots the simulator's phase counters — all of
+// which the engine, memory system, and GPU already maintain for the
+// paper's metrics — onto the run's span: events processed, per-channel
+// bandwidth (data-bus) utilization, MSHR high-water marks, and the
+// warp-stall breakdown. Called once after the run completes, so the
+// allocation-free event loop never sees telemetry.
+func attachSimTelemetry(sp *telemetry.Span, eng *sim.Engine, mem *memsys.System, g *gpu.GPU, cycles sim.Time) {
+	sp.SetAttr("sim.events", eng.Fired())
+	sp.SetAttr("sim.cycles", uint64(cycles))
+
+	st := mem.Stats()
+	sp.SetAttr("sim.accesses", st.Accesses)
+	sp.SetAttr("mem.avg_latency_cycles", st.AvgLatency())
+
+	gs := g.Stats()
+	sp.SetAttr("gpu.warps", gs.WarpsCompleted)
+	sp.SetAttr("gpu.compute_cycles", uint64(gs.ComputeCycles))
+	sp.SetAttr("gpu.l1_hit_rate", gs.L1HitRate())
+
+	// Warp-stall breakdown: the three sources that delay a memory phase
+	// beyond raw DRAM service — TLB walks, MSHR file exhaustion, refresh.
+	var mshrFull, refresh uint64
+	peak := 0
+	for _, z := range mem.Config().Zones {
+		for ch := 0; ch < z.Channels; ch++ {
+			_, ms, ds := mem.SliceStats(z.Zone, ch)
+			mshrFull += ms.FullStall
+			refresh += ds.RefreshStalls
+			if ms.PeakUsed > peak {
+				peak = ms.PeakUsed
+			}
+			if cycles > 0 {
+				sp.SetAttr(fmt.Sprintf("bw.%s.ch%d_util", z.Name, ch),
+					float64(ds.BusyCycles)/float64(cycles))
+			}
+		}
+	}
+	sp.SetAttr("stall.tlb_walks", gs.TLBMisses)
+	sp.SetAttr("stall.mshr_full", mshrFull)
+	sp.SetAttr("stall.dram_refresh", refresh)
+	sp.SetAttr("mshr.peak", peak)
 }
 
 func policyLabel(rc RunConfig) string {

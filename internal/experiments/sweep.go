@@ -12,6 +12,7 @@ import (
 	"hetsim/internal/memsys"
 	"hetsim/internal/metrics"
 	"hetsim/internal/migrate"
+	"hetsim/internal/telemetry"
 	"hetsim/internal/vm"
 	"hetsim/internal/workloads"
 )
@@ -33,8 +34,10 @@ var defaultExec = NewExecutor(0)
 // distributed implementations use for routing so equal configs land on the
 // same worker and hit its cache. Implementations must be safe for
 // concurrent use and must return results bit-identical to Run's; the
-// cluster layer (internal/cluster) verifies this end to end.
-type RemoteRunner func(key string, rc RunConfig) (Result, bool)
+// cluster layer (internal/cluster) verifies this end to end. The span is
+// the dispatch's telemetry scope (nil when telemetry is off); it must
+// never influence the result.
+type RemoteRunner func(sp *telemetry.Span, key string, rc RunConfig) (Result, bool)
 
 // Executor dispatches RunConfigs through the worker-pool sweep executor
 // (package pool) and accumulates sweep statistics across Map calls, so a
@@ -47,9 +50,10 @@ type RemoteRunner func(key string, rc RunConfig) (Result, bool)
 // slices for any worker count, and cached results are bit-identical to
 // freshly simulated ones.
 type Executor struct {
-	p  pool.Pool[RunConfig, Result]
-	mu sync.Mutex
-	st metrics.SweepStats
+	p    pool.Pool[RunConfig, Result]
+	span *telemetry.Span // parent scope for Map calls; nil when untraced
+	mu   sync.Mutex
+	st   metrics.SweepStats
 }
 
 // NewExecutor returns an executor running up to workers concurrent
@@ -100,16 +104,25 @@ func ConfigKey(rc RunConfig) (key string, ok bool) {
 
 func newExecutor(workers int, cache *pool.Cache[Result], remote RemoteRunner) *Executor {
 	e := &Executor{p: pool.Pool[RunConfig, Result]{
-		Run:     Run,
+		Run:     runTraced,
 		Key:     canonicalKey,
 		Cache:   cache,
 		Workers: workers,
 	}}
 	if remote != nil {
-		e.p.Offload = func(key string, rc RunConfig) (Result, bool) {
-			return remote(key, rc)
+		e.p.Offload = func(sp *telemetry.Span, key string, rc RunConfig) (Result, bool) {
+			return remote(sp, key, rc)
 		}
 	}
+	return e
+}
+
+// WithSpan sets the telemetry parent for subsequent Map calls: each sweep
+// dispatched through the executor becomes a "sweep" child span of sp, with
+// the per-config lifecycle stages under it. Returns e for chaining; a nil
+// span leaves the executor untraced.
+func (e *Executor) WithSpan(sp *telemetry.Span) *Executor {
+	e.span = sp
 	return e
 }
 
@@ -117,7 +130,12 @@ func newExecutor(workers int, cache *pool.Cache[Result], remote RemoteRunner) *E
 // Executor determinism guarantee. Results may be shared with other cache
 // users and must be treated as immutable.
 func (e *Executor) Map(cfgs []RunConfig) ([]Result, error) {
-	res, st, err := e.p.Map(cfgs)
+	sweep := e.span.Child("sweep")
+	if sweep != nil {
+		sweep.SetAttr("configs", len(cfgs))
+	}
+	res, st, err := e.p.MapSpan(sweep, cfgs)
+	sweep.End()
 	var accesses uint64
 	for i := range res {
 		if !st.Cached[i] {

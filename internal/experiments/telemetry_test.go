@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"encoding/json"
+	"testing"
+
+	"hetsim/internal/metrics"
+	"hetsim/internal/telemetry"
+)
+
+// TestFigureByteIdenticalWithTelemetry is the observability invariant:
+// running a figure under a live telemetry span yields figure data
+// byte-identical to running it with telemetry off (the Sweep stats —
+// wall time, cache-tier attribution — describe the execution, not the
+// result, and are excluded). Trace IDs never leak into results or cache
+// identity.
+func TestFigureByteIdenticalWithTelemetry(t *testing.T) {
+	opts := quickOpts("bfs")
+
+	rec := telemetry.NewRecorder()
+	rec.SetEnabled(true)
+	root := rec.Trace("").Start(nil, "test")
+	traced := opts
+	traced.Span = root
+	withTel, err := Fig2a(traced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+
+	plain, err := Fig2a(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	data := func(f Figure) string {
+		b, _ := json.Marshal(struct {
+			T *metrics.Table
+			H map[string]float64
+			N []string
+		}{f.Table, f.Headline, f.Notes})
+		return string(b)
+	}
+	if data(plain) != data(withTel) {
+		t.Errorf("figure data differs with telemetry on:\noff: %s\non:  %s", data(plain), data(withTel))
+	}
+	if rec.SpanCount() == 0 {
+		t.Error("telemetry run recorded no spans")
+	}
+
+	// The traced run must have recorded real sweep structure: a sweep span
+	// and per-config run spans carrying simulator counters.
+	var haveSweep, haveRunAttrs bool
+	for _, r := range rec.Records() {
+		switch r.Name {
+		case "sweep":
+			haveSweep = true
+		case "run":
+			if r.Attrs["workload"] == "bfs" && r.Attrs["sim.events"] != nil {
+				haveRunAttrs = true
+			}
+		}
+	}
+	if !haveSweep {
+		t.Error("no sweep span recorded")
+	}
+	if !haveRunAttrs {
+		t.Error("no run span carries simulator counters (workload, sim.events)")
+	}
+}

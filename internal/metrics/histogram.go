@@ -103,6 +103,34 @@ func (h *Histogram) Percentile(p float64) uint64 {
 	return h.max
 }
 
+// Sum reports the exact sum of all observed samples.
+func (h *Histogram) Sum() float64 { return h.sum }
+
+// BucketCount is one step of a cumulative bucket distribution: Count
+// samples were <= UpperBound.
+type BucketCount struct {
+	UpperBound uint64
+	Count      uint64
+}
+
+// Cumulative renders the histogram as a cumulative distribution over its
+// occupied power-of-two buckets — the shape Prometheus histogram _bucket
+// series use (each entry counts samples at or below its upper bound).
+// Empty trailing buckets are omitted; callers add the +Inf bucket from
+// Count.
+func (h *Histogram) Cumulative() []BucketCount {
+	var out []BucketCount
+	var cum uint64
+	for b, c := range h.buckets {
+		if c == 0 {
+			continue
+		}
+		cum += c
+		out = append(out, BucketCount{UpperBound: bucketUpper(b), Count: cum})
+	}
+	return out
+}
+
 // histogramJSON is the wire form of a Histogram. Buckets are stored as a
 // full array so an encode/decode round trip reconstructs the exact
 // internal state (the persistent result cache depends on decoded results

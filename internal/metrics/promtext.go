@@ -1,0 +1,128 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WriteText renders a flat metric map in Prometheus text exposition
+// format, sorted by key for deterministic output. Map keys may carry
+// label syntax (`name{label="v"}`); the prefix is prepended to the metric
+// name either way, so a key of `cluster_worker_up{worker="w1"}` under
+// prefix "hmserved_" becomes `hmserved_cluster_worker_up{worker="w1"}`.
+func WriteText(w io.Writer, prefix string, counters map[string]float64) error {
+	names := make([]string, 0, len(counters))
+	for name := range counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if _, err := fmt.Fprintf(w, "%s%s %g\n", prefix, name, counters[name]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Sample is one parsed metric line: a bare name, its labels (nil when
+// none), and the value.
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// ParseText parses Prometheus text exposition format (the subset our
+// daemons emit: sample lines plus # comments, no escapes inside label
+// values). It backs the tests that assert /metrics output stays
+// machine-readable.
+func ParseText(r io.Reader) ([]Sample, error) {
+	var out []Sample
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		s, err := parseSample(text)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", line, err)
+		}
+		out = append(out, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func parseSample(text string) (Sample, error) {
+	var s Sample
+	rest := text
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		j := strings.LastIndexByte(rest, '}')
+		if j < i {
+			return s, fmt.Errorf("unbalanced braces in %q", text)
+		}
+		s.Name = rest[:i]
+		var err error
+		s.Labels, err = parseLabels(rest[i+1 : j])
+		if err != nil {
+			return s, fmt.Errorf("%w in %q", err, text)
+		}
+		rest = strings.TrimSpace(rest[j+1:])
+	} else {
+		i := strings.IndexByte(rest, ' ')
+		if i < 0 {
+			return s, fmt.Errorf("missing value in %q", text)
+		}
+		s.Name = rest[:i]
+		rest = strings.TrimSpace(rest[i+1:])
+	}
+	if s.Name == "" {
+		return s, fmt.Errorf("missing metric name in %q", text)
+	}
+	// Drop an optional trailing timestamp (we never emit one, but accept it).
+	if i := strings.IndexByte(rest, ' '); i >= 0 {
+		rest = rest[:i]
+	}
+	v, err := strconv.ParseFloat(rest, 64)
+	if err != nil {
+		return s, fmt.Errorf("bad value %q in %q", rest, text)
+	}
+	s.Value = v
+	return s, nil
+}
+
+func parseLabels(body string) (map[string]string, error) {
+	labels := map[string]string{}
+	body = strings.TrimSuffix(strings.TrimSpace(body), ",")
+	if body == "" {
+		return labels, nil
+	}
+	for len(body) > 0 {
+		eq := strings.IndexByte(body, '=')
+		if eq <= 0 {
+			return nil, fmt.Errorf("bad label pair")
+		}
+		key := strings.TrimSpace(body[:eq])
+		rest := body[eq+1:]
+		if len(rest) == 0 || rest[0] != '"' {
+			return nil, fmt.Errorf("unquoted label value for %s", key)
+		}
+		end := strings.IndexByte(rest[1:], '"')
+		if end < 0 {
+			return nil, fmt.Errorf("unterminated label value for %s", key)
+		}
+		labels[key] = rest[1 : 1+end]
+		body = strings.TrimPrefix(strings.TrimSpace(rest[2+end:]), ",")
+		body = strings.TrimSpace(body)
+	}
+	return labels, nil
+}

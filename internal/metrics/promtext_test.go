@@ -1,0 +1,92 @@
+package metrics
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestWriteTextParseTextRoundTrip: what WriteText emits, ParseText reads
+// back — names prefixed, labels intact, sorted deterministically.
+func TestWriteTextParseTextRoundTrip(t *testing.T) {
+	in := map[string]float64{
+		"jobs_total":                       12,
+		`worker_up{worker="http://w1"}`:    1,
+		`span_bucket{span="run",le="64"}`:  7,
+		`span_bucket{span="run",le="128"}`: 9,
+	}
+	var buf bytes.Buffer
+	if err := WriteText(&buf, "hmserved_", in); err != nil {
+		t.Fatal(err)
+	}
+	var buf2 bytes.Buffer
+	if err := WriteText(&buf2, "hmserved_", in); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != buf2.String() {
+		t.Error("WriteText output not deterministic")
+	}
+
+	samples, err := ParseText(&buf)
+	if err != nil {
+		t.Fatalf("parsing our own output: %v\n%s", err, buf2.String())
+	}
+	if len(samples) != len(in) {
+		t.Fatalf("parsed %d samples, want %d", len(samples), len(in))
+	}
+	byKey := map[string]Sample{}
+	for _, s := range samples {
+		if !strings.HasPrefix(s.Name, "hmserved_") {
+			t.Errorf("sample %q missing prefix", s.Name)
+		}
+		byKey[s.Name+"/"+s.Labels["worker"]+"/"+s.Labels["le"]] = s
+	}
+	if s := byKey["hmserved_jobs_total//"]; s.Value != 12 || len(s.Labels) != 0 {
+		t.Errorf("jobs_total = %+v", s)
+	}
+	if s := byKey["hmserved_worker_up/http://w1/"]; s.Value != 1 || s.Labels["worker"] != "http://w1" {
+		t.Errorf("worker_up = %+v", s)
+	}
+	if s := byKey["hmserved_span_bucket//64"]; s.Value != 7 || s.Labels["span"] != "run" {
+		t.Errorf("bucket le=64 = %+v", s)
+	}
+}
+
+func TestParseTextAcceptsCommentsAndTimestamps(t *testing.T) {
+	text := strings.Join([]string{
+		"# HELP up whether the daemon is up",
+		"# TYPE up gauge",
+		"up 1",
+		"",
+		"requests_total 42 1700000000000",
+		`latency{quantile="0.99"} 0.25`,
+	}, "\n")
+	samples, err := ParseText(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Sample{
+		{Name: "up", Value: 1},
+		{Name: "requests_total", Value: 42},
+		{Name: "latency", Labels: map[string]string{"quantile": "0.99"}, Value: 0.25},
+	}
+	if !reflect.DeepEqual(samples, want) {
+		t.Errorf("samples = %+v, want %+v", samples, want)
+	}
+}
+
+func TestParseTextRejectsMalformed(t *testing.T) {
+	for _, text := range []string{
+		"nameonly",
+		"name not-a-number",
+		`broken{label} 1`,
+		`broken{label=unquoted} 1`,
+		`broken{label="unterminated} 1`,
+		`{ } 1`,
+	} {
+		if _, err := ParseText(strings.NewReader(text)); err == nil {
+			t.Errorf("ParseText accepted %q", text)
+		}
+	}
+}

@@ -10,6 +10,7 @@ import (
 
 	"hetsim/internal/experiments"
 	"hetsim/internal/metrics"
+	"hetsim/internal/telemetry"
 )
 
 // JobState is the lifecycle of a submitted job.
@@ -44,6 +45,13 @@ type Job struct {
 
 	exec func(ctx context.Context, j *Job) error
 	done chan struct{}
+
+	// Telemetry scope (nil when the submitting request was untraced):
+	// span covers submit to finish, qspan the time spent queued, rspan the
+	// execution — the one exec closures hand to the sweep executor.
+	span  *telemetry.Span
+	qspan *telemetry.Span
+	rspan *telemetry.Span
 }
 
 // jobView is the wire form of a Job.
@@ -97,8 +105,11 @@ var (
 // submit registers a job and enqueues it, deduplicating by key: a repeat
 // submission of a key whose job is queued, running, or done returns the
 // existing job (idempotent submission by config hash). Failed or canceled
-// jobs are resubmitted fresh.
-func (s *Server) submit(kind, key string, exec func(ctx context.Context, j *Job) error) (*Job, error) {
+// jobs are resubmitted fresh. parent, when live, scopes the job's
+// telemetry: a "job" span from submit to finish with a "queue.wait" child;
+// a deduplicated submission instead records the existing job's ID on the
+// parent (the dedup'd job's spans belong to the trace that submitted it).
+func (s *Server) submit(kind, key string, parent *telemetry.Span, exec func(ctx context.Context, j *Job) error) (*Job, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining {
@@ -107,6 +118,7 @@ func (s *Server) submit(kind, key string, exec func(ctx context.Context, j *Job)
 	if key != "" {
 		if j, ok := s.byKey[key]; ok && j.State != JobFailed && j.State != JobCanceled {
 			s.jobsDeduped++
+			parent.SetAttr("deduped_onto", j.ID)
 			return j, nil
 		}
 	}
@@ -121,6 +133,15 @@ func (s *Server) submit(kind, key string, exec func(ctx context.Context, j *Job)
 	j := &Job{
 		ID: id, Kind: kind, Key: key, State: JobQueued,
 		Submitted: time.Now(), exec: exec, done: make(chan struct{}),
+	}
+	if parent != nil {
+		j.span = parent.Child("job")
+		j.span.SetAttr("id", id)
+		j.span.SetAttr("kind", kind)
+		if key != "" {
+			j.span.SetAttr("key", key[:12])
+		}
+		j.qspan = j.span.Child("queue.wait")
 	}
 	select {
 	case s.queue <- j:
@@ -154,6 +175,8 @@ func (s *Server) runJobs(ctx context.Context) {
 			}
 			j.State = JobRunning
 			j.Started = time.Now()
+			j.qspan.End()
+			j.rspan = j.span.Child("run")
 			s.mu.Unlock()
 
 			err := j.exec(ctx, j)
@@ -166,6 +189,9 @@ func (s *Server) runJobs(ctx context.Context) {
 			} else {
 				j.State = JobDone
 			}
+			j.rspan.End()
+			j.span.SetAttr("state", string(j.State))
+			j.span.End()
 			s.sweepTotal.Add(j.Sweep)
 			s.inflight--
 			s.mu.Unlock()
@@ -199,6 +225,9 @@ func (s *Server) cancel(id string) (ok, canceled bool) {
 func (s *Server) cancelLocked(j *Job) {
 	j.State = JobCanceled
 	j.Finished = time.Now()
+	j.qspan.End()
+	j.span.SetAttr("state", string(JobCanceled))
+	j.span.End()
 	s.inflight--
 	close(j.done)
 }

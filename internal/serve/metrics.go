@@ -5,8 +5,9 @@ import (
 	"encoding/hex"
 	"fmt"
 	"net/http"
-	"sort"
 	"strings"
+
+	"hetsim/internal/metrics"
 )
 
 // hashString is the content hash used for idempotency keys.
@@ -71,6 +72,11 @@ func (s *Server) snapshot() snapshot {
 			c[name] = v
 		}
 	}
+	// Telemetry counters and per-span duration histograms (Prometheus
+	// histogram series) ride the same exposition path.
+	for name, v := range s.rec.MetricsMap() {
+		c[name] = v
+	}
 	return snapshot{counters: c, states: states}
 }
 
@@ -80,14 +86,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	snap := s.snapshot()
 	var b strings.Builder
 	b.WriteString("hmserved_up 1\n")
-	names := make([]string, 0, len(snap.counters))
-	for name := range snap.counters {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	for _, name := range names {
-		fmt.Fprintf(&b, "hmserved_%s %g\n", name, snap.counters[name])
-	}
+	metrics.WriteText(&b, "hmserved_", snap.counters)
 	for _, st := range []JobState{JobQueued, JobRunning, JobDone, JobFailed, JobCanceled} {
 		fmt.Fprintf(&b, "hmserved_jobs{state=%q} %d\n", st, snap.states[st])
 	}

@@ -15,6 +15,7 @@ import (
 	"hetsim/internal/experiments"
 	"hetsim/internal/experiments/pool"
 	"hetsim/internal/metrics"
+	"hetsim/internal/telemetry"
 )
 
 // Config tunes a Server.
@@ -45,6 +46,14 @@ type Config struct {
 	// through the daemon's existing metrics path. Keys may carry
 	// Prometheus label syntax (`name{label="v"}`).
 	ExtraMetrics func() map[string]float64
+	// Telemetry, when non-nil, is the daemon's span recorder (see
+	// internal/telemetry): requests arriving with a telemetry.TraceHeader
+	// are traced into it under the propagated trace ID, its histograms are
+	// merged into /metrics, and — when enabled — every request gets a
+	// trace. nil gets a private, disabled recorder; header-carrying
+	// requests are still traced request-scoped so tracing clients get
+	// their spans back.
+	Telemetry *telemetry.Recorder
 }
 
 // FigureResult is the wire form of a reproduced figure. It deliberately
@@ -86,6 +95,7 @@ type Server struct {
 	disk  *DiskCache
 	mux   *http.ServeMux
 	start time.Time
+	rec   *telemetry.Recorder
 
 	rootCtx    context.Context
 	rootCancel context.CancelFunc
@@ -104,9 +114,10 @@ type Server struct {
 	httpRequests  uint64
 
 	// Test seams: runSweep executes a config grid, figure reproduces a
-	// figure. Defaults run real simulations through the server cache.
-	runSweep func(ctx context.Context, cfgs []experiments.RunConfig) ([]experiments.Result, metrics.SweepStats, error)
-	figure   func(ctx context.Context, id string, opts experiments.Options) (experiments.Figure, error)
+	// figure. Defaults run real simulations through the server cache. The
+	// span is the job's telemetry scope (nil when the request is untraced).
+	runSweep func(ctx context.Context, sp *telemetry.Span, cfgs []experiments.RunConfig) ([]experiments.Result, metrics.SweepStats, error)
+	figure   func(ctx context.Context, sp *telemetry.Span, id string, opts experiments.Options) (experiments.Figure, error)
 }
 
 // New builds a Server, opening the disk cache and starting the job
@@ -131,6 +142,10 @@ func New(cfg Config) (*Server, error) {
 		queue: make(chan *Job, cfg.QueueCap),
 		start: time.Now(),
 	}
+	s.rec = cfg.Telemetry
+	if s.rec == nil {
+		s.rec = telemetry.NewRecorder()
+	}
 	if cfg.CacheDir != "" {
 		disk, err := OpenDiskCache(cfg.CacheDir, cfg.CacheMaxBytes)
 		if err != nil {
@@ -139,16 +154,17 @@ func New(cfg Config) (*Server, error) {
 		s.disk = disk
 		s.cache.SetBackend(disk)
 	}
-	s.runSweep = func(_ context.Context, cfgs []experiments.RunConfig) ([]experiments.Result, metrics.SweepStats, error) {
-		e := experiments.NewDistributedExecutor(cfg.SimWorkers, s.cache, cfg.Remote)
+	s.runSweep = func(_ context.Context, sp *telemetry.Span, cfgs []experiments.RunConfig) ([]experiments.Result, metrics.SweepStats, error) {
+		e := experiments.NewDistributedExecutor(cfg.SimWorkers, s.cache, cfg.Remote).WithSpan(sp)
 		res, err := e.Map(cfgs)
 		return res, e.Stats(), err
 	}
-	s.figure = func(_ context.Context, id string, opts experiments.Options) (experiments.Figure, error) {
+	s.figure = func(_ context.Context, sp *telemetry.Span, id string, opts experiments.Options) (experiments.Figure, error) {
 		fn, ok := experiments.ByID(id)
 		if !ok {
 			return experiments.Figure{}, fmt.Errorf("unknown figure %q", id)
 		}
+		opts.Span = sp
 		return fn(opts)
 	}
 	s.rootCtx, s.rootCancel = context.WithCancel(context.Background())
@@ -252,6 +268,8 @@ func (r *statusRecorder) Write(b []byte) (int, error) {
 }
 
 // logged wraps h with structured request logging and a request counter.
+// Requests carrying a telemetry.TraceHeader log their trace ID, so daemon
+// logs correlate with the client's exported timeline.
 func (s *Server) logged(h http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
@@ -260,11 +278,39 @@ func (s *Server) logged(h http.Handler) http.Handler {
 		s.mu.Lock()
 		s.httpRequests++
 		s.mu.Unlock()
-		s.log.Info("request",
+		args := []any{
 			"method", r.Method, "path", r.URL.Path,
 			"status", rec.status, "bytes", rec.bytes,
-			"dur_ms", float64(time.Since(start).Microseconds())/1000)
+			"dur_ms", float64(time.Since(start).Microseconds()) / 1000,
+		}
+		if id, _, ok := telemetry.ExtractHeader(r.Header); ok {
+			args = append(args, "trace", id)
+		}
+		s.log.Info("request", args...)
 	})
+}
+
+// requestTrace begins the telemetry scope of one API request: a root span
+// named like "rpc.figure" under the request's propagated trace ID (when
+// the telemetry.TraceHeader is present — such traces are request-scoped,
+// so the client gets its spans back even if this daemon's own telemetry is
+// off), or under a fresh trace when the daemon's recorder is enabled, or
+// nil/nil when neither — in which case every downstream span operation is
+// a no-op. Callers must End the returned span before reading tr.Records.
+func (s *Server) requestTrace(r *http.Request, name string) (*telemetry.Trace, *telemetry.Span) {
+	if id, parent, ok := telemetry.ExtractHeader(r.Header); ok {
+		tr := s.rec.RequestTrace(id)
+		sp := tr.Start(nil, name)
+		if parent != 0 {
+			sp.SetAttr("client_span", parent)
+		}
+		return tr, sp
+	}
+	if s.rec.Enabled() {
+		tr := s.rec.Trace("")
+		return tr, tr.Start(nil, name)
+	}
+	return nil, nil
 }
 
 // writeJSON marshals v deterministically (encoding/json sorts map keys)
@@ -302,7 +348,9 @@ func (s *Server) handleSubmitRun(w http.ResponseWriter, r *http.Request) {
 	if k, ok := experiments.ConfigKey(rc); ok {
 		key = k
 	}
-	j, err := s.submit("run", key, s.sweepExec([]experiments.RunConfig{rc}))
+	_, root := s.requestTrace(r, "rpc.run")
+	defer root.End()
+	j, err := s.submit("run", key, root, s.sweepExec([]experiments.RunConfig{rc}))
 	if err != nil {
 		submitError(w, err)
 		return
@@ -330,7 +378,12 @@ func (s *Server) handleSubmitSweep(w http.ResponseWriter, r *http.Request) {
 	if k, ok := sweepKey(req.Configs); ok {
 		key = k
 	}
-	j, err := s.submit("sweep", key, s.sweepExec(req.Configs))
+	_, root := s.requestTrace(r, "rpc.sweep")
+	defer root.End()
+	if root != nil {
+		root.SetAttr("configs", len(req.Configs))
+	}
+	j, err := s.submit("sweep", key, root, s.sweepExec(req.Configs))
 	if err != nil {
 		submitError(w, err)
 		return
@@ -347,6 +400,12 @@ type ClusterRunResponse struct {
 	Key    string             `json:"key,omitempty"`
 	JobID  string             `json:"job_id"`
 	Result experiments.Result `json:"result"`
+	// Spans are the worker-side span records of this request — present
+	// only when the request carried a telemetry.TraceHeader, so untraced
+	// responses (and the Result itself, always) stay deterministic
+	// functions of the config. The coordinator imports them into the
+	// client's trace, stitching one cross-process timeline.
+	Spans []telemetry.SpanRecord `json:"spans,omitempty"`
 }
 
 // handleClusterRun is the coordinator-push worker endpoint: it executes one
@@ -368,8 +427,10 @@ func (s *Server) handleClusterRun(w http.ResponseWriter, r *http.Request) {
 	if k, ok := experiments.ConfigKey(rc); ok {
 		key = k
 	}
-	j, err := s.submit("crun", key, s.sweepExec([]experiments.RunConfig{rc}))
+	tr, root := s.requestTrace(r, "rpc.cluster_run")
+	j, err := s.submit("crun", key, root, s.sweepExec([]experiments.RunConfig{rc}))
 	if err != nil {
+		root.End()
 		submitError(w, err)
 		return
 	}
@@ -377,15 +438,21 @@ func (s *Server) handleClusterRun(w http.ResponseWriter, r *http.Request) {
 	case <-r.Context().Done():
 		// Coordinator timed out or went away; the job finishes in the
 		// background and a retried dispatch dedups onto it.
+		root.End()
 		return
 	case <-j.done:
+	}
+	root.End()
+	var spans []telemetry.SpanRecord
+	if tr.Collecting() {
+		spans = tr.Records()
 	}
 	s.mu.Lock()
 	state, errMsg, res := j.State, j.Err, j.Results
 	s.mu.Unlock()
 	switch {
 	case state == JobDone && len(res) == 1:
-		writeJSON(w, http.StatusOK, ClusterRunResponse{Key: key, JobID: j.ID, Result: res[0]})
+		writeJSON(w, http.StatusOK, ClusterRunResponse{Key: key, JobID: j.ID, Result: res[0], Spans: spans})
 	case state == JobCanceled:
 		writeError(w, http.StatusServiceUnavailable, "job canceled during shutdown")
 	default:
@@ -393,10 +460,12 @@ func (s *Server) handleClusterRun(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// sweepExec builds the exec closure shared by run and sweep jobs.
+// sweepExec builds the exec closure shared by run and sweep jobs. The
+// job's run span (set by runJobs when the job is claimed) scopes the
+// sweep's telemetry.
 func (s *Server) sweepExec(cfgs []experiments.RunConfig) func(ctx context.Context, j *Job) error {
 	return func(ctx context.Context, j *Job) error {
-		res, st, err := s.runSweep(ctx, cfgs)
+		res, st, err := s.runSweep(ctx, j.rspan, cfgs)
 		if err != nil {
 			return err
 		}
@@ -490,9 +559,14 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 		opts.Workers = n
 	}
 
+	_, root := s.requestTrace(r, "rpc.figure")
+	defer root.End()
+	if root != nil {
+		root.SetAttr("figure", name)
+	}
 	key := figureKey(name, opts)
-	j, err := s.submit("figure", key, func(ctx context.Context, j *Job) error {
-		fig, err := s.figure(ctx, name, opts)
+	j, err := s.submit("figure", key, root, func(ctx context.Context, j *Job) error {
+		fig, err := s.figure(ctx, j.rspan, name, opts)
 		if err != nil {
 			return err
 		}

@@ -16,6 +16,7 @@ import (
 
 	"hetsim/internal/experiments"
 	"hetsim/internal/metrics"
+	"hetsim/internal/telemetry"
 )
 
 func testServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
@@ -354,8 +355,8 @@ func TestUnknownFigure(t *testing.T) {
 
 // slowSweep stubs the simulation with one that blocks until release is
 // closed (or the worker context dies), for shutdown choreography tests.
-func slowSweep(release <-chan struct{}) func(context.Context, []experiments.RunConfig) ([]experiments.Result, metrics.SweepStats, error) {
-	return func(ctx context.Context, cfgs []experiments.RunConfig) ([]experiments.Result, metrics.SweepStats, error) {
+func slowSweep(release <-chan struct{}) func(context.Context, *telemetry.Span, []experiments.RunConfig) ([]experiments.Result, metrics.SweepStats, error) {
+	return func(ctx context.Context, _ *telemetry.Span, cfgs []experiments.RunConfig) ([]experiments.Result, metrics.SweepStats, error) {
 		select {
 		case <-release:
 			return make([]experiments.Result, len(cfgs)), metrics.SweepStats{Runs: len(cfgs)}, nil

@@ -1,0 +1,136 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"strings"
+	"testing"
+
+	"hetsim/internal/metrics"
+	"hetsim/internal/telemetry"
+)
+
+// postTraced is post with an X-Hetsim-Trace header attached.
+func postTraced(t *testing.T, url, body, trace string) (int, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(telemetry.TraceHeader, trace)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, b
+}
+
+// TestClusterRunSpansOnlyWhenTraced: a header-traced cluster run — even on
+// a daemon with telemetry disabled — is answered with the worker's span
+// records under the client's trace ID, while an untraced run's response
+// carries no spans key at all and the Result JSON is byte-identical either
+// way.
+func TestClusterRunSpansOnlyWhenTraced(t *testing.T) {
+	_, ts := testServer(t, Config{CacheDir: t.TempDir()})
+	body := `{"Workload":"bfs","Shrink":16}`
+
+	code, plain := post(t, ts.URL+"/v1/cluster/run", body)
+	if code != http.StatusOK {
+		t.Fatalf("untraced run: status %d, body %s", code, plain)
+	}
+	if bytes.Contains(plain, []byte(`"spans"`)) {
+		t.Error("untraced response carries a spans payload")
+	}
+
+	const traceID = "feedface00000001"
+	code, traced := postTraced(t, ts.URL+"/v1/cluster/run", `{"Workload":"bfs","Policy":2,"Shrink":16}`, traceID+"/42")
+	if code != http.StatusOK {
+		t.Fatalf("traced run: status %d, body %s", code, traced)
+	}
+	var resp ClusterRunResponse
+	if err := json.Unmarshal(traced, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Spans) == 0 {
+		t.Fatal("traced response carries no spans")
+	}
+	byName := map[string]int{}
+	for _, s := range resp.Spans {
+		if s.TraceID != traceID {
+			t.Errorf("span %q on trace %q, want client's %q", s.Name, s.TraceID, traceID)
+		}
+		byName[s.Name]++
+	}
+	for _, want := range []string{"rpc.cluster_run", "job", "queue.wait", "run"} {
+		if byName[want] == 0 {
+			t.Errorf("missing %q span in response (got %v)", want, byName)
+		}
+	}
+
+	// Byte-identity: the same config untraced yields the exact Result JSON.
+	code, again := post(t, ts.URL+"/v1/cluster/run", `{"Workload":"bfs","Policy":2,"Shrink":16}`)
+	if code != http.StatusOK {
+		t.Fatalf("repeat untraced run: status %d", code)
+	}
+	var plainResp ClusterRunResponse
+	if err := json.Unmarshal(again, &plainResp); err != nil {
+		t.Fatal(err)
+	}
+	r1, _ := json.Marshal(resp.Result)
+	r2, _ := json.Marshal(plainResp.Result)
+	if !bytes.Equal(r1, r2) {
+		t.Error("traced and untraced results differ")
+	}
+}
+
+// TestMetricsIncludesTelemetry: with a recording telemetry recorder, the
+// daemon's /metrics endpoint grows telemetry series and span-duration
+// histograms, and the whole page still parses as Prometheus text.
+func TestMetricsIncludesTelemetry(t *testing.T) {
+	rec := telemetry.NewRecorder()
+	rec.SetEnabled(true)
+	_, ts := testServer(t, Config{
+		CacheDir:  t.TempDir(),
+		Telemetry: rec,
+		Logger:    slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+
+	if code, body := post(t, ts.URL+"/v1/cluster/run", `{"Workload":"bfs","Shrink":16}`); code != http.StatusOK {
+		t.Fatalf("run: status %d, body %s", code, body)
+	}
+
+	code, page := get(t, ts.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	samples, err := metrics.ParseText(bytes.NewReader(page))
+	if err != nil {
+		t.Fatalf("/metrics with telemetry is not valid Prometheus text: %v\n%s", err, page)
+	}
+	found := map[string]bool{}
+	for _, s := range samples {
+		found[s.Name] = true
+		if s.Name == "hmserved_telemetry_span_duration_us_count" && s.Labels["span"] == "run" && s.Value < 1 {
+			t.Errorf("run span histogram count = %v", s.Value)
+		}
+	}
+	for _, want := range []string{
+		"hmserved_telemetry_enabled",
+		"hmserved_telemetry_spans_buffered",
+		"hmserved_telemetry_span_duration_us_count",
+		"hmserved_telemetry_span_duration_us_bucket",
+	} {
+		if !found[want] {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+}

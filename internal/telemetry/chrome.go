@@ -1,0 +1,175 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// chromeEvent is one entry of the Chrome trace-event format ("Trace Event
+// Format", the JSON consumed by Perfetto and chrome://tracing). We emit
+// only "X" (complete) events for spans and "M" (metadata) events naming
+// processes and threads.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"` // microseconds since trace start
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+}
+
+// WriteChromeTrace renders span records as Chrome trace-event JSON: one
+// "X" complete event per span, processes mapped to pids, lanes mapped to
+// tids, timestamps normalized to the earliest span so the timeline starts
+// at zero. The output loads directly in Perfetto (ui.perfetto.dev) or
+// chrome://tracing.
+func WriteChromeTrace(w io.Writer, recs []SpanRecord) error {
+	var t0 time.Time
+	for i, r := range recs {
+		if i == 0 || r.Start.Before(t0) {
+			t0 = r.Start
+		}
+	}
+
+	// Stable pid/tid assignment: sort the distinct proc and (proc, lane)
+	// names so repeated exports of the same spans are byte-identical.
+	pids := map[string]int{}
+	tids := map[string]int{}
+	var procs, lanes []string
+	for _, r := range recs {
+		if _, ok := pids[r.Proc]; !ok {
+			pids[r.Proc] = 0
+			procs = append(procs, r.Proc)
+		}
+		lk := r.Proc + "\x00" + r.Lane
+		if _, ok := tids[lk]; !ok {
+			tids[lk] = 0
+			lanes = append(lanes, lk)
+		}
+	}
+	sort.Strings(procs)
+	sort.Strings(lanes)
+	for i, p := range procs {
+		pids[p] = i + 1
+	}
+	for i, l := range lanes {
+		tids[l] = i + 1
+	}
+
+	events := make([]chromeEvent, 0, len(recs)+len(procs)+len(lanes))
+	for _, p := range procs {
+		name := p
+		if name == "" {
+			name = "hetsim"
+		}
+		events = append(events, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: pids[p],
+			Args: map[string]any{"name": name},
+		})
+	}
+	for _, lk := range lanes {
+		proc, lane := splitLaneKey(lk)
+		name := lane
+		if name == "" {
+			name = "main"
+		}
+		events = append(events, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: pids[proc], Tid: tids[lk],
+			Args: map[string]any{"name": name},
+		})
+	}
+
+	for _, r := range recs {
+		args := make(map[string]any, len(r.Attrs)+3)
+		for k, v := range r.Attrs {
+			args[k] = v
+		}
+		args["trace_id"] = r.TraceID
+		args["span_id"] = strconv.FormatUint(r.SpanID, 10)
+		if r.ParentID != 0 {
+			args["parent_id"] = strconv.FormatUint(r.ParentID, 10)
+		}
+		dur := float64(r.DurUS)
+		if dur <= 0 {
+			dur = 1 // zero-width events are invisible in Perfetto
+		}
+		events = append(events, chromeEvent{
+			Name: r.Name,
+			Ph:   "X",
+			Ts:   float64(r.Start.Sub(t0).Microseconds()),
+			Dur:  dur,
+			Pid:  pids[r.Proc],
+			Tid:  tids[r.Proc+"\x00"+r.Lane],
+			Args: args,
+		})
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(chromeTrace{TraceEvents: events})
+}
+
+func splitLaneKey(lk string) (proc, lane string) {
+	for i := 0; i < len(lk); i++ {
+		if lk[i] == 0 {
+			return lk[:i], lk[i+1:]
+		}
+	}
+	return lk, ""
+}
+
+// ValidateChromeTrace checks data against the trace-event schema subset we
+// emit — a traceEvents array whose entries have a name, a known phase, and
+// (for "X" complete events) nonnegative ts/dur — and returns the number of
+// span events. It is the check behind `hmtrace validate` and the
+// trace-smoke CI gate.
+func ValidateChromeTrace(data []byte) (spans int, err error) {
+	var t struct {
+		TraceEvents []struct {
+			Name string   `json:"name"`
+			Ph   string   `json:"ph"`
+			Ts   *float64 `json:"ts"`
+			Dur  *float64 `json:"dur"`
+			Pid  *int     `json:"pid"`
+			Tid  *int     `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &t); err != nil {
+		return 0, fmt.Errorf("not valid JSON: %w", err)
+	}
+	if t.TraceEvents == nil {
+		return 0, fmt.Errorf("missing traceEvents array")
+	}
+	for i, e := range t.TraceEvents {
+		if e.Name == "" {
+			return 0, fmt.Errorf("event %d: missing name", i)
+		}
+		switch e.Ph {
+		case "M":
+			// metadata: no timing fields required
+		case "X":
+			if e.Ts == nil || *e.Ts < 0 {
+				return 0, fmt.Errorf("event %d (%s): missing or negative ts", i, e.Name)
+			}
+			if e.Dur == nil || *e.Dur <= 0 {
+				return 0, fmt.Errorf("event %d (%s): missing or non-positive dur", i, e.Name)
+			}
+			if e.Pid == nil || e.Tid == nil {
+				return 0, fmt.Errorf("event %d (%s): missing pid/tid", i, e.Name)
+			}
+			spans++
+		default:
+			return 0, fmt.Errorf("event %d (%s): unsupported phase %q", i, e.Name, e.Ph)
+		}
+	}
+	return spans, nil
+}

@@ -1,0 +1,40 @@
+package telemetry
+
+import (
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// TraceHeader carries trace context between processes. The value is
+// "<traceID>/<parentSpanID>"; span IDs are process-local, so the parent ID
+// is informational (it correlates log lines) and cross-process span
+// records link through the shared trace ID only.
+const TraceHeader = "X-Hetsim-Trace"
+
+// InjectHeader stamps the span's trace context onto an outgoing request.
+// No-op for a nil span.
+func InjectHeader(h http.Header, sp *Span) {
+	if sp == nil {
+		return
+	}
+	h.Set(TraceHeader, sp.TraceID()+"/"+strconv.FormatUint(sp.SpanID(), 10))
+}
+
+// ExtractHeader reads trace context from an incoming request's headers.
+// ok is false when the header is absent or malformed.
+func ExtractHeader(h http.Header) (traceID string, parent uint64, ok bool) {
+	v := h.Get(TraceHeader)
+	if v == "" {
+		return "", 0, false
+	}
+	id, rest, found := strings.Cut(v, "/")
+	if id == "" || !found {
+		return "", 0, false
+	}
+	parent, err := strconv.ParseUint(rest, 10, 64)
+	if err != nil {
+		return "", 0, false
+	}
+	return id, parent, true
+}

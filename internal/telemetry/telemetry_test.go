@@ -1,0 +1,286 @@
+package telemetry
+
+import (
+	"bytes"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSpanLifecycle: an enabled recorder buffers root and child spans with
+// a shared trace ID, parent linkage, inherited lanes, and attributes.
+func TestSpanLifecycle(t *testing.T) {
+	r := NewRecorder()
+	r.SetEnabled(true)
+	r.SetProc("test-proc")
+
+	tr := r.Trace("")
+	if tr.ID() == "" {
+		t.Fatal("empty trace ID")
+	}
+	root := tr.Start(nil, "root")
+	if root == nil {
+		t.Fatal("enabled trace returned nil root span")
+	}
+	root.SetLane("lane-0")
+	root.SetAttr("configs", 3)
+	root.SetAttr("weird", []int{1, 2}) // non-scalar: stored via fmt
+	child := root.Child("child")
+	child.End()
+	root.End()
+	root.End() // idempotent
+
+	recs := r.Records()
+	if len(recs) != 2 {
+		t.Fatalf("got %d spans, want 2 (idempotent End)", len(recs))
+	}
+	c, ro := recs[0], recs[1] // children end first
+	if c.Name != "child" || ro.Name != "root" {
+		t.Fatalf("span order: %q, %q", c.Name, ro.Name)
+	}
+	if c.TraceID != tr.ID() || ro.TraceID != tr.ID() {
+		t.Errorf("trace IDs %q/%q, want %q", c.TraceID, ro.TraceID, tr.ID())
+	}
+	if c.ParentID != ro.SpanID {
+		t.Errorf("child parent = %d, want root span %d", c.ParentID, ro.SpanID)
+	}
+	if c.Lane != "lane-0" {
+		t.Errorf("child lane = %q, want inherited %q", c.Lane, "lane-0")
+	}
+	if ro.Proc != "test-proc" {
+		t.Errorf("proc = %q", ro.Proc)
+	}
+	if ro.Attrs["configs"] != 3 {
+		t.Errorf("attrs = %v", ro.Attrs)
+	}
+	if _, isString := ro.Attrs["weird"].(string); !isString {
+		t.Errorf("non-scalar attr stored as %T, want string", ro.Attrs["weird"])
+	}
+}
+
+// TestDisabledIsFree: with the recorder disabled, Start returns nil, every
+// span method is a no-op, nothing is buffered, and the whole instrumented
+// path allocates nothing.
+func TestDisabledIsFree(t *testing.T) {
+	r := NewRecorder()
+	tr := r.Trace("")
+
+	allocs := testing.AllocsPerRun(100, func() {
+		sp := tr.Start(nil, "root")
+		child := sp.Child("stage")
+		child.SetLane("pool-0")
+		child.SetAttr("idx", 1)
+		child.End()
+		sp.Import(nil)
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Errorf("disabled instrumentation allocates %v per run, want 0", allocs)
+	}
+	if n := r.SpanCount(); n != 0 {
+		t.Errorf("disabled recorder buffered %d spans", n)
+	}
+}
+
+// TestRequestTraceCollectsWhileDisabled: a header-traced request on a
+// daemon with telemetry off still collects its own spans (to ship back to
+// the client) without polluting the daemon's recorder.
+func TestRequestTraceCollectsWhileDisabled(t *testing.T) {
+	r := NewRecorder()
+	tr := r.RequestTrace("cafe0123cafe0123")
+	if !tr.Collecting() {
+		t.Fatal("RequestTrace not collecting")
+	}
+	sp := tr.Start(nil, "rpc.cluster_run")
+	if sp == nil {
+		t.Fatal("request trace inactive despite collection")
+	}
+	sp.Child("run").End()
+	sp.End()
+
+	recs := tr.Records()
+	if len(recs) != 2 {
+		t.Fatalf("trace collected %d spans, want 2", len(recs))
+	}
+	if recs[0].TraceID != "cafe0123cafe0123" {
+		t.Errorf("trace ID = %q", recs[0].TraceID)
+	}
+	if n := r.SpanCount(); n != 0 {
+		t.Errorf("disabled recorder buffered %d spans from a request trace", n)
+	}
+}
+
+// TestImportMergesWorkerSpans: spans shipped back by a worker join both
+// the request trace and (when enabled) the recorder.
+func TestImportMergesWorkerSpans(t *testing.T) {
+	r := NewRecorder()
+	r.SetEnabled(true)
+	tr := r.RequestTrace("beefbeefbeefbeef")
+	worker := []SpanRecord{{TraceID: "beefbeefbeefbeef", SpanID: 7, Name: "run", Proc: "hmserved :18081", Start: time.Now(), DurUS: 42}}
+	tr.Import(worker)
+	if got := tr.Records(); len(got) != 1 || got[0].Proc != "hmserved :18081" {
+		t.Errorf("trace records = %+v", got)
+	}
+	if got := r.Records(); len(got) != 1 {
+		t.Errorf("recorder has %d spans, want imported 1", len(got))
+	}
+}
+
+// TestSpanBufferBound: spans beyond the cap are dropped and counted, not
+// accumulated without bound.
+func TestSpanBufferBound(t *testing.T) {
+	r := NewRecorder()
+	r.SetEnabled(true)
+	r.SetMaxSpans(4)
+	tr := r.Trace("")
+	for i := 0; i < 10; i++ {
+		tr.Start(nil, "s").End()
+	}
+	if n := r.SpanCount(); n != 4 {
+		t.Errorf("buffered %d spans, want cap 4", n)
+	}
+	if d := r.Dropped(); d != 6 {
+		t.Errorf("dropped = %d, want 6", d)
+	}
+}
+
+// TestHeaderRoundTrip: trace context survives HTTP header propagation.
+func TestHeaderRoundTrip(t *testing.T) {
+	r := NewRecorder()
+	r.SetEnabled(true)
+	sp := r.Trace("0123456789abcdef").Start(nil, "rpc")
+	h := http.Header{}
+	InjectHeader(h, sp)
+	id, parent, ok := ExtractHeader(h)
+	if !ok {
+		t.Fatalf("extract failed on %q", h.Get(TraceHeader))
+	}
+	if id != "0123456789abcdef" || parent != sp.SpanID() {
+		t.Errorf("extracted (%q, %d), want (%q, %d)", id, parent, "0123456789abcdef", sp.SpanID())
+	}
+
+	// nil span: no header, extract reports absence.
+	h2 := http.Header{}
+	InjectHeader(h2, nil)
+	if _, _, ok := ExtractHeader(h2); ok {
+		t.Error("extract succeeded on empty header")
+	}
+	h2.Set(TraceHeader, "garbage-no-slash")
+	if _, _, ok := ExtractHeader(h2); ok {
+		t.Error("extract succeeded on malformed header")
+	}
+}
+
+// TestChromeTraceRoundTrip: recorded spans export to Chrome trace-event
+// JSON that our own validator (and Perfetto's JSON rules) accept, with
+// metadata naming processes and lanes.
+func TestChromeTraceRoundTrip(t *testing.T) {
+	r := NewRecorder()
+	r.SetEnabled(true)
+	r.SetProc("hmexp")
+	tr := r.Trace("")
+	root := tr.Start(nil, "hmexp")
+	w := root.Child("sweep")
+	w.SetLane("pool-0")
+	w.End()
+	root.End()
+	// A remote span from another process joins the same timeline.
+	r.Import([]SpanRecord{{TraceID: tr.ID(), SpanID: 99, Name: "run", Proc: "hmserved :18081", Start: time.Now(), DurUS: 5}})
+
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, r.Records()); err != nil {
+		t.Fatal(err)
+	}
+	spans, err := ValidateChromeTrace(buf.Bytes())
+	if err != nil {
+		t.Fatalf("validator rejected our own export: %v\n%s", err, buf.String())
+	}
+	if spans != 3 {
+		t.Errorf("validator counted %d spans, want 3", spans)
+	}
+	out := buf.String()
+	for _, want := range []string{"process_name", "thread_name", "hmserved :18081", "pool-0", tr.ID()} {
+		if !strings.Contains(out, want) {
+			t.Errorf("export missing %q", want)
+		}
+	}
+}
+
+// TestValidateChromeTraceRejects: the validator is not a rubber stamp.
+func TestValidateChromeTraceRejects(t *testing.T) {
+	bad := []struct{ name, data string }{
+		{"not json", "perfetto"},
+		{"no traceEvents", `{"events":[]}`},
+		{"nameless event", `{"traceEvents":[{"ph":"X","ts":0,"dur":1,"pid":1,"tid":1}]}`},
+		{"unknown phase", `{"traceEvents":[{"name":"a","ph":"B","ts":0,"pid":1,"tid":1}]}`},
+		{"zero duration", `{"traceEvents":[{"name":"a","ph":"X","ts":0,"dur":0,"pid":1,"tid":1}]}`},
+		{"missing pid", `{"traceEvents":[{"name":"a","ph":"X","ts":0,"dur":1,"tid":1}]}`},
+	}
+	for _, tt := range bad {
+		if _, err := ValidateChromeTrace([]byte(tt.data)); err == nil {
+			t.Errorf("%s: validator accepted %s", tt.name, tt.data)
+		}
+	}
+}
+
+// TestMetricsMap: the recorder exports its state and per-span histograms
+// in Prometheus exposition shape.
+func TestMetricsMap(t *testing.T) {
+	r := NewRecorder()
+	r.SetEnabled(true)
+	tr := r.Trace("")
+	tr.Start(nil, "run").End()
+	tr.Start(nil, "run").End()
+
+	m := r.MetricsMap()
+	if m["telemetry_enabled"] != 1 {
+		t.Errorf("telemetry_enabled = %v", m["telemetry_enabled"])
+	}
+	if m["telemetry_spans_buffered"] != 2 {
+		t.Errorf("spans_buffered = %v", m["telemetry_spans_buffered"])
+	}
+	if got := m[`telemetry_span_duration_us_count{span="run"}`]; got != 2 {
+		t.Errorf("histogram count = %v, want 2", got)
+	}
+	if _, ok := m[`telemetry_span_duration_us_bucket{span="run",le="+Inf"}`]; !ok {
+		t.Error("missing +Inf bucket")
+	}
+}
+
+// TestConcurrentRecording drives one recorder from many goroutines — the
+// shape of a parallel pooled sweep where every worker lane opens and
+// closes spans against the shared recorder. Run under -race this is the
+// data-race check for the recorder and its histograms.
+func TestConcurrentRecording(t *testing.T) {
+	r := NewRecorder()
+	r.SetEnabled(true)
+	tr := r.Trace("")
+	root := tr.Start(nil, "sweep")
+
+	var wg sync.WaitGroup
+	const workers, perWorker = 8, 50
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				sp := root.Child("run")
+				sp.SetLane("pool-x")
+				sp.SetAttr("idx", i)
+				sp.End()
+			}
+		}(w)
+	}
+	wg.Wait()
+	root.End()
+
+	if n := r.SpanCount(); n != workers*perWorker+1 {
+		t.Errorf("buffered %d spans, want %d", n, workers*perWorker+1)
+	}
+	m := r.MetricsMap()
+	if got := m[`telemetry_span_duration_us_count{span="run"}`]; got != workers*perWorker {
+		t.Errorf("histogram count = %v, want %d", got, workers*perWorker)
+	}
+}

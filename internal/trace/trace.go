@@ -10,6 +10,12 @@
 // zig-zag encoded virtual-address delta shifted left one bit, with the low
 // bit carrying the read/write flag. Sequential streams compress to ~1-2
 // bytes per access.
+//
+// Naming note: this package is the *memory-access* trace — a simulation
+// artifact of the paper's methodology (what addresses the GPU touched).
+// It is unrelated to execution tracing of the simulator and its services
+// (what the system spent time on: spans, trace IDs, Perfetto timelines),
+// which lives in internal/telemetry.
 package trace
 
 import (

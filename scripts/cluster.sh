@@ -9,6 +9,11 @@
 #                                   -cluster-verify (bytes vs a local render)
 #                                   and again via a coordinator daemon, then
 #                                   diff the CSVs against a plain local run
+#   scripts/cluster.sh trace        telemetry end-to-end check: run a tiny
+#                                   sweep through a 2-worker fleet with
+#                                   -trace-out, then validate the emitted
+#                                   Chrome/Perfetto trace (trace-smoke.json
+#                                   in the repo root) with hmtrace
 #
 # Workers use throwaway cache directories so repeated runs stay hermetic.
 # Everything binds to 127.0.0.1 only.
@@ -33,9 +38,12 @@ trap cleanup EXIT INT TERM
 go build -o "$tmp/hmserved" ./cmd/hmserved
 go build -o "$tmp/hmexp" ./cmd/hmexp
 
+WORKER_FLAGS="${WORKER_FLAGS:-}"
+
 start_worker() { # port
+    # shellcheck disable=SC2086
     "$tmp/hmserved" -addr "127.0.0.1:$1" -cache-dir "$tmp/cache-$1" \
-        -drain 5s 2>>"$tmp/worker-$1.log" &
+        -drain 5s $WORKER_FLAGS 2>>"$tmp/worker-$1.log" &
     pids="$pids $!"
 }
 
@@ -101,8 +109,26 @@ smoke)
     diff "$tmp/out-coord/$FIG.csv" "$tmp/out-local/$FIG.csv"
     echo "cluster smoke OK: $FIG byte-identical across cluster, coordinator daemon, and local runs"
     ;;
+trace)
+    w1="http://127.0.0.1:$BASE_PORT"
+    w2="http://127.0.0.1:$((BASE_PORT + 1))"
+    WORKER_FLAGS="-telemetry"
+    start_worker "$BASE_PORT"
+    start_worker "$((BASE_PORT + 1))"
+    wait_healthy "$w1"
+    wait_healthy "$w2"
+
+    echo "== traced cluster render of $FIG =="
+    # shellcheck disable=SC2086
+    "$tmp/hmexp" -cluster "$w1,$w2" -trace-out trace-smoke.json $SWEEP_OPTS \
+        -out "$tmp/out-trace" "$FIG" >/dev/null
+
+    echo "== validating trace-smoke.json =="
+    go run ./cmd/hmtrace validate trace-smoke.json
+    echo "trace smoke OK: load trace-smoke.json at https://ui.perfetto.dev or chrome://tracing"
+    ;;
 *)
-    echo "usage: scripts/cluster.sh fleet [n] | smoke" >&2
+    echo "usage: scripts/cluster.sh fleet [n] | smoke | trace" >&2
     exit 2
     ;;
 esac
