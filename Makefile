@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet check bench bench-compare bench-sweep bench-serve serve cluster cluster-smoke trace-smoke clean
+.PHONY: all build test race vet check bench bench-compare bench-sweep bench-serve serve cluster cluster-smoke trace-smoke topology-smoke clean
 
 all: build
 
@@ -26,7 +26,7 @@ race:
 vet:
 	$(GO) vet ./...
 
-check: build vet test race
+check: build vet test race topology-smoke
 
 # Tier-1 performance snapshot: the event-engine microbenchmarks plus the
 # figure-level simulator benchmarks, with allocation counts, captured to a
@@ -74,6 +74,14 @@ cluster:
 # through the fleet, output diffed byte-for-byte against a local render.
 cluster-smoke:
 	scripts/cluster.sh smoke
+
+# End-to-end topology check: a tiny figure sweep on every memory-topology
+# preset (k40-ddr4, gh200, cxl-expansion), on real binaries: k40-ddr4 must
+# be byte-identical to the Table 1 default, the new presets must actually
+# change the output, hmserved must serve ?topology= identically to local
+# renders, and all three CLIs must reject unknown presets with exit 2.
+topology-smoke:
+	scripts/topology_smoke.sh
 
 # End-to-end telemetry check: a tiny sweep through a 2-worker fleet with
 # -trace-out, then the emitted Chrome/Perfetto trace (trace-smoke.json)

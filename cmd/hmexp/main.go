@@ -6,6 +6,8 @@
 //	hmexp -shrink 4 fig3 fig5                # two figures, quick mode
 //	hmexp -workloads bfs,xsbench -csv fig6
 //	hmexp -workloads bfs -plot cdf           # ASCII Figure 6 curve
+//	hmexp -topology gh200 fig3               # rerun a figure on a GH200-class topology
+//	hmexp -shrink 8 figtopo                  # every policy across every topology preset
 //	hmexp -parallel 4 all                    # figures rendered concurrently
 //	hmexp -workers 1 fig3                    # force sequential simulations
 //	hmexp -server http://localhost:8080 fig3 # offload sweeps to hmserved
@@ -85,8 +87,15 @@ func main() {
 		cVerify   = flag.Bool("cluster-verify", false, "with -cluster, also render each figure locally and fail unless byte-identical")
 		traceOut  = flag.String("trace-out", "", "write a Chrome trace-event JSON timeline of this run to the file (open in Perfetto)")
 		cMetrics  = flag.String("cluster-metrics", "", "with -cluster, serve the coordinator's Prometheus /metrics on this address (e.g. :9090)")
+		topo      = flag.String("topology", "", "memory-topology preset to simulate on (empty = the paper's Table 1 system; see hetsim.TopologyNames)")
 	)
 	flag.Parse()
+	if *topo != "" {
+		if _, err := heteromem.TopologyPreset(*topo); err != nil {
+			fmt.Fprintln(os.Stderr, "hmexp:", err)
+			os.Exit(2)
+		}
+	}
 	args := flag.Args()
 	if len(args) == 0 {
 		fmt.Fprintf(os.Stderr, "usage: hmexp [flags] all | cdf | %s\n", strings.Join(heteromem.FigureIDs(), " | "))
@@ -138,7 +147,7 @@ func main() {
 		defer flushTrace()
 	}
 
-	opts := heteromem.Options{Shrink: *shrink, Workers: *workers}
+	opts := heteromem.Options{Shrink: *shrink, Workers: *workers, Topology: *topo}
 	if *workloads != "" {
 		opts.Workloads = strings.Split(*workloads, ",")
 	}
@@ -235,7 +244,7 @@ func main() {
 					sb.WriteString(plot.Line(fmt.Sprintf("CDF: %s (pages hot to cold)", wl), pts, 64, 16))
 					continue
 				}
-				tb, err := experiments.PrintCDF(wl, heteromem.Options{Shrink: *shrink}, *points)
+				tb, err := experiments.PrintCDF(wl, heteromem.Options{Shrink: *shrink, Topology: *topo}, *points)
 				if err != nil {
 					return "", err
 				}
@@ -348,6 +357,9 @@ func fetchFigure(sp *telemetry.Span, base, id string, opts heteromem.Options, cl
 	}
 	if opts.Workers > 0 {
 		q.Set("workers", fmt.Sprint(opts.Workers))
+	}
+	if opts.Topology != "" {
+		q.Set("topology", opts.Topology)
 	}
 	u.RawQuery = q.Encode()
 

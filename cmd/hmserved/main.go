@@ -18,7 +18,7 @@
 //	GET    /v1/jobs          list jobs
 //	GET    /v1/jobs/{id}     job status + results
 //	DELETE /v1/jobs/{id}     cancel a queued job
-//	GET    /v1/figures/{id}  reproduce a paper figure (?shrink=&workloads=&workers=)
+//	GET    /v1/figures/{id}  reproduce a paper figure (?shrink=&workloads=&workers=&topology=)
 //	GET    /healthz          liveness (503 while draining)
 //	GET    /metrics          Prometheus text metrics
 //	GET    /debug/vars       the same counters, expvar-style JSON
@@ -65,6 +65,7 @@ import (
 	"hetsim/internal/cluster"
 	"hetsim/internal/serve"
 	"hetsim/internal/telemetry"
+	"hetsim/internal/topology"
 )
 
 func main() {
@@ -78,6 +79,7 @@ func main() {
 		drain    = flag.Duration("drain", 30*time.Second, "graceful-shutdown deadline for running jobs")
 		fleet    = flag.String("cluster", "", "comma-separated worker base URLs; run as coordinator over this fleet")
 		telem    = flag.Bool("telemetry", false, "record execution spans for every request (structured span logs + telemetry histograms on /metrics); header-traced requests are recorded regardless")
+		topo     = flag.String("topology", "", "default memory-topology preset for figure requests without ?topology= (empty = the paper's Table 1 system)")
 	)
 	if dup := duplicateFlags(os.Args[1:]); len(dup) > 0 {
 		fmt.Fprintf(os.Stderr, "hmserved: flag repeated on command line: -%s\n", strings.Join(dup, ", -"))
@@ -86,7 +88,7 @@ func main() {
 	flag.Parse()
 
 	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
-	if errs := validateFlags(*workers, *jobs, *queueCap, *drain); len(errs) > 0 {
+	if errs := validateFlags(*workers, *jobs, *queueCap, *drain, *topo); len(errs) > 0 {
 		for _, e := range errs {
 			logger.Error("invalid configuration", "err", e)
 		}
@@ -109,6 +111,7 @@ func main() {
 		QueueCap:      *queueCap,
 		Logger:        logger,
 		Telemetry:     rec,
+		Topology:      *topo,
 	}
 	if *fleet != "" {
 		coord, err := cluster.New(cluster.Config{
@@ -193,7 +196,7 @@ func duplicateFlags(args []string) []string {
 
 // validateFlags rejects values the serving layer would otherwise quietly
 // clamp or misbehave on.
-func validateFlags(workers, jobWorkers, queueCap int, drain time.Duration) []error {
+func validateFlags(workers, jobWorkers, queueCap int, drain time.Duration, topo string) []error {
 	var errs []error
 	if workers < 0 {
 		errs = append(errs, fmt.Errorf("-workers must be >= 0 (0 = all CPUs), got %d", workers))
@@ -206,6 +209,11 @@ func validateFlags(workers, jobWorkers, queueCap int, drain time.Duration) []err
 	}
 	if drain < 0 {
 		errs = append(errs, fmt.Errorf("-drain must be >= 0, got %s", drain))
+	}
+	if topo != "" {
+		if _, err := topology.Preset(topo); err != nil {
+			errs = append(errs, fmt.Errorf("-topology: %w", err))
+		}
 	}
 	return errs
 }

@@ -9,6 +9,7 @@
 //	hmsim -workload needle -policy oracle -capacity 0.1
 //	hmsim -workload bfs -trace bfs.trc          # record the access stream
 //	hmsim -replay bfs.trc -policy bw-aware      # replay it under a policy
+//	hmsim -workload bfs -topology gh200         # simulate on a GH200-class topology
 //	hmsim -list
 package main
 
@@ -20,6 +21,7 @@ import (
 
 	"hetsim"
 	"hetsim/internal/experiments"
+	"hetsim/internal/memsys"
 	"hetsim/internal/prof"
 	"hetsim/internal/trace"
 	"hetsim/internal/workloads"
@@ -41,8 +43,18 @@ func main() {
 		list     = flag.Bool("list", false, "list workloads and exit")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		topo     = flag.String("topology", "", "memory-topology preset (empty = the paper's Table 1 system; see hetsim.TopologyNames)")
 	)
 	flag.Parse()
+	mem := memsys.Table1Config()
+	if *topo != "" {
+		t, err := heteromem.TopologyPreset(*topo)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hmsim:", err)
+			os.Exit(2)
+		}
+		mem = t.MemsysConfig()
+	}
 	stopProf, err := prof.Start(*cpuProf, *memProf)
 	if err != nil {
 		fatal(err)
@@ -72,6 +84,7 @@ func main() {
 		Dataset:        ds,
 		PercentCO:      *ratio,
 		BOCapacityFrac: *capacity,
+		Mem:            mem,
 		Shrink:         *shrink,
 		EagerPlacement: *eager,
 		Seed:           *seed,
@@ -86,13 +99,13 @@ func main() {
 	ex := experiments.NewExecutor(0)
 	switch rc.Policy {
 	case heteromem.Oracle:
-		pr, err := ex.Profile(*workload, ds, *shrink)
+		pr, err := ex.ProfileOn(*workload, ds, *shrink, mem)
 		if err != nil {
 			fatal(err)
 		}
 		rc.ProfileCounts = pr.PageCounts
 	case heteromem.Annotated:
-		hints, err := ex.AnnotatedHints(*workload, heteromem.TrainDataset(), ds, capOrDefault(*capacity), *shrink)
+		hints, err := ex.AnnotatedHintsOn(*workload, heteromem.TrainDataset(), ds, capOrDefault(*capacity), *shrink, mem)
 		if err != nil {
 			fatal(err)
 		}
@@ -128,8 +141,12 @@ func main() {
 		res.Mem.AvgLatency(), res.Mem.Latency.Percentile(0.50),
 		res.Mem.Latency.Percentile(0.95), res.Mem.Latency.Percentile(0.99))
 	fmt.Printf("L1 hit rate        %.1f%%\n", res.GPUStats.L1HitRate()*100)
-	fmt.Printf("pages BO/CO        %d / %d (fallbacks %d)\n",
-		res.Place.PagesPerZone[0], res.Place.PagesPerZone[1], res.Place.Fallbacks)
+	pools := make([]string, len(mem.Zones))
+	for i, z := range mem.Zones {
+		pools[i] = fmt.Sprintf("%s %d", z.Name, res.Place.PagesPerZone[z.Zone])
+	}
+	fmt.Printf("pages per pool     %s (fallbacks %d)\n",
+		strings.Join(pools, " / "), res.Place.Fallbacks)
 	if st := ex.Stats(); st.Total() > 0 {
 		fmt.Printf("sweep              %s\n", st)
 	}

@@ -13,7 +13,7 @@ import (
 
 func main() {
 	const workload = "bfs"
-	fmt.Printf("hetsim quickstart: %s on the Table-1 system (200 GB/s GDDR5 + 80 GB/s DDR4)\n\n", workload)
+	fmt.Printf("hetsim quickstart: %s on the paper's k40-ddr4 topology (200 GB/s GDDR5 + 80 GB/s DDR4)\n\n", workload)
 
 	type row struct {
 		policy heteromem.PolicyKind
@@ -42,6 +42,9 @@ func main() {
 			r.label, res.Perf, res.Perf/localPerf, res.BOServed*100)
 	}
 
-	fmt.Println("\nBW-AWARE spreads pages 70/30 across the two pools, matching the")
-	fmt.Println("bandwidth ratio, so the GPU draws from both memories at once.")
+	fmt.Println("\nBW-AWARE spreads pages across the pools in proportion to their")
+	fmt.Println("bandwidths (70/30 here), so the GPU draws from every memory at once.")
+	fmt.Println("Other topologies — a GH200-class superchip, a CXL expansion tier —")
+	fmt.Println("are one option away: heteromem.Options{Topology: \"gh200\"} or")
+	fmt.Println("hmexp -topology gh200 fig3 (see TOPOLOGIES.md).")
 }

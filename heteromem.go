@@ -37,6 +37,7 @@ import (
 	"hetsim/internal/experiments"
 	"hetsim/internal/metrics"
 	"hetsim/internal/profiler"
+	"hetsim/internal/topology"
 	"hetsim/internal/trace"
 	"hetsim/internal/vm"
 	"hetsim/internal/workloads"
@@ -158,6 +159,19 @@ func StructureProfile(res Result) []StructureStat {
 // Table1SBIT returns the paper's simulated system topology (200 GB/s BO +
 // 80 GB/s CO behind a 100-cycle hop).
 func Table1SBIT() SBIT { return core.Table1SBIT() }
+
+// Topology describes an N-pool heterogeneous memory system (see
+// internal/topology and TOPOLOGIES.md): each pool's channel count,
+// per-channel bandwidth, timing, capacity, and interconnect hop.
+type Topology = topology.Topology
+
+// TopologyNames lists the built-in topology presets ("k40-ddr4" — the
+// paper's Table 1 machine —, "gh200", "cxl-expansion") in sorted order.
+func TopologyNames() []string { return topology.Names() }
+
+// TopologyPreset returns a built-in topology by name; select one for a
+// figure reproduction via Options.Topology.
+func TopologyPreset(name string) (Topology, error) { return topology.Preset(name) }
 
 // ComputeHints is the raw GetAllocation hint computation over explicit
 // size/hotness annotations (Figure 9).

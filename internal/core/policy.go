@@ -109,10 +109,18 @@ type Ratio struct {
 // NewRatio returns an xC-yB policy over the standard two zones with a
 // deterministic seed. percentCO must be in [0,100].
 func NewRatio(percentCO int, seed int64) *Ratio {
+	return NewRatioZones(percentCO, seed, vm.ZoneBO, vm.ZoneCO)
+}
+
+// NewRatioZones is NewRatio over an explicit zone pair: bo receives the
+// (100-percentCO)% share and co the rest. In an N-pool topology the caller
+// picks the fastest and slowest pools (the x:y split is inherently
+// two-valued; BW-AWARE is the K-pool generalization).
+func NewRatioZones(percentCO int, seed int64, bo, co vm.ZoneID) *Ratio {
 	if percentCO < 0 || percentCO > 100 {
 		panic(fmt.Sprintf("core: NewRatio(%d): percent outside [0,100]", percentCO))
 	}
-	return &Ratio{PercentCO: percentCO, BO: vm.ZoneBO, CO: vm.ZoneCO, Rand: rand.New(rand.NewSource(seed))}
+	return &Ratio{PercentCO: percentCO, BO: bo, CO: co, Rand: rand.New(rand.NewSource(seed))}
 }
 
 // Name implements Policy.
@@ -210,6 +218,24 @@ func (o Oracle) Place(req Request) vm.ZoneID {
 // targetBOFrac is the bandwidth-service target (SBIT.Share(ZoneBO)), and
 // capBOPages bounds how many pages fit in BO (vm.Unlimited for none).
 func BuildOracleAssignment(counts []uint64, targetBOFrac float64, capBOPages int) []vm.ZoneID {
+	return BuildOracleAssignmentZones(counts,
+		[]vm.ZoneID{vm.ZoneBO, vm.ZoneCO},
+		[]float64{targetBOFrac, 1 - targetBOFrac},
+		[]int{capBOPages, vm.Unlimited})
+}
+
+// BuildOracleAssignmentZones generalizes the oracle to K pools: zones lists
+// the pools in fill order (fastest first), shares their bandwidth-service
+// targets (SBIT.Share per zone, summing to ~1), and caps their page
+// capacities (vm.Unlimited for none). Pages are sorted hottest first and
+// poured into the current pool until its bandwidth target or capacity is
+// met, then the next pool, with everything left assigned to the last pool.
+// For two zones this reproduces BuildOracleAssignment exactly.
+func BuildOracleAssignmentZones(counts []uint64, zones []vm.ZoneID, shares []float64, caps []int) []vm.ZoneID {
+	if len(zones) == 0 || len(zones) != len(shares) || len(zones) != len(caps) {
+		panic(fmt.Sprintf("core: BuildOracleAssignmentZones: %d zones, %d shares, %d caps",
+			len(zones), len(shares), len(caps)))
+	}
 	n := len(counts)
 	order := make([]int, n)
 	for i := range order {
@@ -222,22 +248,28 @@ func BuildOracleAssignment(counts []uint64, targetBOFrac float64, capBOPages int
 	for _, c := range counts {
 		total += c
 	}
-	target := uint64(targetBOFrac * float64(total))
+	targets := make([]uint64, len(zones))
+	for i, s := range shares {
+		targets[i] = uint64(s * float64(total))
+	}
 
+	last := len(zones) - 1
 	assign := make([]vm.ZoneID, n)
 	for i := range assign {
-		assign[i] = vm.ZoneCO
+		assign[i] = zones[last]
 	}
-	var used int
-	var served uint64
+	k := 0            // current pool being filled
+	var used int      // pages placed in pool k
+	var served uint64 // access count served by pool k
 	for _, p := range order {
-		if capBOPages != vm.Unlimited && used >= capBOPages {
-			break
+		for k < last && ((caps[k] != vm.Unlimited && used >= caps[k]) || served >= targets[k]) {
+			k++
+			used, served = 0, 0
 		}
-		if served >= target {
-			break
+		if k == last {
+			break // remaining pages keep the default (last zone)
 		}
-		assign[p] = vm.ZoneBO
+		assign[p] = zones[k]
 		used++
 		served += counts[p]
 	}
@@ -253,9 +285,18 @@ type Hinted struct {
 	BO, CO   vm.ZoneID
 }
 
-// NewHinted wraps fallback (typically a BWAware) with hint handling.
+// NewHinted wraps fallback (typically a BWAware) with hint handling over
+// the standard two zones.
 func NewHinted(fallback Policy) *Hinted {
-	return &Hinted{Fallback: fallback, BO: vm.ZoneBO, CO: vm.ZoneCO}
+	return NewHintedZones(fallback, vm.ZoneBO, vm.ZoneCO)
+}
+
+// NewHintedZones is NewHinted with explicit hint targets: HintBO pins to
+// bo, HintCO to co. In an N-pool topology the caller passes the fastest
+// and slowest pools (hints name the extremes; everything between is the
+// fallback policy's business).
+func NewHintedZones(fallback Policy, bo, co vm.ZoneID) *Hinted {
+	return &Hinted{Fallback: fallback, BO: bo, CO: co}
 }
 
 // Name implements Policy.

@@ -1,8 +1,9 @@
-// Package dram models DRAM channel and bank timing for the two memory
-// technologies evaluated in the paper: a bandwidth-optimized (BO) GDDR5-like
-// pool and a capacity/cost-optimized (CO) DDR4-like pool (Table 1 of the
-// paper: RCD=RP=12, RC=40, CL=WR=12; 200 GB/s aggregate GDDR5 across 8
-// channels, 80 GB/s aggregate DDR4 across 4 channels).
+// Package dram models DRAM channel and bank timing. A Config describes one
+// channel of any memory pool in a topology — the paper's Table 1 pair (a
+// bandwidth-optimized GDDR5-like pool at 8×25 GB/s and a capacity-optimized
+// DDR4-like pool at 4×20 GB/s, both with RCD=RP=12, RC=40, CL=WR=12), or
+// newer technologies such as HBM3, LPDDR5X, and CXL-attached DRAM (see
+// internal/topology for named multi-pool presets).
 //
 // The model is timing-calculating rather than event-driven: Channel.Access
 // is called with the request arrival time and returns the completion time,

@@ -46,6 +46,26 @@ func LPDDR4Energy() EnergyConfig {
 	return EnergyConfig{ActivateNJ: 1.1, ReadPJPerBit: 6, WritePJPerBit: 6}
 }
 
+// HBM3Energy is a current-generation on-package stack (the GH200-class
+// GPU-attached pool): denser stacking edges it below first-generation HBM
+// per bit.
+func HBM3Energy() EnergyConfig {
+	return EnergyConfig{ActivateNJ: 0.8, ReadPJPerBit: 3.5, WritePJPerBit: 3.5}
+}
+
+// LPDDR5XEnergy is the CPU-attached capacity pool of a Grace-Hopper-class
+// system: mobile-derived low-power interface, slightly above on-package
+// stacks per bit.
+func LPDDR5XEnergy() EnergyConfig {
+	return EnergyConfig{ActivateNJ: 1.0, ReadPJPerBit: 5, WritePJPerBit: 5}
+}
+
+// CXLDRAMEnergy is commodity DRAM behind a CXL.mem controller: DDR-class
+// array energy plus the controller/SerDes overhead on every transfer.
+func CXLDRAMEnergy() EnergyConfig {
+	return EnergyConfig{ActivateNJ: 1.6, ReadPJPerBit: 9, WritePJPerBit: 9}
+}
+
 // accessEnergyNJ is the energy of one burst transfer.
 func (e EnergyConfig) accessEnergyNJ(burstBytes int, write, activated bool) float64 {
 	perBit := e.ReadPJPerBit

@@ -9,6 +9,7 @@ import (
 	"hetsim/internal/memsys"
 	"hetsim/internal/metrics"
 	"hetsim/internal/telemetry"
+	"hetsim/internal/topology"
 	"hetsim/internal/vm"
 	"hetsim/internal/workloads"
 )
@@ -41,6 +42,14 @@ type Options struct {
 	// internal/telemetry). Purely observational — results are identical
 	// with or without it.
 	Span *telemetry.Span
+	// Topology selects a named memory topology preset (internal/topology:
+	// "k40-ddr4", "gh200", "cxl-expansion") for every simulation in this
+	// reproduction; "" means the paper's Table 1 system. "k40-ddr4" is
+	// byte-identical to "" — same hardware, same cache keys. Unknown names
+	// fail figure construction. Figures that study a fixed hardware point
+	// (table1's companion fig1, figzones' three-technology demo, figtopo's
+	// all-preset sweep) ignore it.
+	Topology string
 }
 
 func (o Options) workloadList() []string {
@@ -62,6 +71,22 @@ func (o Options) dataset() workloads.Dataset {
 		return workloads.Train()
 	}
 	return o.Dataset
+}
+
+// mem resolves the Topology selection to the base memory configuration.
+// The empty selection returns memsys.Table1Config(), whose canonical cache
+// keys coincide with the zero-Mem RunConfig default, so default figures
+// keep hitting the same cache entries as before. Figures must Clone()
+// before mutating the result (sweep knobs scale zone bandwidths in place).
+func (o Options) mem() (memsys.Config, error) {
+	if o.Topology == "" {
+		return memsys.Table1Config(), nil
+	}
+	t, err := topology.Preset(o.Topology)
+	if err != nil {
+		return memsys.Config{}, err
+	}
+	return t.MemsysConfig(), nil
 }
 
 // executor builds this figure's sweep executor: opts-controlled worker
@@ -90,9 +115,13 @@ type Figure struct {
 	Sweep metrics.SweepStats
 }
 
-// Table1 reproduces the simulation-configuration table.
-func Table1(Options) (Figure, error) {
-	mc := memsys.Table1Config()
+// Table1 reproduces the simulation-configuration table (for the selected
+// topology; the default renders the paper's Table 1).
+func Table1(opts Options) (Figure, error) {
+	mc, err := opts.mem()
+	if err != nil {
+		return Figure{}, err
+	}
 	gc := gpu.Table1Config()
 	tb := metrics.NewTable("Table 1: Simulation environment", "parameter", "value")
 	tb.AddRow("Simulator", "hetsim (event-driven, cycle-approximate)")
@@ -109,6 +138,11 @@ func Table1(Options) (Figure, error) {
 	t := mc.Zones[0].DRAM.Timing
 	tb.AddRow("DRAM Timings", fmt.Sprintf("RCD=RP=%d,RC=%d,CL=WR=%d", t.RCD, t.RC, t.CL))
 	tb.AddRow("GPU-CPU Interconnect", fmt.Sprintf("%d GPU core cycles", mc.Zones[1].ExtraLatency))
+	// Additional pools beyond the paper's pair (e.g. a CXL expansion tier).
+	for _, z := range mc.Zones[2:] {
+		tb.AddRow(fmt.Sprintf("GPU-%s Interconnect", z.Name),
+			fmt.Sprintf("%d GPU core cycles", z.ExtraLatency))
+	}
 	return Figure{ID: "table1", Title: "Simulation environment", Table: tb}, nil
 }
 
@@ -146,16 +180,17 @@ func Fig1(Options) (Figure, error) {
 // fig2aScales are the BO bandwidth multipliers of the Figure 2a sweep.
 var fig2aScales = []float64{0.5, 0.75, 1.0, 1.5, 2.0}
 
-// fig2aConfigs builds the Figure 2a grid — every workload at every BO
-// bandwidth scale — in row-major (workload, scale) order. The sweep
-// benchmark and the parallel-speedup test reuse it as a representative
-// multi-workload figure sweep.
-func fig2aConfigs(opts Options) []RunConfig {
+// fig2aConfigs builds the Figure 2a grid — every workload at every
+// GPU-pool bandwidth scale over the base memory configuration — in
+// row-major (workload, scale) order. The sweep benchmark and the
+// parallel-speedup test reuse it as a representative multi-workload
+// figure sweep.
+func fig2aConfigs(opts Options, mem memsys.Config) []RunConfig {
 	wls := opts.workloadList()
 	cfgs := make([]RunConfig, 0, len(wls)*len(fig2aScales))
 	for _, wl := range wls {
 		for _, sc := range fig2aScales {
-			cfg := memsys.Table1Config()
+			cfg := mem.Clone()
 			cfg.ScaleZoneBandwidth(vm.ZoneBO, sc)
 			cfgs = append(cfgs, RunConfig{Workload: wl, Dataset: opts.dataset(), Policy: LocalPolicy, Mem: cfg, Shrink: opts.shrink()})
 		}
@@ -169,8 +204,12 @@ func fig2aConfigs(opts Options) []RunConfig {
 func Fig2a(opts Options) (Figure, error) {
 	scales := fig2aScales
 	wls := opts.workloadList()
+	mem, err := opts.mem()
+	if err != nil {
+		return Figure{}, err
+	}
 	e := opts.executor()
-	res, err := e.Map(fig2aConfigs(opts))
+	res, err := e.Map(fig2aConfigs(opts, mem))
 	if err != nil {
 		return Figure{}, err
 	}
@@ -205,10 +244,14 @@ func Fig2a(opts Options) (Figure, error) {
 func Fig2b(opts Options) (Figure, error) {
 	lats := []int64{0, 100, 200, 400}
 	wls := opts.workloadList()
+	mem, err := opts.mem()
+	if err != nil {
+		return Figure{}, err
+	}
 	cfgs := make([]RunConfig, 0, len(wls)*len(lats))
 	for _, wl := range wls {
 		for _, lat := range lats {
-			cfg := memsys.Table1Config()
+			cfg := mem.Clone()
 			cfg.GlobalExtraLatency += simTime(lat)
 			cfgs = append(cfgs, RunConfig{Workload: wl, Dataset: opts.dataset(), Policy: LocalPolicy, Mem: cfg, Shrink: opts.shrink()})
 		}
@@ -244,11 +287,15 @@ func Fig2b(opts Options) (Figure, error) {
 func Fig3(opts Options) (Figure, error) {
 	ratios := []int{0, 10, 30, 50, 70, 90, 100}
 	wls := opts.workloadList()
+	mem, err := opts.mem()
+	if err != nil {
+		return Figure{}, err
+	}
 	// Per workload: LOCAL, the fixed ratios, INTERLEAVE, BW-AWARE.
 	stride := 1 + len(ratios) + 2
 	cfgs := make([]RunConfig, 0, len(wls)*stride)
 	for _, wl := range wls {
-		base := RunConfig{Workload: wl, Dataset: opts.dataset(), Shrink: opts.shrink()}
+		base := RunConfig{Workload: wl, Dataset: opts.dataset(), Mem: mem, Shrink: opts.shrink()}
 		local := base
 		local.Policy = LocalPolicy
 		cfgs = append(cfgs, local)
@@ -306,10 +353,14 @@ func Fig3(opts Options) (Figure, error) {
 func Fig4(opts Options) (Figure, error) {
 	fracs := []float64{1.0, 0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3, 0.2, 0.1}
 	wls := opts.workloadList()
+	mem, err := opts.mem()
+	if err != nil {
+		return Figure{}, err
+	}
 	stride := 1 + len(fracs) // unconstrained baseline, then each fraction
 	cfgs := make([]RunConfig, 0, len(wls)*stride)
 	for _, wl := range wls {
-		base := RunConfig{Workload: wl, Dataset: opts.dataset(), Policy: BWAwarePolicy, Shrink: opts.shrink()}
+		base := RunConfig{Workload: wl, Dataset: opts.dataset(), Policy: BWAwarePolicy, Mem: mem, Shrink: opts.shrink()}
 		cfgs = append(cfgs, base)
 		for _, f := range fracs {
 			rc := base
@@ -362,11 +413,15 @@ func Fig5(opts Options) (Figure, error) {
 	coBWs := []float64{5, 40, 80, 120, 160, 200}
 	policies := []PolicyKind{LocalPolicy, InterleavePolicy, BWAwarePolicy}
 	wls := opts.workloadList()
+	mem, err := opts.mem()
+	if err != nil {
+		return Figure{}, err
+	}
 	cfgs := make([]RunConfig, 0, len(coBWs)*len(wls)*len(policies))
 	for _, cobw := range coBWs {
 		for _, wl := range wls {
 			for _, pk := range policies {
-				cfg := memsys.Table1Config()
+				cfg := mem.Clone()
 				cfg.SetZoneBandwidthGBps(vm.ZoneCO, cobw)
 				cfgs = append(cfgs, RunConfig{Workload: wl, Dataset: opts.dataset(), Policy: pk, Mem: cfg, Shrink: opts.shrink()})
 			}

@@ -28,8 +28,12 @@ func FigMigration(opts Options) (Figure, error) {
 	if len(wls) == 0 {
 		wls = []string{"bfs", "xsbench", "minife", "mummergpu", "needle", "histo"}
 	}
+	mem, err := opts.mem()
+	if err != nil {
+		return Figure{}, err
+	}
 	e := opts.executor()
-	profs, err := profileAll(e, wls, opts.dataset(), opts.shrink())
+	profs, err := profileAll(e, wls, opts.dataset(), opts.shrink(), mem)
 	if err != nil {
 		return Figure{}, err
 	}
@@ -37,12 +41,12 @@ func FigMigration(opts Options) (Figure, error) {
 	migCfg := migrate.DefaultConfig()
 	cfgs := make([]RunConfig, 0, len(wls)*stride)
 	for wi, wl := range wls {
-		hints, err := hintsFromProfile(profs[wi], wl, opts.dataset(), constrainedFrac)
+		hints, err := hintsFromProfile(profs[wi], wl, opts.dataset(), constrainedFrac, mem)
 		if err != nil {
 			return Figure{}, err
 		}
 		base := RunConfig{
-			Workload: wl, Dataset: opts.dataset(),
+			Workload: wl, Dataset: opts.dataset(), Mem: mem,
 			BOCapacityFrac: constrainedFrac, Shrink: opts.shrink(),
 			ProfileCounts: profs[wi].PageCounts,
 		}
@@ -159,11 +163,15 @@ func FigEnergy(opts Options) (Figure, error) {
 	if len(wls) == 0 {
 		wls = []string{"stencil", "lbm", "hotspot", "bfs", "xsbench", "needle"}
 	}
+	mem, err := opts.mem()
+	if err != nil {
+		return Figure{}, err
+	}
 	policies := []PolicyKind{LocalPolicy, InterleavePolicy, BWAwarePolicy}
 	cfgs := make([]RunConfig, 0, len(wls)*len(policies))
 	for _, wl := range wls {
 		for _, pk := range policies {
-			cfgs = append(cfgs, RunConfig{Workload: wl, Dataset: opts.dataset(), Policy: pk, Shrink: opts.shrink()})
+			cfgs = append(cfgs, RunConfig{Workload: wl, Dataset: opts.dataset(), Policy: pk, Mem: mem, Shrink: opts.shrink()})
 		}
 	}
 	e := opts.executor()
@@ -204,8 +212,12 @@ func FigPhase(opts Options) (Figure, error) {
 	if len(wls) == 0 {
 		wls = []string{"phased", "xsbench"}
 	}
+	mem, err := opts.mem()
+	if err != nil {
+		return Figure{}, err
+	}
 	e := opts.executor()
-	profs, err := profileAll(e, wls, opts.dataset(), opts.shrink())
+	profs, err := profileAll(e, wls, opts.dataset(), opts.shrink(), mem)
 	if err != nil {
 		return Figure{}, err
 	}
@@ -214,7 +226,7 @@ func FigPhase(opts Options) (Figure, error) {
 	cfgs := make([]RunConfig, 0, len(wls)*stride)
 	for wi, wl := range wls {
 		base := RunConfig{
-			Workload: wl, Dataset: opts.dataset(),
+			Workload: wl, Dataset: opts.dataset(), Mem: mem,
 			BOCapacityFrac: constrainedFrac, Shrink: opts.shrink(),
 			ProfileCounts: profs[wi].PageCounts,
 		}
@@ -265,6 +277,10 @@ func FigTLB(opts Options) (Figure, error) {
 	}
 	pageSizes := []uint64{4096, 16384, 65536}
 	tcfg := tlb.DefaultConfig()
+	mem, err := opts.mem()
+	if err != nil {
+		return Figure{}, err
+	}
 	e := opts.executor()
 
 	// Stage 1: a TLB-enabled LOCAL profiling run per (workload, page size)
@@ -274,7 +290,7 @@ func FigTLB(opts Options) (Figure, error) {
 		for _, ps := range pageSizes {
 			profCfgs = append(profCfgs, RunConfig{
 				Workload: wl, Dataset: opts.dataset(), Policy: LocalPolicy,
-				PageSize: ps, TLB: &tcfg, Shrink: opts.shrink(),
+				PageSize: ps, TLB: &tcfg, Mem: mem, Shrink: opts.shrink(),
 			})
 		}
 	}
@@ -342,15 +358,27 @@ func FigCPU(opts Options) (Figure, error) {
 		wls = []string{"stencil", "lbm", "bfs"}
 	}
 	cpuGBps := 40.0
+	mem, err := opts.mem()
+	if err != nil {
+		return Figure{}, err
+	}
 	// Contention-aware: hardware unchanged, but the SBIT advertises only
-	// the CO bandwidth the CPU leaves over, shifting the placement ratio.
-	// Run() derives policy and hardware from one config, so emulate by
-	// running with PercentCO matching the reduced share.
-	share := (80 - cpuGBps) / (200 + 80 - cpuGBps) * 100
+	// the CPU-pool bandwidth the CPU leaves over, shifting the placement
+	// ratio. Run() derives policy and hardware from one config, so emulate
+	// by running with PercentCO matching the reduced share.
+	coBW := mem.ZoneBandwidthGBps(vm.ZoneCO)
+	var totalBW float64
+	for _, z := range mem.Zones {
+		totalBW += mem.ZoneBandwidthGBps(z.Zone)
+	}
+	share := (coBW - cpuGBps) / (totalBW - cpuGBps) * 100
+	if share < 0 {
+		share = 0
+	}
 	const stride = 5 // idle LOCAL, LOCAL, INTERLEAVE, BW-AWARE, contention-aware
 	cfgs := make([]RunConfig, 0, len(wls)*stride)
 	for _, wl := range wls {
-		base := RunConfig{Workload: wl, Dataset: opts.dataset(), Shrink: opts.shrink()}
+		base := RunConfig{Workload: wl, Dataset: opts.dataset(), Mem: mem, Shrink: opts.shrink()}
 		idle := base
 		idle.Policy = LocalPolicy
 		local := base

@@ -13,12 +13,13 @@ import (
 // annotation studies: BO holds 10% of the application footprint.
 const constrainedFrac = 0.10
 
-// profileAll runs the profiling pass for every workload through the
-// executor and returns the results in workload order.
-func profileAll(e *Executor, wls []string, ds workloads.Dataset, shrink int) ([]Result, error) {
+// profileAll runs the profiling pass for every workload on the given
+// memory system through the executor and returns the results in workload
+// order.
+func profileAll(e *Executor, wls []string, ds workloads.Dataset, shrink int, mem memsys.Config) ([]Result, error) {
 	cfgs := make([]RunConfig, len(wls))
 	for i, wl := range wls {
-		cfgs[i] = profileConfig(wl, ds, shrink)
+		cfgs[i] = profileConfig(wl, ds, shrink, mem)
 	}
 	return e.Map(cfgs)
 }
@@ -28,8 +29,12 @@ func profileAll(e *Executor, wls []string, ds workloads.Dataset, shrink int) ([]
 // normalized per workload to unconstrained BW-AWARE.
 func Fig8(opts Options) (Figure, error) {
 	wls := opts.workloadList()
+	mem, err := opts.mem()
+	if err != nil {
+		return Figure{}, err
+	}
 	e := opts.executor()
-	profs, err := profileAll(e, wls, opts.dataset(), opts.shrink())
+	profs, err := profileAll(e, wls, opts.dataset(), opts.shrink(), mem)
 	if err != nil {
 		return Figure{}, err
 	}
@@ -38,7 +43,7 @@ func Fig8(opts Options) (Figure, error) {
 	cfgs := make([]RunConfig, 0, len(wls)*stride)
 	for wi, wl := range wls {
 		base := RunConfig{
-			Workload: wl, Dataset: opts.dataset(), Shrink: opts.shrink(),
+			Workload: wl, Dataset: opts.dataset(), Mem: mem, Shrink: opts.shrink(),
 			ProfileCounts: profs[wi].PageCounts,
 		}
 		for _, c := range []struct {
@@ -93,17 +98,25 @@ func AnnotatedHints(workload string, trainDS, evalDS workloads.Dataset, boCapaci
 // AnnotatedHints is the executor-bound form of the package-level function:
 // the training profile dispatches through e and counts in e.Stats().
 func (e *Executor) AnnotatedHints(workload string, trainDS, evalDS workloads.Dataset, boCapacityFrac float64, shrink int) ([]core.Hint, error) {
-	prof, err := e.Profile(workload, trainDS, shrink)
+	return e.AnnotatedHintsOn(workload, trainDS, evalDS, boCapacityFrac, shrink, memsys.Table1Config())
+}
+
+// AnnotatedHintsOn is AnnotatedHints against an explicit memory
+// configuration: both the training profile and the SBIT the hint
+// computation reads come from that topology.
+func (e *Executor) AnnotatedHintsOn(workload string, trainDS, evalDS workloads.Dataset, boCapacityFrac float64, shrink int, mem memsys.Config) ([]core.Hint, error) {
+	prof, err := e.ProfileOn(workload, trainDS, shrink, mem)
 	if err != nil {
 		return nil, err
 	}
-	return hintsFromProfile(prof, workload, evalDS, boCapacityFrac)
+	return hintsFromProfile(prof, workload, evalDS, boCapacityFrac, mem)
 }
 
 // hintsFromProfile is the GetAllocation computation given an
 // already-measured training profile, so figure sweeps can feed it profiles
-// obtained through the pool instead of re-running them.
-func hintsFromProfile(prof Result, workload string, evalDS workloads.Dataset, boCapacityFrac float64) ([]core.Hint, error) {
+// obtained through the pool instead of re-running them. mem supplies the
+// SBIT (the machine the hints target).
+func hintsFromProfile(prof Result, workload string, evalDS workloads.Dataset, boCapacityFrac float64, mem memsys.Config) ([]core.Hint, error) {
 	stats := profiler.ProfileAllocations(prof.PageCounts, prof.Allocations, vm.DefaultPageSize)
 	hotness := profiler.HotnessVector(stats)
 
@@ -116,7 +129,7 @@ func hintsFromProfile(prof Result, workload string, evalDS workloads.Dataset, bo
 		infos[i] = core.AllocationInfo{Size: st.Size, Hotness: hotness[i]}
 	}
 	boCap := uint64(boCapacityFrac * float64(spec.Footprint()))
-	sbit := SBITFor(memsys.Table1Config())
+	sbit := SBITFor(mem)
 	return core.ComputeHints(infos, boCap, sbit.Share(vm.ZoneBO))
 }
 
@@ -125,20 +138,24 @@ func hintsFromProfile(prof Result, workload string, evalDS workloads.Dataset, bo
 // constraint, normalized to INTERLEAVE.
 func Fig10(opts Options) (Figure, error) {
 	wls := opts.workloadList()
+	mem, err := opts.mem()
+	if err != nil {
+		return Figure{}, err
+	}
 	e := opts.executor()
-	profs, err := profileAll(e, wls, opts.dataset(), opts.shrink())
+	profs, err := profileAll(e, wls, opts.dataset(), opts.shrink(), mem)
 	if err != nil {
 		return Figure{}, err
 	}
 	const stride = 4 // INTERLEAVE, BW-AWARE, ANNOTATED, ORACLE
 	cfgs := make([]RunConfig, 0, len(wls)*stride)
 	for wi, wl := range wls {
-		hints, err := hintsFromProfile(profs[wi], wl, opts.dataset(), constrainedFrac)
+		hints, err := hintsFromProfile(profs[wi], wl, opts.dataset(), constrainedFrac, mem)
 		if err != nil {
 			return Figure{}, err
 		}
 		base := RunConfig{
-			Workload: wl, Dataset: opts.dataset(), Shrink: opts.shrink(),
+			Workload: wl, Dataset: opts.dataset(), Mem: mem, Shrink: opts.shrink(),
 			BOCapacityFrac: constrainedFrac, ProfileCounts: profs[wi].PageCounts,
 		}
 		for _, pk := range []PolicyKind{InterleavePolicy, BWAwarePolicy, HintedPolicy, OraclePolicy} {
@@ -187,6 +204,10 @@ func Fig11(opts Options) (Figure, error) {
 		cases = opts.Workloads
 	}
 	datasets := append([]workloads.Dataset{opts.dataset()}, workloads.Variants()...)
+	mem, err := opts.mem()
+	if err != nil {
+		return Figure{}, err
+	}
 	e := opts.executor()
 
 	// Stage 1: profile every (workload, dataset) pair. datasets[0] is the
@@ -195,7 +216,7 @@ func Fig11(opts Options) (Figure, error) {
 	profCfgs := make([]RunConfig, 0, len(cases)*len(datasets))
 	for _, wl := range cases {
 		for _, ds := range datasets {
-			profCfgs = append(profCfgs, profileConfig(wl, ds, opts.shrink()))
+			profCfgs = append(profCfgs, profileConfig(wl, ds, opts.shrink(), mem))
 		}
 	}
 	profs, err := e.Map(profCfgs)
@@ -211,13 +232,13 @@ func Fig11(opts Options) (Figure, error) {
 		for di, ds := range datasets {
 			// Hints always come from the training dataset profile, but use
 			// the evaluation dataset's sizes (known at runtime).
-			hints, err := hintsFromProfile(trainProf, wl, ds, constrainedFrac)
+			hints, err := hintsFromProfile(trainProf, wl, ds, constrainedFrac, mem)
 			if err != nil {
 				return Figure{}, err
 			}
 			// The oracle is profiled on the evaluation dataset itself.
 			base := RunConfig{
-				Workload: wl, Dataset: ds, BOCapacityFrac: constrainedFrac,
+				Workload: wl, Dataset: ds, BOCapacityFrac: constrainedFrac, Mem: mem,
 				Shrink: opts.shrink(), ProfileCounts: profs[ci*len(datasets)+di].PageCounts,
 			}
 			inter := base
@@ -267,7 +288,7 @@ func Fig11(opts Options) (Figure, error) {
 func All(opts Options) ([]Figure, error) {
 	runs := []func(Options) (Figure, error){
 		Table1, Fig1, Fig2a, Fig2b, Fig3, Fig4, Fig5, Fig6, Fig7, Fig8, Fig10, Fig11,
-		FigMigration, FigZones, FigEnergy, FigPhase, FigTLB, FigCPU,
+		FigMigration, FigZones, FigEnergy, FigPhase, FigTLB, FigCPU, FigTopology,
 	}
 	var out []Figure
 	for _, f := range runs {
@@ -301,6 +322,7 @@ func ByID(id string) (func(Options) (Figure, error), bool) {
 		"figphase":  FigPhase,
 		"figtlb":    FigTLB,
 		"figcpu":    FigCPU,
+		"figtopo":   FigTopology,
 	}
 	f, ok := m[id]
 	return f, ok
@@ -311,5 +333,6 @@ func IDs() []string {
 	return []string{
 		"table1", "fig1", "fig2a", "fig2b", "fig3", "fig4", "fig5", "fig6",
 		"fig7", "fig8", "fig10", "fig11", "figmig", "figzones", "figenergy", "figphase", "figtlb", "figcpu",
+		"figtopo",
 	}
 }

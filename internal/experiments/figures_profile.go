@@ -18,8 +18,12 @@ func simTime(v int64) sim.Time { return sim.Time(v) }
 // filtering, as in the paper.
 func Fig6(opts Options) (Figure, error) {
 	wls := opts.workloadList()
+	mem, err := opts.mem()
+	if err != nil {
+		return Figure{}, err
+	}
 	e := opts.executor()
-	profs, err := profileAll(e, wls, opts.dataset(), opts.shrink())
+	profs, err := profileAll(e, wls, opts.dataset(), opts.shrink(), mem)
 	if err != nil {
 		return Figure{}, err
 	}
@@ -48,8 +52,12 @@ func Fig7(opts Options) (Figure, error) {
 	if len(opts.Workloads) > 0 {
 		cases = opts.Workloads
 	}
+	mem, err := opts.mem()
+	if err != nil {
+		return Figure{}, err
+	}
 	e := opts.executor()
-	profs, err := profileAll(e, cases, opts.dataset(), opts.shrink())
+	profs, err := profileAll(e, cases, opts.dataset(), opts.shrink(), mem)
 	if err != nil {
 		return Figure{}, err
 	}
@@ -83,7 +91,11 @@ func Fig7(opts Options) (Figure, error) {
 // PrintCDF renders the full CDF of one workload (the raw Figure 6 curve)
 // at the given number of sample points, for plotting.
 func PrintCDF(workload string, opts Options, points int) (*metrics.Table, error) {
-	res, err := Profile(workload, opts.dataset(), opts.shrink())
+	mem, err := opts.mem()
+	if err != nil {
+		return nil, err
+	}
+	res, err := defaultExec.ProfileOn(workload, opts.dataset(), opts.shrink(), mem)
 	if err != nil {
 		return nil, err
 	}

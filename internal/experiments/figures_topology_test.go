@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestK40FigureByteIdentical is the golden byte-identity gate for the
+// topology generalization: rendering a figure with Topology "k40-ddr4"
+// must produce exactly the bytes the historical default (the implicit
+// Table 1 system) produces — text, CSV, and headline numbers.
+func TestK40FigureByteIdentical(t *testing.T) {
+	for _, id := range []string{"fig2a", "fig3"} {
+		fn, ok := ByID(id)
+		if !ok {
+			t.Fatalf("no figure %q", id)
+		}
+		opts := Options{Shrink: 16, Workloads: []string{"bfs", "stencil"}}
+		def, err := fn(opts)
+		if err != nil {
+			t.Fatalf("%s default: %v", id, err)
+		}
+		opts.Topology = "k40-ddr4"
+		k40, err := fn(opts)
+		if err != nil {
+			t.Fatalf("%s k40-ddr4: %v", id, err)
+		}
+		if got, want := k40.Table.String(), def.Table.String(); got != want {
+			t.Errorf("%s text diverged on k40-ddr4:\n got %q\nwant %q", id, got, want)
+		}
+		if got, want := k40.Table.CSV(), def.Table.CSV(); got != want {
+			t.Errorf("%s CSV diverged on k40-ddr4", id)
+		}
+		if !reflect.DeepEqual(k40.Headline, def.Headline) {
+			t.Errorf("%s headlines diverged:\n got %v\nwant %v", id, k40.Headline, def.Headline)
+		}
+	}
+}
+
+// TestFigureUnknownTopology: a bad preset name must surface as an error,
+// not fall back silently to the default system.
+func TestFigureUnknownTopology(t *testing.T) {
+	_, err := Fig3(Options{Shrink: 16, Workloads: []string{"bfs"}, Topology: "hbm9000"})
+	if err == nil {
+		t.Fatal("Fig3 accepted unknown topology")
+	}
+}
+
+// TestFigTopology exercises the new cross-topology study end to end: all
+// three presets, every placement policy, sane normalized results.
+func TestFigTopology(t *testing.T) {
+	fig, err := FigTopology(Options{Shrink: 16, Workloads: []string{"bfs", "stencil"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig.Table.Rows() != 3 {
+		t.Fatalf("rows = %d, want 3 (one per preset)", fig.Table.Rows())
+	}
+	for _, name := range []string{"k40-ddr4", "gh200", "cxl-expansion"} {
+		bw, ok := fig.Headline["bwaware_vs_local_"+name]
+		if !ok {
+			t.Errorf("missing headline for %s", name)
+			continue
+		}
+		if bw <= 0 {
+			t.Errorf("%s: BW-AWARE vs LOCAL = %v, want > 0", name, bw)
+		}
+	}
+	if r := fig.Headline["bw_ratio_k40-ddr4"]; r < 2.49 || r > 2.51 {
+		t.Errorf("k40-ddr4 bandwidth ratio = %v, want 2.5", r)
+	}
+	if r := fig.Headline["bw_ratio_gh200"]; r < 7.9 || r > 8.1 {
+		t.Errorf("gh200 bandwidth ratio = %v, want ~8", r)
+	}
+	// The paper's Figure 5 trend, generalized: the higher the bandwidth
+	// ratio, the smaller BW-AWARE's edge over LOCAL.
+	k40Edge := fig.Headline["bwaware_vs_local_k40-ddr4"]
+	ghEdge := fig.Headline["bwaware_vs_local_gh200"]
+	if ghEdge > k40Edge {
+		t.Errorf("BW-AWARE edge on gh200 (%v) exceeds k40-ddr4 (%v); expected the ratio trend to shrink it", ghEdge, k40Edge)
+	}
+}

@@ -70,13 +70,18 @@ type RunConfig struct {
 	// (obtained from a prior profiling Run on the same workload+dataset).
 	ProfileCounts []uint64
 
-	// BOCapacityFrac caps the BO zone at this fraction of the workload
-	// footprint; 0 or >= 1e9 means unconstrained. The paper's capacity
-	// studies use 0.1 (Figures 8, 10, 11) and a 0.1..1.0 sweep (Figure 4).
+	// BOCapacityFrac caps the GPU-attached pool (zone 0) at this fraction
+	// of the workload footprint; 0 or >= 1e9 means unconstrained. The
+	// paper's capacity studies use 0.1 (Figures 8, 10, 11) and a 0.1..1.0
+	// sweep (Figure 4). Pools may also declare absolute capacities in the
+	// memory config (topology presets do); the tighter bound wins.
 	BOCapacityFrac float64
 
-	Mem memsys.Config // zero value means memsys.Table1Config()
-	GPU gpu.Config    // zero value means gpu.Table1Config()
+	// Mem is the memory-system description; the zero value means
+	// memsys.Table1Config(). Topology presets (internal/topology,
+	// Options.Topology, hmexp/hmsim -topology) compile to this field.
+	Mem memsys.Config
+	GPU gpu.Config // zero value means gpu.Table1Config()
 
 	// PageSize overrides the 4 kB OS page size (must be a power of two).
 	// Larger pages coarsen placement granularity — the page-size ablation.
@@ -119,7 +124,7 @@ type Result struct {
 	// report it normalized within the figure, as the paper does.
 	Perf        float64
 	Accesses    uint64
-	BOServed    float64 // fraction of post-L1 accesses served by BO
+	BOServed    float64 // fraction of post-L1 accesses served by pool 0 (GPU-attached)
 	PageCounts  []uint64
 	Allocations []gpurt.Allocation
 	Mem         memsys.Stats
@@ -141,6 +146,7 @@ func SBITFor(cfg memsys.Config) core.SBIT {
 			Name:          z.Name,
 			BandwidthGBps: cfg.ZoneBandwidthGBps(z.Zone),
 			LatencyCycles: int(z.ExtraLatency),
+			CapacityBytes: z.CapacityBytes,
 		})
 	}
 	return t
@@ -185,8 +191,10 @@ func runTraced(sp *telemetry.Span, rc RunConfig) (Result, error) {
 	}
 	gpuCfg.PageSize = pageSize
 
-	// Size the zones. CO is always unconstrained (it is the capacity
-	// pool); BO may be capped at a fraction of the footprint.
+	// Size the zones. The GPU-attached pool (zone 0) may be capped at a
+	// fraction of the footprint (the paper's capacity studies); any pool
+	// may additionally declare an absolute capacity in the memory config
+	// (topology presets do). The tighter bound wins.
 	footPages := vm.PagesFor(spec.Footprint(), pageSize)
 	boPages := vm.Unlimited
 	if rc.BOCapacityFrac > 0 && rc.BOCapacityFrac < 1e9 {
@@ -195,10 +203,6 @@ func runTraced(sp *telemetry.Span, rc RunConfig) (Result, error) {
 			boPages = 1
 		}
 	}
-	// Build the zone table from the memory configuration (two zones for
-	// the Table 1 system; extension experiments add more). Only the BO
-	// zone is ever capacity constrained; every other pool is the capacity
-	// side of the system.
 	maxZone := 0
 	for _, z := range memCfg.Zones {
 		if int(z.Zone) > maxZone {
@@ -211,8 +215,13 @@ func runTraced(sp *telemetry.Span, rc RunConfig) (Result, error) {
 	}
 	for _, z := range memCfg.Zones {
 		zcfgs[z.Zone].Name = z.Name
+		if cp := capacityPages(z.CapacityBytes, pageSize); cp < zcfgs[z.Zone].CapacityPages {
+			zcfgs[z.Zone].CapacityPages = cp
+		}
 	}
-	zcfgs[vm.ZoneBO].CapacityPages = boPages
+	if boPages < zcfgs[vm.ZoneBO].CapacityPages {
+		zcfgs[vm.ZoneBO].CapacityPages = boPages
+	}
 	space := vm.NewSpace(pageSize, zcfgs)
 
 	seed := rc.Seed
@@ -355,32 +364,70 @@ func policyLabel(rc RunConfig) string {
 }
 
 func buildPolicy(rc RunConfig, sbit core.SBIT, seed int64) (core.Policy, error) {
+	byBW := sbit.ZonesByBandwidth()
+	fast, slow := byBW[0], byBW[len(byBW)-1]
 	switch rc.Policy {
 	case LocalPolicy:
 		// LOCAL allocates from the GPU's local zone: the highest-bandwidth
 		// pool in the table.
-		return core.Local{Zone: sbit.ZonesByBandwidth()[0]}, nil
+		return core.Local{Zone: fast}, nil
 	case InterleavePolicy:
 		return core.NewInterleave(len(sbit.ZoneInfos)), nil
 	case BWAwarePolicy:
 		return core.NewBWAware(sbit, seed), nil
 	case RatioPolicy:
-		return core.NewRatio(rc.PercentCO, seed), nil
+		// The x:y split is inherently two-valued; in an N-pool topology it
+		// splits between the fastest and slowest pools.
+		return core.NewRatioZones(rc.PercentCO, seed, fast, slow), nil
 	case OraclePolicy:
 		if rc.ProfileCounts == nil {
 			return nil, fmt.Errorf("experiments: OraclePolicy requires ProfileCounts")
 		}
-		assign := core.BuildOracleAssignment(rc.ProfileCounts, sbit.Share(vm.ZoneBO), oracleCap(rc))
-		return core.Oracle{Assignment: assign, Default: vm.ZoneCO}, nil
+		// Fill pools fastest-first, each to its bandwidth share, honoring
+		// both the footprint-fraction cap on zone 0 and any absolute pool
+		// capacities the topology declares.
+		pageSize := rc.PageSize
+		if pageSize == 0 {
+			pageSize = vm.DefaultPageSize
+		}
+		shares := make([]float64, len(byBW))
+		caps := make([]int, len(byBW))
+		for i, z := range byBW {
+			shares[i] = sbit.Share(z)
+			caps[i] = vm.Unlimited
+			if info, ok := sbit.Info(z); ok {
+				caps[i] = capacityPages(info.CapacityBytes, pageSize)
+			}
+			if z == vm.ZoneBO {
+				if c := oracleCap(rc); c < caps[i] {
+					caps[i] = c
+				}
+			}
+		}
+		assign := core.BuildOracleAssignmentZones(rc.ProfileCounts, byBW, shares, caps)
+		return core.Oracle{Assignment: assign, Default: slow}, nil
 	case HintedPolicy:
-		return core.NewHinted(core.NewBWAware(sbit, seed)), nil
+		return core.NewHintedZones(core.NewBWAware(sbit, seed), fast, slow), nil
 	default:
 		return nil, fmt.Errorf("experiments: unknown policy %v", rc.Policy)
 	}
 }
 
-// oracleCap mirrors Run's BO sizing so the oracle assignment respects the
-// same capacity the allocator will see.
+// capacityPages converts a pool's absolute capacity to a page budget;
+// zero capacity means unlimited.
+func capacityPages(capBytes, pageSize uint64) int {
+	if capBytes == 0 {
+		return vm.Unlimited
+	}
+	cp := int(capBytes / pageSize)
+	if cp < 1 {
+		cp = 1
+	}
+	return cp
+}
+
+// oracleCap mirrors Run's zone-0 sizing so the oracle assignment respects
+// the same footprint-fraction capacity the allocator will see.
 func oracleCap(rc RunConfig) int {
 	if rc.BOCapacityFrac <= 0 || rc.BOCapacityFrac >= 1e9 {
 		return vm.Unlimited

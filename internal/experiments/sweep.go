@@ -166,10 +166,17 @@ func (e *Executor) Run(rc RunConfig) (Result, error) {
 }
 
 // Profile runs the workload's profiling pass (unconstrained LOCAL, §4.2)
-// through the executor, so repeated profiles of one workload are simulated
-// once.
+// on the paper's Table 1 memory system through the executor, so repeated
+// profiles of one workload are simulated once.
 func (e *Executor) Profile(workload string, ds workloads.Dataset, shrink int) (Result, error) {
-	return e.Run(profileConfig(workload, ds, shrink))
+	return e.ProfileOn(workload, ds, shrink, memsys.Table1Config())
+}
+
+// ProfileOn is Profile against an explicit memory configuration (topology
+// presets): page hotness is measured post-cache, so it depends on the
+// memory system being profiled.
+func (e *Executor) ProfileOn(workload string, ds workloads.Dataset, shrink int, mem memsys.Config) (Result, error) {
+	return e.Run(profileConfig(workload, ds, shrink, mem))
 }
 
 // Stats reports the cumulative sweep statistics of every Map call made
@@ -182,11 +189,14 @@ func (e *Executor) Stats() metrics.SweepStats {
 
 // profileConfig is the canonical profiling RunConfig; figures build their
 // profile stages from it so their cache keys coincide with Profile's.
-func profileConfig(workload string, ds workloads.Dataset, shrink int) RunConfig {
+// (Passing memsys.Table1Config() yields the same canonical key as the
+// historical zero-Mem form — canonicalKey applies Run's defaulting.)
+func profileConfig(workload string, ds workloads.Dataset, shrink int, mem memsys.Config) RunConfig {
 	return RunConfig{
 		Workload: workload,
 		Dataset:  ds,
 		Policy:   LocalPolicy,
+		Mem:      mem,
 		Shrink:   shrink,
 	}
 }

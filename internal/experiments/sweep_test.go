@@ -5,6 +5,8 @@ import (
 	"runtime"
 	"testing"
 	"time"
+
+	"hetsim/internal/memsys"
 )
 
 // mixedPolicyConfigs is a sweep list spanning every deterministic policy
@@ -128,7 +130,7 @@ func TestSweepParallelSpeedup(t *testing.T) {
 		t.Skip("needs >= 2 CPUs")
 	}
 	opts := Options{Workloads: []string{"bfs", "stencil", "lbm", "hotspot"}, Shrink: 8}
-	cfgs := fig2aConfigs(opts) // 4 workloads x 5 bandwidth scales
+	cfgs := fig2aConfigs(opts, memsys.Table1Config()) // 4 workloads x 5 bandwidth scales
 
 	measure := func(workers int) time.Duration {
 		e := NewIsolatedExecutor(workers)
@@ -154,7 +156,7 @@ func BenchmarkFig2aSweepParallel(b *testing.B) { benchFig2aSweep(b, 0) }
 
 func benchFig2aSweep(b *testing.B, workers int) {
 	opts := Options{Workloads: []string{"bfs", "stencil", "lbm", "hotspot"}, Shrink: 8}
-	cfgs := fig2aConfigs(opts)
+	cfgs := fig2aConfigs(opts, memsys.Table1Config())
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		e := NewIsolatedExecutor(workers)

@@ -1,8 +1,11 @@
-// Package memsys assembles the simulated heterogeneous memory system of
-// Table 1: per-zone DRAM channels fronted by memory-side L2 slices with
-// MSHR files, an interconnect hop for CPU-attached (CO) memory, and the
-// virtual-memory translation layer. It exposes one operation to the GPU
-// model — Access — and per-page DRAM access counts to the profiler.
+// Package memsys assembles a simulated heterogeneous memory system from N
+// memory pools (zones): per-pool DRAM channels fronted by memory-side L2
+// slices with MSHR files, a per-pool interconnect hop (the PCIe-era
+// fixed-latency hop of the paper, or a C2C/CXL link in newer topologies),
+// and the virtual-memory translation layer. Table1Config is the paper's
+// two-pool instance; internal/topology compiles multi-pool presets into the
+// same Config. The package exposes one operation to the GPU model — Access
+// — and per-page DRAM access counts to the profiler.
 package memsys
 
 import (
@@ -22,15 +25,20 @@ const CoreClockGHz = 1.4
 // BytesPerCycle converts a GB/s figure to bytes per core cycle.
 func BytesPerCycle(gbps float64) float64 { return gbps / CoreClockGHz }
 
-// ZoneConfig describes the hardware of one memory zone.
+// ZoneConfig describes the hardware of one memory pool (zone).
 type ZoneConfig struct {
 	Zone     vm.ZoneID
 	Name     string
 	Channels int
 	DRAM     dram.Config
-	// ExtraLatency is added to every access to this zone (the 100-cycle
-	// GPU-CPU interconnect hop for the CO zone in Table 1).
+	// ExtraLatency is added to every access to this zone — the interconnect
+	// hop between the GPU and the pool (100 cycles for the paper's
+	// CPU-attached pool; a C2C or CXL link cost in newer topologies).
 	ExtraLatency sim.Time
+	// CapacityBytes bounds the pool's capacity; 0 means unlimited. The
+	// experiment runner converts it to a page budget for the allocator and
+	// the capacity-constrained oracle.
+	CapacityBytes uint64
 }
 
 // Config describes the whole memory system.
@@ -54,9 +62,10 @@ type Config struct {
 }
 
 // Table1Config returns the paper's simulated memory system: 8 GDDR5
-// channels totalling 200 GB/s on the GPU (BO), 4 DDR4 channels totalling
-// 80 GB/s on the CPU (CO) behind a 100-cycle hop, 128 kB of memory-side L2
-// with 128 MSHRs per channel, 128 B lines.
+// channels totalling 200 GB/s on the GPU, 4 DDR4 channels totalling
+// 80 GB/s on the CPU behind a 100-cycle hop, 128 kB of memory-side L2
+// with 128 MSHRs per channel, 128 B lines. The "k40-ddr4" topology preset
+// compiles to exactly this configuration.
 func Table1Config() Config {
 	gddr5 := dram.Config{
 		Timing:        dram.Table1Timing(),
@@ -86,6 +95,16 @@ func Table1Config() Config {
 			{Zone: vm.ZoneCO, Name: "DDR4", Channels: 4, DRAM: ddr4, ExtraLatency: 100},
 		},
 	}
+}
+
+// Clone returns a deep copy of the configuration: mutating the copy's
+// Zones (e.g. via ScaleZoneBandwidth) never aliases the original. Figure
+// sweeps that perturb a shared base topology rely on this.
+func (c Config) Clone() Config {
+	out := c
+	out.Zones = make([]ZoneConfig, len(c.Zones))
+	copy(out.Zones, c.Zones)
+	return out
 }
 
 // ZoneBandwidthGBps reports the aggregate bandwidth of zone z in GB/s.

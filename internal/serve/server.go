@@ -16,6 +16,7 @@ import (
 	"hetsim/internal/experiments/pool"
 	"hetsim/internal/metrics"
 	"hetsim/internal/telemetry"
+	"hetsim/internal/topology"
 )
 
 // Config tunes a Server.
@@ -27,6 +28,11 @@ type Config struct {
 	CacheMaxBytes int64
 	// SimWorkers caps concurrent simulations per job (0 = GOMAXPROCS).
 	SimWorkers int
+	// Topology names the memory-topology preset figure requests default to
+	// when they carry no ?topology= parameter ("" = the paper's Table 1
+	// system, equivalent to "k40-ddr4"). Must be a known preset
+	// (topology.Preset); hmserved validates it at startup.
+	Topology string
 	// JobWorkers caps concurrently executing jobs (default 2).
 	JobWorkers int
 	// QueueCap bounds the number of queued-but-not-running jobs
@@ -537,7 +543,10 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown figure %q (have %s)", name, strings.Join(experiments.IDs(), " ")))
 		return
 	}
-	opts := experiments.Options{Cache: s.cache, Workers: s.cfg.SimWorkers, Remote: s.cfg.Remote}
+	opts := experiments.Options{
+		Cache: s.cache, Workers: s.cfg.SimWorkers, Remote: s.cfg.Remote,
+		Topology: s.cfg.Topology,
+	}
 	q := r.URL.Query()
 	if v := q.Get("shrink"); v != "" {
 		n, err := strconv.Atoi(v)
@@ -557,6 +566,13 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		opts.Workers = n
+	}
+	if v := q.Get("topology"); v != "" {
+		if _, err := topology.Preset(v); err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		opts.Topology = v
 	}
 
 	_, root := s.requestTrace(r, "rpc.figure")
@@ -608,8 +624,8 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 // it are distinct submissions, which also lets callers force a re-render
 // through the result cache.
 func figureKey(name string, opts experiments.Options) string {
-	desc := fmt.Sprintf("figure|%s|shrink=%d|workloads=%s|workers=%d",
-		name, opts.Shrink, strings.Join(opts.Workloads, ","), opts.Workers)
+	desc := fmt.Sprintf("figure|%s|shrink=%d|workloads=%s|workers=%d|topology=%s",
+		name, opts.Shrink, strings.Join(opts.Workloads, ","), opts.Workers, opts.Topology)
 	return hashString(desc)
 }
 
