@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet check bench bench-compare bench-sweep bench-serve serve cluster cluster-smoke trace-smoke topology-smoke clean
+.PHONY: all build test race vet check bench bench-compare bench-sweep bench-serve serve cluster cluster-smoke trace-smoke topology-smoke lanes-smoke clean
 
 all: build
 
@@ -16,17 +16,19 @@ build:
 test:
 	$(GO) test ./...
 
-# Race-check the packages that exercise concurrency: the worker-pool sweep
-# executor, every figure sweep dispatched through it, the daemon's job
-# queue / two-tier cache, the cluster coordinator's dispatch and heartbeat
-# paths, and the telemetry recorder fed by all of them in parallel.
+# Race-check the packages that exercise concurrency: the laned event
+# engine and the lane determinism suite (parallel in-run lanes with
+# cross-lane mailbox traffic), the worker-pool sweep executor, every
+# figure sweep dispatched through it, the daemon's job queue / two-tier
+# cache, the cluster coordinator's dispatch and heartbeat paths, and the
+# telemetry recorder fed by all of them in parallel.
 race:
-	$(GO) test -race ./internal/experiments/... ./internal/serve/ ./internal/cluster/ ./internal/telemetry/ ./internal/metrics/
+	$(GO) test -race ./internal/sim/ ./internal/experiments/... ./internal/serve/ ./internal/cluster/ ./internal/telemetry/ ./internal/metrics/
 
 vet:
 	$(GO) vet ./...
 
-check: build vet test race topology-smoke
+check: build vet test race topology-smoke lanes-smoke
 
 # Tier-1 performance snapshot: the event-engine microbenchmarks plus the
 # figure-level simulator benchmarks, with allocation counts, captured to a
@@ -34,7 +36,7 @@ check: build vet test race topology-smoke
 # `go test -bench` text is tee'd so benchstat can diff two snapshots.
 BENCH_SHA := $(shell git rev-parse --short HEAD)
 bench:
-	{ $(GO) test -bench 'BenchmarkEngine' -run - -benchmem ./internal/sim/ && \
+	{ $(GO) test -bench 'BenchmarkEngine|BenchmarkLanedThroughput' -run - -benchmem ./internal/sim/ && \
 	  $(GO) test -bench 'BenchmarkSimulatorThroughput' -run - -benchmem . && \
 	  $(GO) test -bench 'BenchmarkFig2aBandwidthSensitivity' -run - -benchmem -benchtime 1x . ; } \
 	  | tee bench_$(BENCH_SHA).txt
@@ -45,7 +47,7 @@ bench:
 # committed baseline, failing on regressions beyond BENCH_THRESHOLD
 # percent on ns/op. CI runs this non-blocking (shared runners are noisy);
 # locally it is the quick "did I slow the simulator down" check.
-BENCH_BASELINE ?= BENCH_d0de864.json
+BENCH_BASELINE ?= BENCH_127d4e7.json
 BENCH_THRESHOLD ?= 25
 bench-compare: bench
 	$(GO) run ./cmd/benchjson compare -threshold $(BENCH_THRESHOLD) \
@@ -82,6 +84,12 @@ cluster-smoke:
 # renders, and all three CLIs must reject unknown presets with exit 2.
 topology-smoke:
 	scripts/topology_smoke.sh
+
+# End-to-end lane check on real binaries: hmsim and hmexp output must be
+# byte-identical at -lanes 1 and -lanes 8, and all three CLIs must reject
+# an invalid -lanes with exit 2.
+lanes-smoke:
+	scripts/lanes_smoke.sh
 
 # End-to-end telemetry check: a tiny sweep through a 2-worker fleet with
 # -trace-out, then the emitted Chrome/Perfetto trace (trace-smoke.json)

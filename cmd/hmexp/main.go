@@ -88,6 +88,7 @@ func main() {
 		traceOut  = flag.String("trace-out", "", "write a Chrome trace-event JSON timeline of this run to the file (open in Perfetto)")
 		cMetrics  = flag.String("cluster-metrics", "", "with -cluster, serve the coordinator's Prometheus /metrics on this address (e.g. :9090)")
 		topo      = flag.String("topology", "", "memory-topology preset to simulate on (empty = the paper's Table 1 system; see hetsim.TopologyNames)")
+		lanes     = flag.Int("lanes", 1, "parallel event lanes per simulation (output is byte-identical for any count)")
 	)
 	flag.Parse()
 	if *topo != "" {
@@ -95,6 +96,11 @@ func main() {
 			fmt.Fprintln(os.Stderr, "hmexp:", err)
 			os.Exit(2)
 		}
+	}
+	if *lanes < 1 {
+		fmt.Fprintf(os.Stderr, "hmexp: -lanes must be >= 1 (got %d)\n", *lanes)
+		flag.Usage()
+		os.Exit(2)
 	}
 	args := flag.Args()
 	if len(args) == 0 {
@@ -147,7 +153,7 @@ func main() {
 		defer flushTrace()
 	}
 
-	opts := heteromem.Options{Shrink: *shrink, Workers: *workers, Topology: *topo}
+	opts := heteromem.Options{Shrink: *shrink, Workers: *workers, Topology: *topo, Lanes: *lanes}
 	if *workloads != "" {
 		opts.Workloads = strings.Split(*workloads, ",")
 	}

@@ -80,6 +80,7 @@ func main() {
 		fleet    = flag.String("cluster", "", "comma-separated worker base URLs; run as coordinator over this fleet")
 		telem    = flag.Bool("telemetry", false, "record execution spans for every request (structured span logs + telemetry histograms on /metrics); header-traced requests are recorded regardless")
 		topo     = flag.String("topology", "", "default memory-topology preset for figure requests without ?topology= (empty = the paper's Table 1 system)")
+		lanes    = flag.Int("lanes", 1, "parallel event lanes per simulation (results are byte-identical for any count)")
 	)
 	if dup := duplicateFlags(os.Args[1:]); len(dup) > 0 {
 		fmt.Fprintf(os.Stderr, "hmserved: flag repeated on command line: -%s\n", strings.Join(dup, ", -"))
@@ -88,7 +89,7 @@ func main() {
 	flag.Parse()
 
 	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
-	if errs := validateFlags(*workers, *jobs, *queueCap, *drain, *topo); len(errs) > 0 {
+	if errs := validateFlags(*workers, *jobs, *queueCap, *drain, *topo, *lanes); len(errs) > 0 {
 		for _, e := range errs {
 			logger.Error("invalid configuration", "err", e)
 		}
@@ -112,6 +113,7 @@ func main() {
 		Logger:        logger,
 		Telemetry:     rec,
 		Topology:      *topo,
+		Lanes:         *lanes,
 	}
 	if *fleet != "" {
 		coord, err := cluster.New(cluster.Config{
@@ -196,10 +198,13 @@ func duplicateFlags(args []string) []string {
 
 // validateFlags rejects values the serving layer would otherwise quietly
 // clamp or misbehave on.
-func validateFlags(workers, jobWorkers, queueCap int, drain time.Duration, topo string) []error {
+func validateFlags(workers, jobWorkers, queueCap int, drain time.Duration, topo string, lanes int) []error {
 	var errs []error
 	if workers < 0 {
 		errs = append(errs, fmt.Errorf("-workers must be >= 0 (0 = all CPUs), got %d", workers))
+	}
+	if lanes < 1 {
+		errs = append(errs, fmt.Errorf("-lanes must be >= 1, got %d", lanes))
 	}
 	if jobWorkers <= 0 {
 		errs = append(errs, fmt.Errorf("-job-workers must be > 0, got %d", jobWorkers))

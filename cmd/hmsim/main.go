@@ -44,8 +44,14 @@ func main() {
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		topo     = flag.String("topology", "", "memory-topology preset (empty = the paper's Table 1 system; see hetsim.TopologyNames)")
+		lanes    = flag.Int("lanes", 1, "parallel event lanes for the simulation (output is byte-identical for any count)")
 	)
 	flag.Parse()
+	if *lanes < 1 {
+		fmt.Fprintf(os.Stderr, "hmsim: -lanes must be >= 1 (got %d)\n", *lanes)
+		flag.Usage()
+		os.Exit(2)
+	}
 	mem := memsys.Table1Config()
 	if *topo != "" {
 		t, err := heteromem.TopologyPreset(*topo)
@@ -88,6 +94,7 @@ func main() {
 		Shrink:         *shrink,
 		EagerPlacement: *eager,
 		Seed:           *seed,
+		Lanes:          *lanes,
 	}
 	rc.Policy, err = policyByName(*policy)
 	if err != nil {

@@ -50,7 +50,8 @@ type (
 	RunConfig = experiments.RunConfig
 	// Result is the outcome of one run.
 	Result = experiments.Result
-	// Options tunes a figure reproduction (workload subset, shrink).
+	// Options tunes a figure reproduction (workload subset, shrink,
+	// topology preset, parallel event lanes per simulation).
 	Options = experiments.Options
 	// Fig is one reproduced table or figure.
 	Fig = experiments.Figure

@@ -180,9 +180,17 @@ func (m *MSHR) Fill(line uint64, t sim.Time) {
 	for _, fw := range m.scratch {
 		fw.OnFill(t)
 	}
-	// Wake exactly one stalled request per freed entry to preserve the
-	// structural hazard semantics.
-	if len(m.stalled) > 0 {
+	// Wake stalled requests in FIFO order while entries are free. Waking
+	// exactly one per freed entry is not enough: a woken retry that hits
+	// in the L2 (the fill just inserted its line) or merges into another
+	// in-flight fill does not consume the freed entry, and with no
+	// further fills pending the rest of the queue would be stranded
+	// forever — observed when a placement ratio funnels all traffic into
+	// one pool's few channels. Waking until the file is full again (or
+	// the queue drains) closes that hole while preserving the structural
+	// hazard: used never exceeds capacity, because a retry can only
+	// re-stall when Allocate reports Full, which ends the loop.
+	for len(m.stalled) > 0 && m.used < m.capacity {
 		next := m.stalled[0]
 		copy(m.stalled, m.stalled[1:])
 		m.stalled[len(m.stalled)-1] = stalledReq{}

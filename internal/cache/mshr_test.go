@@ -47,11 +47,18 @@ func TestMSHRFull(t *testing.T) {
 }
 
 func TestMSHRStallRetryOnFill(t *testing.T) {
+	// Retries that re-allocate consume the freed entry: one Fill wakes
+	// exactly one of them (the structural hazard holds).
 	m := NewMSHR(1)
 	m.Allocate(1, FillFunc(func(sim.Time) {}))
 	retried := 0
-	m.Stall(2, RetryFunc(func() { retried++ }))
-	m.Stall(3, RetryFunc(func() { retried++ }))
+	var realloc RetryFunc
+	realloc = func() {
+		retried++
+		m.Allocate(uint64(100+retried), FillFunc(func(sim.Time) {}))
+	}
+	m.Stall(2, realloc)
+	m.Stall(3, realloc)
 	if m.StallDepth() != 2 {
 		t.Fatalf("StallDepth = %d, want 2", m.StallDepth())
 	}
@@ -61,6 +68,31 @@ func TestMSHRStallRetryOnFill(t *testing.T) {
 	}
 	if m.StallDepth() != 1 {
 		t.Fatalf("StallDepth = %d after one Fill, want 1", m.StallDepth())
+	}
+	if m.Used() != 1 {
+		t.Fatalf("Used = %d after retry re-allocated, want 1", m.Used())
+	}
+}
+
+func TestMSHRStallNoStarvation(t *testing.T) {
+	// Regression: a woken retry that does NOT re-allocate (it hit in the
+	// L2 the fill just populated, or merged into another in-flight fill)
+	// leaves the freed entry unused. With the last fill in flight, waking
+	// only one stalled request would strand the rest of the queue forever
+	// — no future Fill can ever run. Fill must keep waking while entries
+	// are free.
+	m := NewMSHR(1)
+	m.Allocate(1, FillFunc(func(sim.Time) {}))
+	retried := 0
+	m.Stall(2, RetryFunc(func() { retried++ })) // completes without allocating
+	m.Stall(3, RetryFunc(func() { retried++ }))
+	m.Stall(4, RetryFunc(func() { retried++ }))
+	m.Fill(1, 50) // the last in-flight fill
+	if retried != 3 {
+		t.Fatalf("retried %d requests after the last Fill, want all 3", retried)
+	}
+	if m.StallDepth() != 0 {
+		t.Fatalf("StallDepth = %d after the last Fill, want 0 (no stranded requests)", m.StallDepth())
 	}
 }
 

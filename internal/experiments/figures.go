@@ -50,6 +50,13 @@ type Options struct {
 	// (table1's companion fig1, figzones' three-technology demo, figtopo's
 	// all-preset sweep) ignore it.
 	Topology string
+	// Lanes runs each simulation with this many parallel event lanes
+	// (RunConfig.Lanes): SMs and DRAM channels are partitioned across
+	// threads that drain conservative time windows concurrently. Figure
+	// output is byte-identical for any lane count, and lanes never enter
+	// cache keys, so laned and sequential reproductions share cache
+	// entries. 0 or 1 means sequential.
+	Lanes int
 }
 
 func (o Options) workloadList() []string {
@@ -97,7 +104,7 @@ func (o Options) executor() *Executor {
 	if cache == nil {
 		cache = sweepCache
 	}
-	return newExecutor(o.Workers, cache, o.Remote).WithSpan(o.Span)
+	return newExecutor(o.Workers, cache, o.Remote).WithSpan(o.Span).WithLanes(o.Lanes)
 }
 
 // Figure is one reproduced table or figure.

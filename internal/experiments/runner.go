@@ -110,6 +110,17 @@ type RunConfig struct {
 	Shrink int
 	Seed   int64
 
+	// Lanes splits the simulation into this many parallel event lanes
+	// (internal/sim World): SM front-ends and DRAM channels are
+	// partitioned across lanes that each drain a conservative time window
+	// concurrently. Output is byte-identical for any lane count, so Lanes
+	// is deliberately excluded from the result-cache identity
+	// (canonicalRC) — a cached lanes=1 result satisfies a lanes=8 request
+	// and vice versa. 0 or 1 means sequential. Runs whose features need a
+	// single thread (migration, background CPU traffic, trace recording,
+	// or a lookahead below one cycle) silently fall back to one lane.
+	Lanes int
+
 	// traceWriter, when set (via RecordTrace), records the post-L1 access
 	// stream of the run.
 	traceWriter *trace.Writer
@@ -252,7 +263,26 @@ func runTraced(sp *telemetry.Span, rc RunConfig) (Result, error) {
 		return Result{}, err
 	}
 
-	eng := sim.New()
+	// Effective lane count: features that mutate shared state outside the
+	// lane protocol (migration locks/remaps, background traffic closures,
+	// trace recording) and configs whose lookahead collapses below one
+	// cycle run sequentially. The fallback is silent because the output is
+	// byte-identical either way — lanes only change wall-clock time.
+	lanes := rc.Lanes
+	if lanes < 1 {
+		lanes = 1
+	}
+	lookahead := memsys.LaneLookahead(memCfg)
+	if lookahead < 1 || rc.Migration != nil || rc.CPUTrafficGBps > 0 || rc.traceWriter != nil {
+		lanes = 1
+	}
+	world := sim.NewWorld(lanes, lookahead)
+	eng := world.Engine()
+	// Page-table commits are deferred to window barriers so SM lanes can
+	// translate lock-free (eager Malloc-time mappings above committed
+	// directly — deferral starts here, before any simulated fault).
+	space.SetDeferred(true)
+	world.OnWindow(space.FlushPending)
 	mem, err := memsys.New(eng, space, memCfg)
 	if err != nil {
 		return Result{}, err
@@ -293,7 +323,8 @@ func runTraced(sp *telemetry.Span, rc RunConfig) (Result, error) {
 	if sp != nil {
 		sp.SetAttr("workload", spec.Name)
 		sp.SetAttr("policy", policyLabel(rc))
-		attachSimTelemetry(sp, eng, mem, g, cycles)
+		sp.SetAttr("sim.lanes", lanes)
+		attachSimTelemetry(sp, world, mem, g, cycles)
 	}
 	return Result{
 		Migration:   migStats,
@@ -319,8 +350,8 @@ func runTraced(sp *telemetry.Span, rc RunConfig) (Result, error) {
 // bandwidth (data-bus) utilization, MSHR high-water marks, and the
 // warp-stall breakdown. Called once after the run completes, so the
 // allocation-free event loop never sees telemetry.
-func attachSimTelemetry(sp *telemetry.Span, eng *sim.Engine, mem *memsys.System, g *gpu.GPU, cycles sim.Time) {
-	sp.SetAttr("sim.events", eng.Fired())
+func attachSimTelemetry(sp *telemetry.Span, w *sim.World, mem *memsys.System, g *gpu.GPU, cycles sim.Time) {
+	sp.SetAttr("sim.events", w.Fired())
 	sp.SetAttr("sim.cycles", uint64(cycles))
 
 	st := mem.Stats()

@@ -126,6 +126,24 @@ func (e *Executor) WithSpan(sp *telemetry.Span) *Executor {
 	return e
 }
 
+// WithLanes makes subsequent dispatches simulate with n parallel event
+// lanes (RunConfig.Lanes) unless a config carries its own count. Lanes are
+// not part of the cache identity — laned results are byte-identical to
+// sequential ones — so executors with different lane counts share cache
+// entries. Returns e for chaining; n < 2 is a no-op.
+func (e *Executor) WithLanes(n int) *Executor {
+	if n < 2 {
+		return e
+	}
+	e.p.Run = func(sp *telemetry.Span, rc RunConfig) (Result, error) {
+		if rc.Lanes == 0 {
+			rc.Lanes = n
+		}
+		return runTraced(sp, rc)
+	}
+	return e
+}
+
 // Map executes every config and returns results in input order; see the
 // Executor determinism guarantee. Results may be shared with other cache
 // users and must be treated as immutable.
@@ -213,7 +231,9 @@ func RunAll(cfgs []RunConfig, workers int) ([]Result, metrics.SweepStats, error)
 // canonicalRC is the cache identity of a RunConfig: every field Run reads,
 // with Run's own defaulting rules applied, and fields the selected policy
 // ignores zeroed. Two RunConfigs with equal canonicalRC drive Run through
-// an identical simulation.
+// an identical simulation. RunConfig.Lanes is deliberately absent: laned
+// runs produce byte-identical Results (the lane determinism suite asserts
+// it), so a result computed at any lane count satisfies every lane count.
 type canonicalRC struct {
 	Workload string
 	Dataset  workloads.Dataset

@@ -61,7 +61,7 @@ type Memory interface {
 // for it at construction and falls back to Memory for wrappers that only
 // implement the closure form (e.g. the trace recorder).
 type fastMemory interface {
-	AccessH(va uint64, write bool, tc *vm.TransCache, h sim.Handler, arg uint64)
+	AccessH(src *sim.Actor, va uint64, write bool, tc *vm.TransCache, h sim.Handler, arg uint64)
 }
 
 // Config sizes the GPU.
@@ -127,28 +127,36 @@ func (s Stats) L1HitRate() float64 {
 	return float64(s.L1Hits) / float64(t)
 }
 
+// sm is one streaming multiprocessor. Each SM owns a front-end lane
+// actor: every warp event of the SM fires on that lane, so the SM's
+// caches, issue port, and counter shard are touched by exactly one thread
+// per window. Shards merge in SM index order (see GPU.Stats), making the
+// totals identical for any lane count.
 type sm struct {
-	l1        *cache.Cache
-	tlb       *tlb.TLB // nil when translation costs are disabled
-	tc        vm.TransCache
-	nextIssue sim.Time
-	pending   []WarpProgram // warps waiting for a free context
-	resident  int
+	act        *sim.Actor
+	l1         *cache.Cache
+	tlb        *tlb.TLB // nil when translation costs are disabled
+	tc         vm.TransCache
+	nextIssue  sim.Time
+	pending    []WarpProgram // warps waiting for a free context
+	resident   int
+	live       int // warps launched on this SM and not yet finished
+	finishedAt sim.Time
+	stats      Stats
 }
 
 // GPU executes warp programs against a memory system.
 type GPU struct {
-	cfg        Config
-	eng        *sim.Engine
-	mem        Memory
-	fastMem    fastMemory // non-nil when mem supports the pooled-record path
-	sms        []*sm
-	stats      Stats
-	live       int // warps launched and not yet finished
-	finishedAt sim.Time
+	cfg     Config
+	eng     *sim.Engine
+	mem     Memory
+	fastMem fastMemory // non-nil when mem supports the pooled-record path
+	sms     []*sm
 }
 
-// New builds a GPU. It panics on invalid configuration.
+// New builds a GPU. It panics on invalid configuration. The engine's World
+// gains one actor per SM; construct the memory system first so channel
+// actors precede SM actors in the canonical order.
 func New(eng *sim.Engine, mem Memory, cfg Config) *GPU {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
@@ -158,8 +166,9 @@ func New(eng *sim.Engine, mem Memory, cfg Config) *GPU {
 	}
 	g := &GPU{cfg: cfg, eng: eng, mem: mem}
 	g.fastMem, _ = mem.(fastMemory)
+	w := sim.WorldOf(eng)
 	for i := 0; i < cfg.SMs; i++ {
-		s := &sm{l1: cache.New(cfg.L1)}
+		s := &sm{act: w.NewActor(), l1: cache.New(cfg.L1)}
 		if cfg.TLB != nil {
 			s.tlb = tlb.New(*cfg.TLB)
 		}
@@ -168,8 +177,23 @@ func New(eng *sim.Engine, mem Memory, cfg Config) *GPU {
 	return g
 }
 
-// Stats returns a copy of the counters.
-func (g *GPU) Stats() Stats { return g.stats }
+// Stats merges the per-SM counter shards in SM index order and returns the
+// combined copy. Call between runs or after a run, not from concurrent
+// lane events.
+func (g *GPU) Stats() Stats {
+	var out Stats
+	for _, s := range g.sms {
+		out.WarpsCompleted += s.stats.WarpsCompleted
+		out.Phases += s.stats.Phases
+		out.MemRequests += s.stats.MemRequests
+		out.L1Hits += s.stats.L1Hits
+		out.L1Misses += s.stats.L1Misses
+		out.ComputeCycles += s.stats.ComputeCycles
+		out.TLBHits += s.stats.TLBHits
+		out.TLBMisses += s.stats.TLBMisses
+	}
+	return out
+}
 
 // Launch schedules warp programs across the SMs round-robin. Programs
 // beyond the resident-warp capacity of an SM queue there and start as
@@ -177,7 +201,7 @@ func (g *GPU) Stats() Stats { return g.stats }
 func (g *GPU) Launch(programs []WarpProgram) {
 	for i, p := range programs {
 		s := g.sms[i%len(g.sms)]
-		g.live++
+		s.live++
 		if s.resident < g.cfg.WarpsPerSM {
 			s.resident++
 			g.startWarp(s, p)
@@ -193,26 +217,42 @@ func (g *GPU) Launch(programs []WarpProgram) {
 // returned time is the application's completion time.
 func (g *GPU) Run() sim.Time {
 	end := g.eng.Run()
-	if g.live != 0 {
-		panic(fmt.Sprintf("gpu: %d warps still live after event queue drained", g.live))
+	if live := g.Outstanding(); live != 0 {
+		panic(fmt.Sprintf("gpu: %d warps still live after event queue drained", live))
 	}
-	if g.finishedAt > 0 {
-		return g.finishedAt
+	if t := g.FinishTime(); t > 0 {
+		return t
 	}
 	return end
 }
 
-// FinishTime reports when the last warp completed (0 while running).
-func (g *GPU) FinishTime() sim.Time { return g.finishedAt }
+// FinishTime reports when the last warp completed (0 while running): the
+// latest per-SM finish time.
+func (g *GPU) FinishTime() sim.Time {
+	var t sim.Time
+	for _, s := range g.sms {
+		if s.finishedAt > t {
+			t = s.finishedAt
+		}
+	}
+	return t
+}
 
 // Outstanding reports warps launched but not yet finished.
-func (g *GPU) Outstanding() int { return g.live }
+func (g *GPU) Outstanding() int {
+	n := 0
+	for _, s := range g.sms {
+		n += s.live
+	}
+	return n
+}
 
 func (g *GPU) startWarp(s *sm, p WarpProgram) {
 	w := &warp{gpu: g, sm: s, prog: p}
-	// Begin at the next cycle boundary; scheduling through the engine
-	// keeps launch-order determinism.
-	g.eng.AfterHandler(0, w, wopNextPhase)
+	// Begin at the next cycle boundary; scheduling through the SM's actor
+	// keeps launch-order determinism within the SM and pins the warp's
+	// events to the SM's lane.
+	s.act.After(0, w, wopNextPhase)
 }
 
 type warp struct {
@@ -277,8 +317,8 @@ func (w *warp) nextPhase() {
 		w.finish()
 		return
 	}
-	w.gpu.stats.Phases++
-	w.gpu.stats.ComputeCycles += ph.ComputeCycles
+	w.sm.stats.Phases++
+	w.sm.stats.ComputeCycles += ph.ComputeCycles
 	w.phase = ph
 	w.issued = 0
 	w.completed = 0
@@ -291,14 +331,14 @@ func (w *warp) nextPhase() {
 	}
 	if ph.Overlap {
 		// Compute and memory run concurrently.
-		w.gpu.eng.AfterHandler(wait, w, wopComputeOverlap)
+		w.sm.act.After(wait, w, wopComputeOverlap)
 		if !w.memDone {
 			w.pump()
 		}
 		return
 	}
 	// Dependent phase: memory waits for the compute result.
-	w.gpu.eng.AfterHandler(wait, w, wopComputeDep)
+	w.sm.act.After(wait, w, wopComputeDep)
 }
 
 func (w *warp) maybeAdvance() {
@@ -323,13 +363,12 @@ func (w *warp) pump() {
 // issue claims the SM's single memory-issue port (1 request/cycle) for
 // Addrs[idx] and schedules the port event.
 func (w *warp) issue(idx int) {
-	g := w.gpu
-	t := g.eng.Now()
+	t := w.sm.act.Now()
 	if w.sm.nextIssue > t {
 		t = w.sm.nextIssue
 	}
 	w.sm.nextIssue = t + 1
-	g.eng.AtHandler(t, w, wopIssue|uint64(idx)<<wopBits)
+	w.sm.act.At(t, w, wopIssue|uint64(idx)<<wopBits)
 }
 
 // issueEvent runs at the access's issue-port slot: account the request,
@@ -337,16 +376,16 @@ func (w *warp) issue(idx int) {
 func (w *warp) issueEvent(idx int) {
 	g := w.gpu
 	a := w.phase.Addrs[idx]
-	g.stats.MemRequests++
+	w.sm.stats.MemRequests++
 	if w.sm.tlb != nil {
 		vpage := a.VA / g.cfg.PageSize
 		if w.sm.tlb.Lookup(vpage) {
-			g.stats.TLBHits++
+			w.sm.stats.TLBHits++
 		} else {
-			g.stats.TLBMisses++
+			w.sm.stats.TLBMisses++
 			// Page walk: stall this access, then re-enter below the
 			// (already-consumed) issue slot.
-			g.eng.AfterHandler(sim.Time(g.cfg.TLB.WalkLatencyCycles), w, wopAccess|uint64(idx)<<wopBits)
+			w.sm.act.After(sim.Time(g.cfg.TLB.WalkLatencyCycles), w, wopAccess|uint64(idx)<<wopBits)
 			return
 		}
 	}
@@ -360,22 +399,22 @@ func (w *warp) access(a Access) {
 		// Write-evict L1: writes invalidate locally and always go to
 		// the memory system.
 		w.sm.l1.Invalidate(a.VA)
-		g.stats.L1Misses++
+		w.sm.stats.L1Misses++
 		if g.fastMem != nil {
-			g.fastMem.AccessH(a.VA, true, &w.sm.tc, w, wopOneDone)
+			g.fastMem.AccessH(w.sm.act, a.VA, true, &w.sm.tc, w, wopOneDone)
 		} else {
 			g.mem.Access(a.VA, true, w.oneDone)
 		}
 		return
 	}
 	if w.sm.l1.Lookup(a.VA, false) {
-		g.stats.L1Hits++
-		g.eng.AfterHandler(g.cfg.L1Latency, w, wopOneDone)
+		w.sm.stats.L1Hits++
+		w.sm.act.After(g.cfg.L1Latency, w, wopOneDone)
 		return
 	}
-	g.stats.L1Misses++
+	w.sm.stats.L1Misses++
 	if g.fastMem != nil {
-		g.fastMem.AccessH(a.VA, false, &w.sm.tc, w, wopMemDone|a.VA<<wopBits)
+		g.fastMem.AccessH(w.sm.act, a.VA, false, &w.sm.tc, w, wopMemDone|a.VA<<wopBits)
 		return
 	}
 	g.mem.Access(a.VA, false, func() {
@@ -395,17 +434,17 @@ func (w *warp) oneDone() {
 }
 
 func (w *warp) finish() {
-	g := w.gpu
-	g.stats.WarpsCompleted++
-	g.live--
-	if g.live == 0 {
-		g.finishedAt = g.eng.Now()
+	s := w.sm
+	s.stats.WarpsCompleted++
+	s.live--
+	if s.live == 0 {
+		s.finishedAt = s.act.Now()
 	}
-	if len(w.sm.pending) > 0 {
-		next := w.sm.pending[0]
-		w.sm.pending = w.sm.pending[1:]
-		g.startWarp(w.sm, next)
+	if len(s.pending) > 0 {
+		next := s.pending[0]
+		s.pending = s.pending[1:]
+		w.gpu.startWarp(s, next)
 		return
 	}
-	w.sm.resident--
+	s.resident--
 }

@@ -193,10 +193,26 @@ func (s Stats) AvgLatency() float64 {
 	return float64(s.TotalLatency) / float64(s.Accesses)
 }
 
+// sliceStats is one channel slice's private counter shard. Each slice is
+// written only from its own event lane; Stats()/PageCounts() merge shards
+// in configuration order, so the merged totals are bit-identical for any
+// lane count (including one).
+type sliceStats struct {
+	ZoneStats
+	TotalLatency sim.Time
+	Latency      metrics.Histogram
+}
+
 type slice struct {
 	l2   *cache.Cache
 	mshr *cache.MSHR
 	dram *dram.Channel
+	act  *sim.Actor // back-end lane actor: all slice state mutates on its lane
+	st   sliceStats
+	// pageCounts[vpage] counts accesses this slice served from DRAM (post
+	// L1+L2 filtering at miss granularity) — the paper's page hotness
+	// metric, sharded per channel.
+	pageCounts []uint64
 }
 
 type zoneHW struct {
@@ -208,39 +224,61 @@ type zoneHW struct {
 type System struct {
 	cfg   Config
 	eng   *sim.Engine
+	world *sim.World
+	os    *sim.Actor // root actor: page faults resolve on its lane
+	// hop is the modelled request/return interconnect stage between an SM
+	// and an L2 slice (half the L2 pipeline latency). It is the minimum
+	// latency of any cross-actor message and therefore the laned engine's
+	// conservative lookahead; see LaneLookahead.
+	hop   sim.Time
 	space *vm.Space
 	zones map[vm.ZoneID]*zoneHW
-	// pageCounts[vpage] counts accesses served from DRAM-side (post L1+L2
-	// filtering at miss granularity) — the paper's page hotness metric.
-	pageCounts []uint64
-	stats      Stats
+	// stats holds counters written only from the root lane (migration
+	// traffic); per-channel traffic lives in each slice's shard and is
+	// merged on read.
+	stats Stats
 
-	// freeAcc heads the freelist of pooled access records. The engine is
-	// single-threaded, so no locking is needed; records cycle between the
-	// pool and the event queue / MSHR waiter lists.
-	freeAcc *access
+	// freeAcc heads one freelist of pooled access records per event lane.
+	// A record is taken and returned on its requester's lane, so the lists
+	// need no locking; records cycle between the pool and the event queues
+	// / MSHR waiter lists.
+	freeAcc []*access
 
 	// FaultHandler, when set, is invoked on access to an unmapped page
-	// (first-touch placement). It must map the page or return an error;
-	// a nil handler makes unmapped accesses panic (eager mode).
+	// (first-touch placement). It runs on the root lane via the fault
+	// mailbox protocol (see begin). It must map the page or return an
+	// error; a nil handler makes unmapped accesses panic (eager mode).
 	FaultHandler func(vpage uint64) error
 
 	// locks holds per-vpage migration locks (see LockPage).
 	locks map[uint64]sim.Time
 }
 
-// New assembles a memory system over an engine and an address space.
+// New assembles a memory system over an engine and an address space. The
+// engine's World gains one actor per DRAM channel, in zone configuration
+// order — construction order is part of the canonical event schedule.
 func New(eng *sim.Engine, space *vm.Space, cfg Config) (*System, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	s := &System{cfg: cfg, eng: eng, space: space, zones: make(map[vm.ZoneID]*zoneHW)}
+	w := sim.WorldOf(eng)
+	s := &System{
+		cfg:     cfg,
+		eng:     eng,
+		world:   w,
+		os:      w.Root(),
+		hop:     cfg.L2Latency / 2,
+		space:   space,
+		zones:   make(map[vm.ZoneID]*zoneHW),
+		freeAcc: make([]*access, w.Lanes()),
+	}
 	for _, zc := range cfg.Zones {
 		hw := &zoneHW{cfg: zc}
 		for i := 0; i < zc.Channels; i++ {
 			sl := &slice{
 				mshr: cache.NewMSHR(cfg.MSHRsPerSlice),
 				dram: dram.NewChannel(zc.DRAM),
+				act:  w.NewActor(),
 			}
 			if !cfg.DisableL2 {
 				sl.l2 = cache.New(cache.Config{
@@ -258,23 +296,68 @@ func New(eng *sim.Engine, space *vm.Space, cfg Config) (*System, error) {
 	return s, nil
 }
 
+// LaneLookahead returns the conservative cross-lane lookahead the memory
+// system supports under cfg: the minimum latency of any message between an
+// SM lane and a channel lane. A value below 1 means the configuration
+// cannot be laned (the runner falls back to one lane).
+func LaneLookahead(cfg Config) sim.Time { return cfg.L2Latency / 2 }
+
 // Config returns the system configuration.
 func (s *System) Config() Config { return s.cfg }
 
-// Stats returns a copy of the counters.
-func (s *System) Stats() Stats { return s.stats }
+// Stats merges the per-slice counter shards (in configuration order, so
+// the result is bit-identical for any lane count) with the root-lane
+// migration counters and returns the combined copy. Call it between runs
+// or after a run, not from concurrent lane events.
+func (s *System) Stats() Stats {
+	out := s.stats
+	for _, zc := range s.cfg.Zones {
+		pz := &out.PerZone[zc.Zone]
+		for _, sl := range s.zones[zc.Zone].slices {
+			st := &sl.st
+			out.Accesses += st.Accesses
+			out.TotalLatency += st.TotalLatency
+			out.Latency.Merge(&st.Latency)
+			pz.Accesses += st.Accesses
+			pz.L2Hits += st.L2Hits
+			pz.DRAMReads += st.DRAMReads
+			pz.DRAMWrites += st.DRAMWrites
+			pz.BytesMoved += st.BytesMoved
+		}
+	}
+	return out
+}
 
-// PageCounts returns the per-virtual-page DRAM access counts accumulated so
-// far. The returned slice is live; callers must not modify it.
-func (s *System) PageCounts() []uint64 { return s.pageCounts }
+// PageCounts returns the per-virtual-page DRAM access counts accumulated
+// so far, merged across the per-channel shards into a fresh slice.
+func (s *System) PageCounts() []uint64 {
+	n := 0
+	for _, zc := range s.cfg.Zones {
+		for _, sl := range s.zones[zc.Zone].slices {
+			if len(sl.pageCounts) > n {
+				n = len(sl.pageCounts)
+			}
+		}
+	}
+	out := make([]uint64, n)
+	for _, zc := range s.cfg.Zones {
+		for _, sl := range s.zones[zc.Zone].slices {
+			for i, c := range sl.pageCounts {
+				out[i] += c
+			}
+		}
+	}
+	return out
+}
 
 // ZoneServiceFraction reports the fraction of post-L1 accesses served by
 // zone z — the quantity BW-AWARE placement balances.
 func (s *System) ZoneServiceFraction(z vm.ZoneID) float64 {
-	if s.stats.Accesses == 0 {
+	st := s.Stats()
+	if st.Accesses == 0 {
 		return 0
 	}
-	return float64(s.stats.PerZone[z].Accesses) / float64(s.stats.Accesses)
+	return float64(st.PerZone[z].Accesses) / float64(st.Accesses)
 }
 
 // ZoneEnergyNJ reports zone z's accumulated DRAM access energy in
@@ -338,6 +421,7 @@ type access struct {
 	sys    *System
 	hw     *zoneHW
 	sl     *slice
+	src    *sim.Actor // requester's actor: completion fires on its lane
 	va     uint64
 	chAddr uint64
 	vpage  uint64
@@ -349,12 +433,16 @@ type access struct {
 	next   *access // freelist link
 }
 
-// Step codes for access.OnEvent.
+// Step codes for access.OnEvent. Each step runs on a fixed lane: retry and
+// complete on the requester's lane, arrive and fill on the slice's lane,
+// fault on the root lane. Lane crossings go through actor Sends, whose
+// minimum delay (the hop) is the laned engine's lookahead.
 const (
-	stepRetryLock = iota // migration lock released; re-enter translation
+	stepRetryLock = iota // lock released / fault resolved; re-enter translation
 	stepArrive           // request reached the L2 slice
 	stepFill             // DRAM line fill completed
 	stepComplete         // data returned; fire the caller's completion
+	stepFault            // unmapped page reached the OS (root lane)
 )
 
 func (a *access) OnEvent(arg uint64) {
@@ -365,126 +453,167 @@ func (a *access) OnEvent(arg uint64) {
 	case stepArrive:
 		s.sliceAccess(a)
 	case stepFill:
-		sl, z := a.sl, a.hw.cfg.Zone
+		sl := a.sl
+		now := sl.act.Now()
 		if sl.l2 != nil {
 			victim := sl.l2.Insert(a.chAddr, a.write)
 			if victim.Valid && victim.Dirty {
 				// Write back the victim; fire-and-forget timing-wise
 				// but it occupies DRAM bandwidth.
-				sl.dram.Access(s.eng.Now(), victim.LineAddr*uint64(s.cfg.LineBytes), true)
-				s.stats.PerZone[z].DRAMWrites++
+				sl.dram.Access(now, victim.LineAddr*uint64(s.cfg.LineBytes), true)
+				sl.st.DRAMWrites++
 			}
 		}
-		sl.mshr.Fill(a.chAddr/uint64(s.cfg.LineBytes), s.eng.Now())
+		sl.mshr.Fill(a.chAddr/uint64(s.cfg.LineBytes), now)
 	case stepComplete:
-		lat := s.eng.Now() - a.start
-		s.stats.TotalLatency += lat
-		s.stats.Latency.Observe(uint64(lat))
 		if a.h != nil {
 			a.h.OnEvent(a.harg)
 		} else {
 			a.done()
 		}
 		s.putAccess(a)
+	case stepFault:
+		// Root lane: map the page unless an earlier fault already did (or
+		// reserved a pending mapping awaiting the next window flush), then
+		// bounce the requester back into translation. The reply delay is
+		// at least one window, so a deferred mapping is committed before
+		// the retry translates.
+		if !s.space.MappedOrPending(a.vpage) {
+			if err := s.FaultHandler(a.vpage); err != nil {
+				panic(fmt.Sprintf("memsys: page fault for va %#x failed: %v", a.va, err))
+			}
+		}
+		s.os.SendAfter(a.src, s.faultHop(), a, stepRetryLock)
 	}
 }
 
-// OnFill implements cache.FillWaiter: the line's data is available at t;
-// the requester sees it one hop later (the return trip of the interconnect
-// is folded into one constant).
+// OnFill implements cache.FillWaiter: the line's data is available at the
+// slice at t; the requester sees it after the return hop plus the zone's
+// interconnect latency. Latency is accounted here, on the slice's lane —
+// the completion time is fully determined at fill time.
 func (a *access) OnFill(t sim.Time) {
-	a.sys.eng.AtHandler(t+a.hw.cfg.ExtraLatency, a, stepComplete)
+	s := a.sys
+	complete := t + s.hop + a.hw.cfg.ExtraLatency
+	lat := complete - a.start
+	a.sl.st.TotalLatency += lat
+	a.sl.st.Latency.Observe(uint64(lat))
+	a.sl.act.Send(a.src, complete, a, stepComplete)
 }
 
 // Retry implements cache.Retrier: re-attempt the whole slice access after a
 // full MSHR file freed an entry; the line may now hit. This attempt's
 // accounting is undone so the retry counts once.
 func (a *access) Retry() {
-	s := a.sys
-	z := a.hw.cfg.Zone
-	s.stats.Accesses--
-	s.stats.PerZone[z].Accesses--
-	s.stats.PerZone[z].BytesMoved -= uint64(s.cfg.LineBytes)
-	s.uncountPage(a.vpage)
-	s.sliceAccess(a)
+	st := &a.sl.st
+	st.Accesses--
+	st.BytesMoved -= uint64(a.sys.cfg.LineBytes)
+	a.sl.uncountPage(a.vpage)
+	a.sys.sliceAccess(a)
 }
 
-func (s *System) getAccess() *access {
-	a := s.freeAcc
+func (s *System) getAccess(src *sim.Actor) *access {
+	lane := src.Lane()
+	a := s.freeAcc[lane]
 	if a == nil {
-		return &access{sys: s}
+		a = &access{sys: s}
+	} else {
+		s.freeAcc[lane] = a.next
+		a.next = nil
 	}
-	s.freeAcc = a.next
-	a.next = nil
+	a.src = src
 	return a
 }
 
 func (s *System) putAccess(a *access) {
+	lane := a.src.Lane()
 	a.done, a.h = nil, nil
-	a.hw, a.sl = nil, nil
-	a.next = s.freeAcc
-	s.freeAcc = a
+	a.hw, a.sl, a.src = nil, nil, nil
+	a.next = s.freeAcc[lane]
+	s.freeAcc[lane] = a
+}
+
+// faultHop is the delay of each leg of the fault round trip. It is at
+// least one full window, so the retry always lands after the barrier that
+// commits the deferred mapping.
+func (s *System) faultHop() sim.Time {
+	if s.hop < 1 {
+		return 1
+	}
+	return s.hop
 }
 
 // Access sends one post-L1 memory access for virtual address va into the
-// memory system at the current engine time. done fires at the completion
-// (data return) time. Access panics on unmapped addresses: the runtime maps
-// all pages at allocation time or on first touch, so a miss is a simulator
-// bug. Accesses to a page being migrated are deferred until the move
-// completes, then re-translated (the page has a new physical address).
+// memory system at the current engine time, on the root lane. done fires
+// at the completion (data return) time. Access panics on unmapped
+// addresses when no FaultHandler is set: the runtime maps all pages at
+// allocation time or on first touch, so a miss is a simulator bug.
+// Accesses to a page being migrated are deferred until the move completes,
+// then re-translated (the page has a new physical address).
 func (s *System) Access(va uint64, write bool, done func()) {
-	a := s.getAccess()
+	a := s.getAccess(s.os)
 	a.va, a.write, a.done, a.h = va, write, done, nil
 	s.begin(a, nil)
 }
 
 // AccessH is Access with an allocation-free completion: h.OnEvent(arg)
-// fires at data-return time instead of a closure. tc, when non-nil, is a
-// caller-owned one-entry translation cache (typically per SM) consulted
-// before the page table.
-func (s *System) AccessH(va uint64, write bool, tc *vm.TransCache, h sim.Handler, arg uint64) {
-	a := s.getAccess()
+// fires at data-return time instead of a closure. src is the requester's
+// actor (e.g. the issuing SM's); nil means the root actor. tc, when
+// non-nil, is a caller-owned one-entry translation cache (typically per
+// SM) consulted before the page table. AccessH must be called on src's
+// lane — from src's own event handlers or single-threaded setup code.
+func (s *System) AccessH(src *sim.Actor, va uint64, write bool, tc *vm.TransCache, h sim.Handler, arg uint64) {
+	if src == nil {
+		src = s.os
+	}
+	a := s.getAccess(src)
 	a.va, a.write, a.done, a.h, a.harg = va, write, nil, h, arg
 	s.begin(a, tc)
 }
 
-// begin runs the pre-slice stages: migration-lock check, translation (with
-// first-touch fault handling), routing, and the flight to the L2 slice.
+// begin runs the pre-slice stages on the requester's lane: migration-lock
+// check, translation (unmapped pages detour to the OS on the root lane and
+// re-enter here), routing, and the flight to the L2 slice.
 func (s *System) begin(a *access, tc *vm.TransCache) {
+	src := a.src
+	now := src.Now()
 	vpage := s.space.PageOf(a.va)
 	a.vpage = vpage
-	if d := s.lockDelay(vpage); d > 0 {
-		s.eng.AfterHandler(d, a, stepRetryLock)
+	if d := s.lockDelay(vpage, now); d > 0 {
+		src.After(d, a, stepRetryLock)
 		return
 	}
 	pa, ok := s.space.TranslateCached(tc, a.va)
 	if !ok && s.FaultHandler != nil {
-		if err := s.FaultHandler(vpage); err != nil {
-			panic(fmt.Sprintf("memsys: page fault for va %#x failed: %v", a.va, err))
-		}
-		pa, ok = s.space.TranslateCached(tc, a.va)
+		// First-touch fault: resolve on the root lane. Page-table commits
+		// happen only at window barriers, so translation re-runs on the
+		// reply rather than inline.
+		src.SendAfter(s.os, s.faultHop(), a, stepFault)
+		return
 	}
 	if !ok {
 		panic(fmt.Sprintf("memsys: access to unmapped va %#x", a.va))
 	}
 	a.hw, a.sl, a.chAddr = s.route(pa)
-	a.start = s.eng.Now()
+	a.start = now
 
-	// The request reaches the L2 slice after the L2 pipeline latency, the
-	// global latency knob, and (for remote zones) the interconnect hop.
-	arrive := a.start + s.cfg.L2Latency + s.cfg.GlobalExtraLatency
-	s.eng.AtHandler(arrive, a, stepArrive)
+	// The request reaches the L2 slice after the front half of the L2
+	// pipeline latency plus the global latency knob; the back half (the
+	// hop) and the zone's interconnect latency are charged on the return
+	// (see OnFill). The round-trip total is unchanged from the sequential
+	// model: L2Latency + GlobalExtraLatency + ExtraLatency.
+	arrive := now + s.cfg.L2Latency - s.hop + s.cfg.GlobalExtraLatency
+	src.Send(a.sl.act, arrive, a, stepArrive)
 }
 
 func (s *System) sliceAccess(a *access) {
-	z := a.hw.cfg.Zone
-	s.stats.Accesses++
-	s.stats.PerZone[z].Accesses++
-	s.stats.PerZone[z].BytesMoved += uint64(s.cfg.LineBytes)
+	sl := a.sl
+	st := &sl.st
+	st.Accesses++
+	st.BytesMoved += uint64(s.cfg.LineBytes)
 
-	if a.sl.l2 != nil && a.sl.l2.Lookup(a.chAddr, a.write) {
-		s.stats.PerZone[z].L2Hits++
-		a.OnFill(s.eng.Now())
+	if sl.l2 != nil && sl.l2.Lookup(a.chAddr, a.write) {
+		st.L2Hits++
+		a.OnFill(sl.act.Now())
 		return
 	}
 
@@ -492,44 +621,44 @@ func (s *System) sliceAccess(a *access) {
 	// hotness event ("the number of accesses to that page that are served
 	// from DRAM"). Merged misses share a fill but still count: they were
 	// not absorbed by cache capacity.
-	s.countPage(a.vpage)
+	sl.countPage(a.vpage)
 
 	line := a.chAddr / uint64(s.cfg.LineBytes)
-	switch a.sl.mshr.Allocate(line, a) {
+	switch sl.mshr.Allocate(line, a) {
 	case cache.Allocated:
-		doneT := a.sl.dram.Access(s.eng.Now(), a.chAddr, false) // line fill is a read
-		s.stats.PerZone[z].DRAMReads++
-		s.eng.AtHandler(doneT, a, stepFill)
+		doneT := sl.dram.Access(sl.act.Now(), a.chAddr, false) // line fill is a read
+		st.DRAMReads++
+		sl.act.At(doneT, a, stepFill)
 	case cache.Merged:
 		// Ride the in-flight fill.
 	case cache.Full:
-		a.sl.mshr.Stall(line, a)
+		sl.mshr.Stall(line, a)
 	}
 }
 
-func (s *System) countPage(vpage uint64) {
-	if vpage >= uint64(len(s.pageCounts)) {
-		if vpage < uint64(cap(s.pageCounts)) {
+func (sl *slice) countPage(vpage uint64) {
+	if vpage >= uint64(len(sl.pageCounts)) {
+		if vpage < uint64(cap(sl.pageCounts)) {
 			// Indices beyond len have never been written, so the zeroed
 			// backing from the last growth is still intact.
-			s.pageCounts = s.pageCounts[:vpage+1]
+			sl.pageCounts = sl.pageCounts[:vpage+1]
 		} else {
 			// Grow geometrically: monotonically increasing first touches
 			// would otherwise re-copy the slice on every new page (O(n²)).
-			n := 2 * uint64(cap(s.pageCounts))
+			n := 2 * uint64(cap(sl.pageCounts))
 			if n < vpage+1 {
 				n = vpage + 1
 			}
 			np := make([]uint64, vpage+1, n)
-			copy(np, s.pageCounts)
-			s.pageCounts = np
+			copy(np, sl.pageCounts)
+			sl.pageCounts = np
 		}
 	}
-	s.pageCounts[vpage]++
+	sl.pageCounts[vpage]++
 }
 
-func (s *System) uncountPage(vpage uint64) {
-	if vpage < uint64(len(s.pageCounts)) && s.pageCounts[vpage] > 0 {
-		s.pageCounts[vpage]--
+func (sl *slice) uncountPage(vpage uint64) {
+	if vpage < uint64(len(sl.pageCounts)) && sl.pageCounts[vpage] > 0 {
+		sl.pageCounts[vpage]--
 	}
 }

@@ -515,7 +515,7 @@ func TestAccessHMatchesAccess(t *testing.T) {
 		for i := 0; i < 50; i++ {
 			va := uint64(i%8)*vm.DefaultPageSize + uint64(i%32)*128
 			if fast {
-				sys.AccessH(va, i%5 == 0, &tc, h, 0)
+				sys.AccessH(nil, va, i%5 == 0, &tc, h, 0)
 			} else {
 				sys.Access(va, i%5 == 0, func() { n++ })
 			}
@@ -553,7 +553,7 @@ func TestAccessSteadyStateAllocFree(t *testing.T) {
 	h := &countHandler{}
 	warm := func() {
 		for i := 0; i < 64; i++ {
-			sys.AccessH(uint64(i%16)*vm.DefaultPageSize+uint64(i%32)*128, i%7 == 0, &tc, h, 0)
+			sys.AccessH(nil, uint64(i%16)*vm.DefaultPageSize+uint64(i%32)*128, i%7 == 0, &tc, h, 0)
 		}
 		eng.Run()
 	}

@@ -75,9 +75,10 @@ func (s *System) LockPage(vpage uint64, until sim.Time) {
 	}
 }
 
-// lockDelay reports how long an access to vpage must wait, pruning expired
-// locks.
-func (s *System) lockDelay(vpage uint64) sim.Time {
+// lockDelay reports how long an access at time now to vpage must wait,
+// pruning expired locks. Locks exist only in migration runs, which are
+// single-laned; laned runs see a nil map and return immediately.
+func (s *System) lockDelay(vpage uint64, now sim.Time) sim.Time {
 	if s.locks == nil {
 		return 0
 	}
@@ -85,18 +86,16 @@ func (s *System) lockDelay(vpage uint64) sim.Time {
 	if !ok {
 		return 0
 	}
-	if until <= s.eng.Now() {
+	if until <= now {
 		delete(s.locks, vpage)
 		return 0
 	}
-	return until - s.eng.Now()
+	return until - now
 }
 
-// EpochPageCounts returns a copy of the per-page DRAM access counts and is
-// intended for migration engines that diff successive snapshots.
-func (s *System) EpochPageCounts() []uint64 {
-	return append([]uint64(nil), s.pageCounts...)
-}
+// EpochPageCounts returns a merged copy of the per-page DRAM access counts
+// and is intended for migration engines that diff successive snapshots.
+func (s *System) EpochPageCounts() []uint64 { return s.PageCounts() }
 
 // Space exposes the address space the system translates through (the
 // migration engine remaps pages in it).

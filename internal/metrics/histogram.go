@@ -56,6 +56,31 @@ func bucketUpper(b int) uint64 {
 	return 1<<b - 1
 }
 
+// Merge folds o's samples into h. Merging shards in a fixed order yields
+// the same histogram (including the float64 sum) as observing every sample
+// into one histogram shard by shard, which is what keeps sharded counters
+// bit-deterministic.
+func (h *Histogram) Merge(o *Histogram) {
+	if o.count == 0 {
+		return
+	}
+	if h.count == 0 {
+		*h = *o
+		return
+	}
+	for i := range h.buckets {
+		h.buckets[i] += o.buckets[i]
+	}
+	h.count += o.count
+	h.sum += o.sum
+	if o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+}
+
 // Count reports how many samples were observed.
 func (h *Histogram) Count() uint64 { return h.count }
 

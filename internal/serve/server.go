@@ -33,6 +33,11 @@ type Config struct {
 	// system, equivalent to "k40-ddr4"). Must be a known preset
 	// (topology.Preset); hmserved validates it at startup.
 	Topology string
+	// Lanes runs each simulation with this many parallel event lanes
+	// (experiments.RunConfig.Lanes). Results and cache keys are identical
+	// for any lane count — lanes only change the daemon's wall-clock time
+	// per simulation. 0 or 1 means sequential.
+	Lanes int
 	// JobWorkers caps concurrently executing jobs (default 2).
 	JobWorkers int
 	// QueueCap bounds the number of queued-but-not-running jobs
@@ -161,7 +166,7 @@ func New(cfg Config) (*Server, error) {
 		s.cache.SetBackend(disk)
 	}
 	s.runSweep = func(_ context.Context, sp *telemetry.Span, cfgs []experiments.RunConfig) ([]experiments.Result, metrics.SweepStats, error) {
-		e := experiments.NewDistributedExecutor(cfg.SimWorkers, s.cache, cfg.Remote).WithSpan(sp)
+		e := experiments.NewDistributedExecutor(cfg.SimWorkers, s.cache, cfg.Remote).WithSpan(sp).WithLanes(cfg.Lanes)
 		res, err := e.Map(cfgs)
 		return res, e.Stats(), err
 	}
@@ -545,7 +550,7 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 	}
 	opts := experiments.Options{
 		Cache: s.cache, Workers: s.cfg.SimWorkers, Remote: s.cfg.Remote,
-		Topology: s.cfg.Topology,
+		Topology: s.cfg.Topology, Lanes: s.cfg.Lanes,
 	}
 	q := r.URL.Query()
 	if v := q.Get("shrink"); v != "" {

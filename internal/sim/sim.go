@@ -1,9 +1,11 @@
 // Package sim provides a deterministic discrete-event simulation engine.
 //
 // The engine advances a virtual clock measured in GPU core cycles and fires
-// scheduled events in (time, insertion-order) order, so two runs with the
-// same inputs produce identical schedules. All higher-level models in this
-// repository (DRAM, caches, SMs) are driven by a single Engine.
+// scheduled events in canonical (time, source actor, per-source seq) order,
+// so two runs with the same inputs produce identical schedules. All
+// higher-level models in this repository (DRAM, caches, SMs) are driven by
+// one Engine — or, in laned mode, by a World of engines that provably fires
+// the same canonical schedule on several OS threads (see lanes.go).
 //
 // Two scheduling paths exist. At/After take ordinary closures and are the
 // convenient API for cold code. AtHandler/AfterHandler take a long-lived
@@ -11,7 +13,7 @@
 // stored inline in the engine's heap slice, so models that keep pooled
 // per-request records (memsys) or per-actor state machines (gpu warps) can
 // schedule millions of events with zero garbage. Both paths share one
-// (time, seq) ordering, so mixing them cannot perturb the schedule.
+// canonical ordering, so mixing them cannot perturb the schedule.
 package sim
 
 import "fmt"
@@ -39,33 +41,49 @@ type Handler interface {
 // an interface{} and never heap-allocates per event.
 type scheduled struct {
 	at  Time
-	seq uint64 // insertion order; breaks ties deterministically
+	src ActorID // scheduling actor (0 = the root context)
+	seq uint64  // per-source insertion order; breaks ties deterministically
+	dst *Actor  // actor whose lane fires the event (nil = root context)
 	fn  Event
 	h   Handler
 	arg uint64
 }
 
-// before is the strict total order events fire in: (time, insertion seq).
-// seq is unique, so there are never ties and any correct heap yields the
-// same pop sequence — determinism does not depend on sift implementation
-// details.
+// before is the strict total order events fire in: (time, source actor,
+// per-source seq). (src, seq) is unique, so there are never ties and any
+// correct heap yields the same pop sequence — determinism does not depend
+// on sift implementation details. Ordering by actor ID rather than lane
+// makes the canonical schedule independent of how actors are partitioned
+// into lanes, which is what lets laned runs reproduce sequential output
+// byte for byte.
 func (s *scheduled) before(o *scheduled) bool {
 	if s.at != o.at {
 		return s.at < o.at
+	}
+	if s.src != o.src {
+		return s.src < o.src
 	}
 	return s.seq < o.seq
 }
 
 // Engine is a discrete-event simulator. The zero value is ready to use.
+// In a World, each lane is one Engine; a standalone Engine behaves exactly
+// like a one-lane World without barriers.
 type Engine struct {
 	now Time
-	seq uint64
-	// events is a hand-rolled binary min-heap over (at, seq). It replaces
-	// container/heap, whose interface{}-based Push/Pop boxed every record
-	// (one allocation each way) — the dominant cost of the simulation's
-	// inner loop before the rewrite.
+	seq uint64 // root-context insertion order (actor-less events)
+	// events is a hand-rolled binary min-heap over the canonical order. It
+	// replaces container/heap, whose interface{}-based Push/Pop boxed every
+	// record (one allocation each way) — the dominant cost of the
+	// simulation's inner loop before the rewrite.
 	events []scheduled
 	fired  uint64
+
+	world *World      // nil until the engine joins (or lazily creates) a World
+	lane  int         // index of this engine within world.lanes
+	cur   *Actor      // actor whose event is currently firing (nil = root)
+	out   []scheduled // cross-lane mailbox: sends buffered during a window
+	batch []scheduled // reusable buffer for same-timestamp batch pops
 }
 
 // New returns a fresh Engine with the clock at zero.
@@ -127,13 +145,23 @@ func (e *Engine) pop() scheduled {
 	return top
 }
 
-// schedule validates t and enqueues a record with the next sequence number.
+// schedule validates t, stamps the record with the scheduling context (the
+// currently firing actor, or the root context), and enqueues it.
 func (e *Engine) schedule(it scheduled) {
 	if it.at < e.now {
 		panic(fmt.Sprintf("sim: event scheduled at %d, before now=%d", it.at, e.now))
 	}
-	e.seq++
-	it.seq = e.seq
+	if a := e.cur; a != nil {
+		// Rescheduling from inside an actor's event stays on the actor's
+		// lane and uses its private sequence counter, so the canonical key
+		// does not depend on which lane ran it.
+		it.src = a.id
+		it.seq = a.nextSeq()
+		it.dst = a
+	} else {
+		e.seq++
+		it.seq = e.seq
+	}
 	e.push(it)
 }
 
@@ -148,7 +176,7 @@ func (e *Engine) After(d Time, fn Event) { e.At(e.now+d, fn) }
 
 // AtHandler schedules h.OnEvent(arg) at absolute time t without allocating:
 // the record is stored inline in the engine's queue. It shares the
-// (time, seq) order with At, so the two paths interleave deterministically.
+// canonical order with At, so the two paths interleave deterministically.
 func (e *Engine) AtHandler(t Time, h Handler, arg uint64) {
 	e.schedule(scheduled{at: t, h: h, arg: arg})
 }
@@ -158,6 +186,21 @@ func (e *Engine) AfterHandler(d Time, h Handler, arg uint64) {
 	e.AtHandler(e.now+d, h, arg)
 }
 
+// fire executes one popped event with the clock at its timestamp and the
+// scheduling context set to its destination actor.
+func (e *Engine) fire(it *scheduled) {
+	e.now = it.at
+	e.fired++
+	prev := e.cur
+	e.cur = it.dst
+	if it.h != nil {
+		it.h.OnEvent(it.arg)
+	} else {
+		it.fn()
+	}
+	e.cur = prev
+}
+
 // Step fires the single earliest event, advancing the clock to its time.
 // It reports whether an event was fired.
 func (e *Engine) Step() bool {
@@ -165,19 +208,47 @@ func (e *Engine) Step() bool {
 		return false
 	}
 	it := e.pop()
-	e.now = it.at
-	e.fired++
-	if it.h != nil {
-		it.h.OnEvent(it.arg)
-	} else {
-		it.fn()
-	}
+	e.fire(&it)
 	return true
 }
 
+// runWindow fires every event with time < wend in canonical order,
+// batch-popping same-timestamp runs to amortize heap sift cost: the whole
+// run at the earliest pending time is extracted back to back (each pop
+// sifts a strictly shorter heap than pop-fire-pop interleaving would see,
+// since firing pushes feedback events between pops), then executed in
+// order. Feedback events landing at the same timestamp are merged back in
+// canonically: before each buffered event runs, any heap entries that
+// order ahead of it are drained first.
+func (e *Engine) runWindow(wend Time) {
+	buf := e.batch[:0]
+	for len(e.events) > 0 && e.events[0].at < wend {
+		t := e.events[0].at
+		buf = buf[:0]
+		for len(e.events) > 0 && e.events[0].at == t {
+			buf = append(buf, e.pop())
+		}
+		for i := range buf {
+			for len(e.events) > 0 && e.events[0].at == t && e.events[0].before(&buf[i]) {
+				it := e.pop()
+				e.fire(&it)
+			}
+			e.fire(&buf[i])
+			buf[i] = scheduled{} // drop callback refs
+		}
+	}
+	e.batch = buf[:0]
+}
+
 // Run fires events until none remain and returns the final clock value.
+// If the engine belongs to a multi-lane World, the whole world runs (see
+// World.Run); the observable schedule is identical either way.
 func (e *Engine) Run() Time {
-	for e.Step() {
+	if w := e.world; w != nil {
+		return w.Run()
+	}
+	for len(e.events) > 0 {
+		e.runWindow(e.events[0].at + 1)
 	}
 	return e.now
 }

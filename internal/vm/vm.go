@@ -82,6 +82,12 @@ type Space struct {
 	// for reuse by Remap/MapPage.
 	used [MaxZones]int
 	free [MaxZones]freeList
+	// Deferred-mapping state (see deferred.go): while deferred, MapPage
+	// reserves physical pages immediately but parks the table commit in
+	// pending until FlushPending runs at a window barrier.
+	deferred   bool
+	pending    []pendingMap
+	pendingSet map[uint64]struct{}
 }
 
 // NewSpace returns an address space over the given zones. pageSize must be
@@ -152,6 +158,9 @@ func (s *Space) PageOf(va uint64) uint64 { return va >> s.pageShift }
 func (s *Space) MapPage(vpage uint64, z ZoneID) error {
 	if int(z) >= len(s.zones) {
 		return fmt.Errorf("vm: zone %d out of range (have %d zones)", z, len(s.zones))
+	}
+	if s.deferred {
+		return s.mapDeferred(vpage, z)
 	}
 	s.grow(vpage)
 	if s.mapped[vpage] {
