@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet check bench bench-compare bench-sweep bench-serve serve cluster cluster-smoke trace-smoke topology-smoke lanes-smoke clean
+.PHONY: all build test race vet check bench bench-compare bench-sweep bench-serve serve cluster cluster-smoke trace-smoke topology-smoke lanes-smoke migration-smoke clean
 
 all: build
 
@@ -28,7 +28,7 @@ race:
 vet:
 	$(GO) vet ./...
 
-check: build vet test race topology-smoke lanes-smoke
+check: build vet test race topology-smoke lanes-smoke migration-smoke
 
 # Tier-1 performance snapshot: the event-engine microbenchmarks plus the
 # figure-level simulator benchmarks, with allocation counts, captured to a
@@ -37,6 +37,7 @@ check: build vet test race topology-smoke lanes-smoke
 BENCH_SHA := $(shell git rev-parse --short HEAD)
 bench:
 	{ $(GO) test -bench 'BenchmarkEngine|BenchmarkLanedThroughput' -run - -benchmem ./internal/sim/ && \
+	  $(GO) test -bench 'BenchmarkMigrationEpoch' -run - -benchmem ./internal/migrate/ && \
 	  $(GO) test -bench 'BenchmarkSimulatorThroughput' -run - -benchmem . && \
 	  $(GO) test -bench 'BenchmarkFig2aBandwidthSensitivity' -run - -benchmem -benchtime 1x . ; } \
 	  | tee bench_$(BENCH_SHA).txt
@@ -90,6 +91,13 @@ topology-smoke:
 # an invalid -lanes with exit 2.
 lanes-smoke:
 	scripts/lanes_smoke.sh
+
+# End-to-end migration check on real binaries: figmigtopo renders on every
+# preset byte-identically across reruns, -migrate off changes nothing,
+# hmserved serves ?migrate= identically to local renders, and all three
+# CLIs reject invalid -migrate specs with exit 2.
+migration-smoke:
+	scripts/migration_smoke.sh
 
 # End-to-end telemetry check: a tiny sweep through a 2-worker fleet with
 # -trace-out, then the emitted Chrome/Perfetto trace (trace-smoke.json)

@@ -89,6 +89,8 @@ func main() {
 		cMetrics  = flag.String("cluster-metrics", "", "with -cluster, serve the coordinator's Prometheus /metrics on this address (e.g. :9090)")
 		topo      = flag.String("topology", "", "memory-topology preset to simulate on (empty = the paper's Table 1 system; see hetsim.TopologyNames)")
 		lanes     = flag.Int("lanes", 1, "parallel event lanes per simulation (output is byte-identical for any count)")
+		migSpec   = flag.String("migrate", "", "add a dynamic page-migration arm to figures that support one: off | on | key=value,...")
+		migPol    = flag.String("migrate-policy", "", "migration classifier: counter | ewma (overrides the -migrate spec)")
 	)
 	flag.Parse()
 	if *topo != "" {
@@ -100,6 +102,15 @@ func main() {
 	if *lanes < 1 {
 		fmt.Fprintf(os.Stderr, "hmexp: -lanes must be >= 1 (got %d)\n", *lanes)
 		flag.Usage()
+		os.Exit(2)
+	}
+	if _, err := heteromem.ParseMigrationSpec(*migSpec); err != nil {
+		fmt.Fprintln(os.Stderr, "hmexp: -migrate:", err)
+		os.Exit(2)
+	}
+	if !heteromem.KnownMigrationPolicy(*migPol) {
+		fmt.Fprintf(os.Stderr, "hmexp: -migrate-policy: unknown policy %q (have %s)\n",
+			*migPol, strings.Join(heteromem.MigrationPolicies(), ", "))
 		os.Exit(2)
 	}
 	args := flag.Args()
@@ -153,7 +164,10 @@ func main() {
 		defer flushTrace()
 	}
 
-	opts := heteromem.Options{Shrink: *shrink, Workers: *workers, Topology: *topo, Lanes: *lanes}
+	opts := heteromem.Options{
+		Shrink: *shrink, Workers: *workers, Topology: *topo, Lanes: *lanes,
+		Migrate: *migSpec, MigratePolicy: *migPol,
+	}
 	if *workloads != "" {
 		opts.Workloads = strings.Split(*workloads, ",")
 	}
@@ -366,6 +380,12 @@ func fetchFigure(sp *telemetry.Span, base, id string, opts heteromem.Options, cl
 	}
 	if opts.Topology != "" {
 		q.Set("topology", opts.Topology)
+	}
+	if opts.Migrate != "" {
+		q.Set("migrate", opts.Migrate)
+	}
+	if opts.MigratePolicy != "" {
+		q.Set("migrate-policy", opts.MigratePolicy)
 	}
 	u.RawQuery = q.Encode()
 

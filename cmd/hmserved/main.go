@@ -63,6 +63,7 @@ import (
 	"time"
 
 	"hetsim/internal/cluster"
+	"hetsim/internal/migrate"
 	"hetsim/internal/serve"
 	"hetsim/internal/telemetry"
 	"hetsim/internal/topology"
@@ -81,6 +82,8 @@ func main() {
 		telem    = flag.Bool("telemetry", false, "record execution spans for every request (structured span logs + telemetry histograms on /metrics); header-traced requests are recorded regardless")
 		topo     = flag.String("topology", "", "default memory-topology preset for figure requests without ?topology= (empty = the paper's Table 1 system)")
 		lanes    = flag.Int("lanes", 1, "parallel event lanes per simulation (results are byte-identical for any count)")
+		migSpec  = flag.String("migrate", "", "default page-migration spec for figure requests without ?migrate= (off | on | key=value,...)")
+		migPol   = flag.String("migrate-policy", "", "default migration classifier for figure requests without ?migrate-policy= (counter | ewma)")
 	)
 	if dup := duplicateFlags(os.Args[1:]); len(dup) > 0 {
 		fmt.Fprintf(os.Stderr, "hmserved: flag repeated on command line: -%s\n", strings.Join(dup, ", -"))
@@ -89,7 +92,7 @@ func main() {
 	flag.Parse()
 
 	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
-	if errs := validateFlags(*workers, *jobs, *queueCap, *drain, *topo, *lanes); len(errs) > 0 {
+	if errs := validateFlags(*workers, *jobs, *queueCap, *drain, *topo, *lanes, *migSpec, *migPol); len(errs) > 0 {
 		for _, e := range errs {
 			logger.Error("invalid configuration", "err", e)
 		}
@@ -114,6 +117,8 @@ func main() {
 		Telemetry:     rec,
 		Topology:      *topo,
 		Lanes:         *lanes,
+		Migrate:       *migSpec,
+		MigratePolicy: *migPol,
 	}
 	if *fleet != "" {
 		coord, err := cluster.New(cluster.Config{
@@ -198,7 +203,7 @@ func duplicateFlags(args []string) []string {
 
 // validateFlags rejects values the serving layer would otherwise quietly
 // clamp or misbehave on.
-func validateFlags(workers, jobWorkers, queueCap int, drain time.Duration, topo string, lanes int) []error {
+func validateFlags(workers, jobWorkers, queueCap int, drain time.Duration, topo string, lanes int, migSpec, migPol string) []error {
 	var errs []error
 	if workers < 0 {
 		errs = append(errs, fmt.Errorf("-workers must be >= 0 (0 = all CPUs), got %d", workers))
@@ -219,6 +224,13 @@ func validateFlags(workers, jobWorkers, queueCap int, drain time.Duration, topo 
 		if _, err := topology.Preset(topo); err != nil {
 			errs = append(errs, fmt.Errorf("-topology: %w", err))
 		}
+	}
+	if _, err := migrate.ParseSpec(migSpec); err != nil {
+		errs = append(errs, fmt.Errorf("-migrate: %w", err))
+	}
+	if !migrate.KnownPolicy(migPol) {
+		errs = append(errs, fmt.Errorf("-migrate-policy: unknown policy %q (have %s)",
+			migPol, strings.Join(migrate.PolicyNames(), ", ")))
 	}
 	return errs
 }

@@ -38,13 +38,13 @@ func TestDuplicateFlags(t *testing.T) {
 }
 
 func TestValidateFlags(t *testing.T) {
-	if errs := validateFlags(0, 2, 64, 30*time.Second, "", 1); len(errs) != 0 {
+	if errs := validateFlags(0, 2, 64, 30*time.Second, "", 1, "", ""); len(errs) != 0 {
 		t.Errorf("default config rejected: %v", errs)
 	}
-	if errs := validateFlags(-1, 0, 0, -time.Second, "no-such-topology", 0); len(errs) != 6 {
-		t.Errorf("got %d errors, want 6: %v", len(errs), errs)
+	if errs := validateFlags(-1, 0, 0, -time.Second, "no-such-topology", 0, "epoch=-1", "no-such-policy"); len(errs) != 8 {
+		t.Errorf("got %d errors, want 8: %v", len(errs), errs)
 	}
-	if errs := validateFlags(4, 1, 1, 0, "gh200", 8); len(errs) != 0 {
+	if errs := validateFlags(4, 1, 1, 0, "gh200", 8, "on", "ewma"); len(errs) != 0 {
 		t.Errorf("minimal valid config rejected: %v", errs)
 	}
 }

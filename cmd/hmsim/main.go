@@ -45,11 +45,18 @@ func main() {
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		topo     = flag.String("topology", "", "memory-topology preset (empty = the paper's Table 1 system; see hetsim.TopologyNames)")
 		lanes    = flag.Int("lanes", 1, "parallel event lanes for the simulation (output is byte-identical for any count)")
+		migSpec  = flag.String("migrate", "", "dynamic page migration: off | on | key=value,... (epoch, pages, lock, minheat, hyst, cooldown, policy, alpha, high, low, wb)")
+		migPol   = flag.String("migrate-policy", "", "migration classifier: counter | ewma (overrides the -migrate spec)")
 	)
 	flag.Parse()
 	if *lanes < 1 {
 		fmt.Fprintf(os.Stderr, "hmsim: -lanes must be >= 1 (got %d)\n", *lanes)
 		flag.Usage()
+		os.Exit(2)
+	}
+	migCfg, err := migrationConfig(*migSpec, *migPol)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hmsim:", err)
 		os.Exit(2)
 	}
 	mem := memsys.Table1Config()
@@ -95,6 +102,7 @@ func main() {
 		EagerPlacement: *eager,
 		Seed:           *seed,
 		Lanes:          *lanes,
+		Migration:      migCfg,
 	}
 	rc.Policy, err = policyByName(*policy)
 	if err != nil {
@@ -154,9 +162,37 @@ func main() {
 	}
 	fmt.Printf("pages per pool     %s (fallbacks %d)\n",
 		strings.Join(pools, " / "), res.Place.Fallbacks)
+	if migCfg != nil {
+		m := res.Migration
+		fmt.Printf("migration          %d epochs: %d promoted, %d demoted, %d skipped, %d pages moved\n",
+			m.Epochs, m.Promotions, m.Demotions, m.Skipped, res.Mem.MigratedPages)
+		fmt.Printf("write-back         %d async, %d stalls, %d accesses while draining\n",
+			m.AsyncWriteBacks, m.WriteBackStalls, res.Mem.WriteBackAccesses)
+	}
 	if st := ex.Stats(); st.Total() > 0 {
 		fmt.Printf("sweep              %s\n", st)
 	}
+}
+
+// migrationConfig resolves the -migrate spec and -migrate-policy override
+// to an engine configuration (nil = migration disabled).
+func migrationConfig(spec, policy string) (*heteromem.MigrationConfig, error) {
+	cfg, err := heteromem.ParseMigrationSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	if policy == "" {
+		return cfg, nil
+	}
+	if cfg == nil {
+		def := heteromem.DefaultMigrationConfig()
+		cfg = &def
+	}
+	cfg.Policy = policy
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return cfg, nil
 }
 
 func recordTrace(path string, rc heteromem.RunConfig) (heteromem.Result, error) {

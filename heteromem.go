@@ -36,6 +36,7 @@ import (
 	"hetsim/internal/core"
 	"hetsim/internal/experiments"
 	"hetsim/internal/metrics"
+	"hetsim/internal/migrate"
 	"hetsim/internal/profiler"
 	"hetsim/internal/topology"
 	"hetsim/internal/trace"
@@ -173,6 +174,34 @@ func TopologyNames() []string { return topology.Names() }
 // TopologyPreset returns a built-in topology by name; select one for a
 // figure reproduction via Options.Topology.
 func TopologyPreset(name string) (Topology, error) { return topology.Preset(name) }
+
+// MigrationConfig tunes the dynamic page-migration engine (the paper's
+// §5.5 future work, implemented in internal/migrate): epoch length, page
+// budget, lock cycles, classifier policy ("counter" or "ewma"), and the
+// asynchronous write-back buffer. Enable it on a run via
+// RunConfig.Migration, or on figure reproductions via Options.Migrate.
+type MigrationConfig = migrate.Config
+
+// MigrationStats counts migration-engine activity for a run
+// (Result.Migration).
+type MigrationStats = migrate.Stats
+
+// DefaultMigrationConfig returns the engine defaults: Linux-3.16-magnitude
+// costs (2 us page locks, a few GB/s of copy budget) with the counter
+// classifier and an 8-page write-back buffer.
+func DefaultMigrationConfig() MigrationConfig { return migrate.DefaultConfig() }
+
+// ParseMigrationSpec parses a -migrate spec string ("off", "on", or
+// "key=value,..." over the defaults); nil means migration disabled. See
+// migrate.ParseSpec for the key set.
+func ParseMigrationSpec(s string) (*MigrationConfig, error) { return migrate.ParseSpec(s) }
+
+// MigrationPolicies lists the built-in migration classifiers.
+func MigrationPolicies() []string { return migrate.PolicyNames() }
+
+// KnownMigrationPolicy reports whether name is a built-in migration
+// classifier ("" selects the default).
+func KnownMigrationPolicy(name string) bool { return migrate.KnownPolicy(name) }
 
 // ComputeHints is the raw GetAllocation hint computation over explicit
 // size/hotness annotations (Figure 9).

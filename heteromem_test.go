@@ -44,8 +44,8 @@ func TestFacadeWorkloadsAndDatasets(t *testing.T) {
 	if len(DatasetVariants()) < 3 {
 		t.Fatal("missing dataset variants")
 	}
-	if len(FigureIDs()) != 19 {
-		t.Fatalf("FigureIDs = %d, want 19", len(FigureIDs()))
+	if len(FigureIDs()) != 20 {
+		t.Fatalf("FigureIDs = %d, want 20", len(FigureIDs()))
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"hetsim/internal/gpu"
 	"hetsim/internal/memsys"
 	"hetsim/internal/metrics"
+	"hetsim/internal/migrate"
 	"hetsim/internal/telemetry"
 	"hetsim/internal/topology"
 	"hetsim/internal/vm"
@@ -57,6 +58,16 @@ type Options struct {
 	// cache keys, so laned and sequential reproductions share cache
 	// entries. 0 or 1 means sequential.
 	Lanes int
+	// Migrate configures the dynamic page-migration engine for the figures
+	// that run it (figmig, figphase, figmigtopo) as a migrate spec string
+	// (see migrate.ParseSpec): "" or "on" means migrate.DefaultConfig,
+	// "k=v,..." overrides it. Invalid specs fail figure construction.
+	// Figures without a migration arm ignore it.
+	Migrate string
+	// MigratePolicy overrides the classifier of the Migrate spec
+	// ("counter" or "ewma"); "" keeps the spec's choice. figmigtopo, which
+	// compares both classifiers side by side, ignores it.
+	MigratePolicy string
 }
 
 func (o Options) workloadList() []string {
@@ -94,6 +105,28 @@ func (o Options) mem() (memsys.Config, error) {
 		return memsys.Config{}, err
 	}
 	return t.MemsysConfig(), nil
+}
+
+// migration resolves the Migrate/MigratePolicy selection to a validated
+// engine configuration for figures with a migration arm. An empty Migrate
+// spec means migrate.DefaultConfig — the figure exists to show migration,
+// so "not configured" selects the defaults rather than disabling it.
+func (o Options) migration() (migrate.Config, error) {
+	cfg, err := migrate.ParseSpec(o.Migrate)
+	if err != nil {
+		return migrate.Config{}, err
+	}
+	if cfg == nil {
+		def := migrate.DefaultConfig()
+		cfg = &def
+	}
+	if o.MigratePolicy != "" {
+		cfg.Policy = o.MigratePolicy
+	}
+	if err := cfg.Validate(); err != nil {
+		return migrate.Config{}, err
+	}
+	return *cfg, nil
 }
 
 // executor builds this figure's sweep executor: opts-controlled worker

@@ -6,7 +6,6 @@ import (
 	"hetsim/internal/dram"
 	"hetsim/internal/memsys"
 	"hetsim/internal/metrics"
-	"hetsim/internal/migrate"
 	"hetsim/internal/tlb"
 	"hetsim/internal/vm"
 )
@@ -38,7 +37,10 @@ func FigMigration(opts Options) (Figure, error) {
 		return Figure{}, err
 	}
 	const stride = 4 // bwaware, bw+migration, annotated, oracle
-	migCfg := migrate.DefaultConfig()
+	migCfg, err := opts.migration()
+	if err != nil {
+		return Figure{}, err
+	}
 	cfgs := make([]RunConfig, 0, len(wls)*stride)
 	for wi, wl := range wls {
 		hints, err := hintsFromProfile(profs[wi], wl, opts.dataset(), constrainedFrac, mem)
@@ -222,7 +224,10 @@ func FigPhase(opts Options) (Figure, error) {
 		return Figure{}, err
 	}
 	const stride = 3 // bwaware, bw+migration, static oracle
-	migCfg := migrate.DefaultConfig()
+	migCfg, err := opts.migration()
+	if err != nil {
+		return Figure{}, err
+	}
 	cfgs := make([]RunConfig, 0, len(wls)*stride)
 	for wi, wl := range wls {
 		base := RunConfig{

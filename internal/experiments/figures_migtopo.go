@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hetsim/internal/metrics"
+	"hetsim/internal/topology"
+)
+
+// FigMigTopo crosses the two extension axes: the dynamic page-migration
+// subsystem (§5.5's deferred future work) on every memory-topology preset.
+// For each preset, under the 10% capacity constraint: BW-AWARE, BW-AWARE
+// plus migration with the counter classifier, BW-AWARE plus migration with
+// the ewma classifier, and the profiled oracle — normalized to plain
+// BW-AWARE per topology. On cxl-expansion the engine exercises the full
+// multi-tier chain (pages climb CXL → DDR4 → GDDR5 one hop per epoch and
+// cold pages drain the other way through the write-back buffer).
+// Options.Topology is ignored — this figure sweeps all presets by
+// construction — and Options.MigratePolicy too, since both classifiers are
+// the comparison.
+func FigMigTopo(opts Options) (Figure, error) {
+	wls := opts.Workloads
+	if len(wls) == 0 {
+		wls = []string{"bfs", "xsbench", "needle"}
+	}
+	topos := []string{"k40-ddr4", "gh200", "cxl-expansion"} // paper's system first
+	opts.MigratePolicy = ""
+	baseMig, err := opts.migration()
+	if err != nil {
+		return Figure{}, err
+	}
+	counterCfg := baseMig
+	counterCfg.Policy = "counter"
+	ewmaCfg := baseMig
+	ewmaCfg.Policy = "ewma"
+	e := opts.executor()
+
+	const stride = 4 // bwaware, bw+counter, bw+ewma, oracle
+	tb := metrics.NewTable("Extension: migration policies across memory topologies at 10% capacity (normalized to BW-AWARE per topology)",
+		"topology", "bwaware", "bw+counter", "bw+ewma", "oracle", "pages_counter", "pages_ewma", "async_wb")
+	head := map[string]float64{}
+
+	for _, name := range topos {
+		t, err := topology.Preset(name)
+		if err != nil {
+			return Figure{}, err
+		}
+		mem := t.MemsysConfig()
+
+		profs, err := profileAll(e, wls, opts.dataset(), opts.shrink(), mem)
+		if err != nil {
+			return Figure{}, err
+		}
+
+		cfgs := make([]RunConfig, 0, len(wls)*stride)
+		for wi, wl := range wls {
+			base := RunConfig{
+				Workload: wl, Dataset: opts.dataset(), Mem: mem,
+				BOCapacityFrac: constrainedFrac, Shrink: opts.shrink(),
+				ProfileCounts: profs[wi].PageCounts,
+			}
+			bwRC := base
+			bwRC.Policy = BWAwarePolicy
+			ctrRC := base
+			ctrRC.Policy = BWAwarePolicy
+			ctrRC.Migration = &counterCfg
+			ewmaRC := base
+			ewmaRC.Policy = BWAwarePolicy
+			ewmaRC.Migration = &ewmaCfg
+			orcRC := base
+			orcRC.Policy = OraclePolicy
+			cfgs = append(cfgs, bwRC, ctrRC, ewmaRC, orcRC)
+		}
+		res, err := e.Map(cfgs)
+		if err != nil {
+			return Figure{}, err
+		}
+
+		var vsCtr, vsEwma, vsOrc []float64
+		var pagesCtr, pagesEwma, asyncWB uint64
+		for wi := range wls {
+			group := res[wi*stride : (wi+1)*stride]
+			bw, ctr, ewma, orc := group[0], group[1], group[2], group[3]
+			vsCtr = append(vsCtr, ctr.Perf/bw.Perf)
+			vsEwma = append(vsEwma, ewma.Perf/bw.Perf)
+			vsOrc = append(vsOrc, orc.Perf/bw.Perf)
+			pagesCtr += ctr.Mem.MigratedPages
+			pagesEwma += ewma.Mem.MigratedPages
+			asyncWB += uint64(ctr.Migration.AsyncWriteBacks + ewma.Migration.AsyncWriteBacks)
+		}
+		gc, ge, gor := metrics.Geomean(vsCtr), metrics.Geomean(vsEwma), metrics.Geomean(vsOrc)
+		tb.AddRow(name, 1.0, gc, ge, gor,
+			fmt.Sprintf("%d", pagesCtr), fmt.Sprintf("%d", pagesEwma), fmt.Sprintf("%d", asyncWB))
+		head["counter_vs_bwaware_"+name] = gc
+		head["ewma_vs_bwaware_"+name] = ge
+		head["oracle_vs_bwaware_"+name] = gor
+	}
+	return Figure{
+		ID: "figmigtopo", Title: "Migration across topologies", Table: tb, Headline: head, Sweep: e.Stats(),
+		Notes: []string{
+			"the counter classifier reacts to single-epoch heat; ewma smooths over history and adds pool watermarks, trading reaction speed for stability",
+			"migration costs (locks, copy bandwidth, interconnect hops) are modeled at Linux-3.16 magnitudes, so gains over good initial placement stay modest — the paper's §5.5 position, now measured on three topologies",
+			"on cxl-expansion promotions climb the bandwidth order one hop per epoch (CXL → DDR4 → GDDR5); demotions drain asynchronously through the bounded write-back buffer when it has room",
+		},
+	}, nil
+}

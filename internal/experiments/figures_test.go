@@ -212,8 +212,8 @@ func TestByIDAndIDs(t *testing.T) {
 	if _, ok := ByID("fig99"); ok {
 		t.Error("ByID accepted unknown id")
 	}
-	if len(IDs()) != 19 {
-		t.Errorf("IDs() = %d entries, want 19", len(IDs()))
+	if len(IDs()) != 20 {
+		t.Errorf("IDs() = %d entries, want 20", len(IDs()))
 	}
 }
 

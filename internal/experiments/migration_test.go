@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"testing"
+
+	"hetsim/internal/migrate"
+)
+
+// LaneFallbackReason is the single source of truth for why a run cannot be
+// laned; the runner, the sweep stats, and the telemetry span all consult
+// it, so its classification is pinned here.
+func TestLaneFallbackReason(t *testing.T) {
+	if r := LaneFallbackReason(RunConfig{Workload: "bfs"}); r != "" {
+		t.Errorf("plain run reported fallback %q", r)
+	}
+	mig := migrate.DefaultConfig()
+	if r := LaneFallbackReason(RunConfig{Workload: "bfs", Migration: &mig}); r != "migration" {
+		t.Errorf("migration run reason = %q, want \"migration\"", r)
+	}
+	if r := LaneFallbackReason(RunConfig{Workload: "bfs", CPUTrafficGBps: 10}); r != "cpu-traffic" {
+		t.Errorf("cpu-traffic run reason = %q, want \"cpu-traffic\"", r)
+	}
+}
+
+// Satellite: the lanes→1 fallback must be loud — counted per run in the
+// sweep stats (and from there in the /metrics export), not silently folded
+// into a sequential run.
+func TestSweepCountsLaneFallbacks(t *testing.T) {
+	mig := migrate.DefaultConfig()
+	cfgs := []RunConfig{
+		{Workload: "bfs", Policy: BWAwarePolicy, Shrink: 16},
+		{Workload: "bfs", Policy: BWAwarePolicy, BOCapacityFrac: 0.1, Migration: &mig, Shrink: 16},
+	}
+	e := NewIsolatedExecutor(2).WithLanes(8)
+	res, err := e.Map(cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	if st.LaneFallbacks != 1 {
+		t.Errorf("LaneFallbacks = %d, want 1 (only the migration run falls back)", st.LaneFallbacks)
+	}
+	if st.MigratedPages != res[1].Mem.MigratedPages {
+		t.Errorf("sweep MigratedPages = %d, want the migration run's %d",
+			st.MigratedPages, res[1].Mem.MigratedPages)
+	}
+	// Sequential sweeps never fall back: nothing was asked to lane.
+	e1 := NewIsolatedExecutor(2)
+	if _, err := e1.Map(cfgs); err != nil {
+		t.Fatal(err)
+	}
+	if got := e1.Stats().LaneFallbacks; got != 0 {
+		t.Errorf("lanes=1 sweep recorded %d fallbacks, want 0", got)
+	}
+}
+
+// Acceptance gate: a migration-disabled run must be byte-identical to
+// today's figures — Options.Migrate "off" (and "") change nothing.
+func TestMigrationDisabledByteIdentical(t *testing.T) {
+	base := Options{Shrink: 16, Workloads: []string{"bfs", "stencil"}, Cache: NewResultCache()}
+	def, err := Fig2a(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := base
+	off.Cache = NewResultCache()
+	off.Migrate = "off"
+	got, err := Fig2a(off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Table.String() != def.Table.String() || got.Table.CSV() != def.Table.CSV() {
+		t.Error("Migrate=\"off\" changed figure bytes")
+	}
+}
+
+// Options.migration resolves the spec + policy override for the figures
+// that grow a migration arm; bad specs must surface as figure errors.
+func TestOptionsMigration(t *testing.T) {
+	cfg, err := (Options{}).migration()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def := migrate.DefaultConfig(); cfg != def {
+		t.Errorf("empty options resolved %+v, want defaults", cfg)
+	}
+	cfg, err = (Options{Migrate: "epoch=1000", MigratePolicy: "ewma"}).migration()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.EpochCycles != 1000 || cfg.Policy != migrate.PolicyEWMA {
+		t.Errorf("override not applied: %+v", cfg)
+	}
+	if _, err := (Options{Migrate: "epoch=-5"}).migration(); err == nil {
+		t.Error("negative epoch accepted")
+	}
+	if _, err := FigMigration(Options{Shrink: 16, Workloads: []string{"bfs"}, Migrate: "minheat=0"}); err == nil {
+		t.Error("FigMigration accepted an invalid migration spec")
+	}
+}
+
+// FigMigTopo end to end: three presets, both classifiers plus the oracle
+// arm, headline ratios present and positive for each preset.
+func TestFigMigTopo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-topology migration sweep is slow")
+	}
+	fig, err := FigMigTopo(Options{Shrink: 16, Workloads: []string{"bfs"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig.Table.Rows() != 3 {
+		t.Fatalf("rows = %d, want 3 (one per preset)", fig.Table.Rows())
+	}
+	for _, preset := range []string{"k40-ddr4", "gh200", "cxl-expansion"} {
+		for _, h := range []string{"counter_vs_bwaware_", "ewma_vs_bwaware_", "oracle_vs_bwaware_"} {
+			v, ok := fig.Headline[h+preset]
+			if !ok {
+				t.Errorf("missing headline %s%s", h, preset)
+				continue
+			}
+			if v <= 0 {
+				t.Errorf("headline %s%s = %g, want > 0", h, preset, v)
+			}
+		}
+	}
+}

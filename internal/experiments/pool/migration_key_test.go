@@ -1,0 +1,61 @@
+// Migration cache-key tests live here, in package pool_test, for the same
+// reason as the topology ones (see topology_key_test.go): they pin the
+// property the serving and cluster layers rely on — the migration
+// configuration is part of a run's identity, so configs differing in it
+// must never collide on one cache entry, and equivalent spellings must
+// share one.
+package pool_test
+
+import (
+	"testing"
+
+	"hetsim/internal/experiments"
+	"hetsim/internal/migrate"
+)
+
+// TestMigrationCacheKeys: migration on vs off, and differing migration
+// tunings, are different simulations and need distinct keys; equal
+// configs (including the ""/"counter" policy spelling) share one.
+func TestMigrationCacheKeys(t *testing.T) {
+	base := experiments.RunConfig{Workload: "bfs", Policy: experiments.BWAwarePolicy, Shrink: 16}
+
+	withMig := func(mut func(*migrate.Config)) experiments.RunConfig {
+		cfg := migrate.DefaultConfig()
+		if mut != nil {
+			mut(&cfg)
+		}
+		rc := base
+		rc.Migration = &cfg
+		return rc
+	}
+
+	off := key(t, base)
+	on := key(t, withMig(nil))
+	if off == on {
+		t.Error("migration on and off share a cache key")
+	}
+
+	same := key(t, withMig(nil))
+	if on != same {
+		t.Error("equal migration configs produced different keys")
+	}
+	blank := key(t, withMig(func(c *migrate.Config) { c.Policy = "" }))
+	if blank != on {
+		t.Error(`Policy "" and "counter" are the same classifier but keyed differently`)
+	}
+
+	distinct := []func(*migrate.Config){
+		func(c *migrate.Config) { c.EpochCycles = 9999 },
+		func(c *migrate.Config) { c.PagesPerEpoch = 1 },
+		func(c *migrate.Config) { c.Policy = migrate.PolicyEWMA },
+		func(c *migrate.Config) { c.WriteBackPages = 0 },
+	}
+	seen := map[string]int{on: -1}
+	for i, mut := range distinct {
+		k := key(t, withMig(mut))
+		if prev, dup := seen[k]; dup {
+			t.Errorf("migration variants %d and %d collided on one key", prev, i)
+		}
+		seen[k] = i
+	}
+}

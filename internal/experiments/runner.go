@@ -12,6 +12,7 @@ package experiments
 
 import (
 	"fmt"
+	"log/slog"
 
 	"hetsim/internal/core"
 	"hetsim/internal/gpu"
@@ -118,7 +119,10 @@ type RunConfig struct {
 	// (canonicalRC) — a cached lanes=1 result satisfies a lanes=8 request
 	// and vice versa. 0 or 1 means sequential. Runs whose features need a
 	// single thread (migration, background CPU traffic, trace recording,
-	// or a lookahead below one cycle) silently fall back to one lane.
+	// or a lookahead below one cycle) fall back to one lane; the fallback
+	// is loud — logged once per run, recorded on the run's telemetry span
+	// (sim.lane_fallback) and counted in SweepStats.LaneFallbacks — see
+	// LaneFallbackReason.
 	Lanes int
 
 	// traceWriter, when set (via RecordTrace), records the post-L1 access
@@ -167,6 +171,30 @@ func SBITFor(cfg memsys.Config) core.SBIT {
 // measured result.
 func Run(rc RunConfig) (Result, error) {
 	return runTraced(nil, rc)
+}
+
+// LaneFallbackReason reports why rc must run on a single event lane, or ""
+// when it can be laned as requested. Results are byte-identical either
+// way; the reason exists so a run that ignores an explicit Lanes > 1 can
+// say so (log line, sim.lane_fallback span attribute, and the
+// SweepStats.LaneFallbacks counter) instead of doing it silently.
+func LaneFallbackReason(rc RunConfig) string {
+	switch {
+	case rc.Migration != nil:
+		return "migration"
+	case rc.CPUTrafficGBps > 0:
+		return "cpu-traffic"
+	case rc.traceWriter != nil:
+		return "trace-recording"
+	}
+	memCfg := rc.Mem
+	if len(memCfg.Zones) == 0 {
+		memCfg = memsys.Table1Config()
+	}
+	if memsys.LaneLookahead(memCfg) < 1 {
+		return "lookahead<1"
+	}
+	return ""
 }
 
 // runTraced is Run with a telemetry scope: after the simulation completes,
@@ -266,14 +294,24 @@ func runTraced(sp *telemetry.Span, rc RunConfig) (Result, error) {
 	// Effective lane count: features that mutate shared state outside the
 	// lane protocol (migration locks/remaps, background traffic closures,
 	// trace recording) and configs whose lookahead collapses below one
-	// cycle run sequentially. The fallback is silent because the output is
-	// byte-identical either way — lanes only change wall-clock time.
+	// cycle run sequentially. The output is byte-identical either way —
+	// lanes only change wall-clock time — but ignoring an explicit
+	// -lanes N must be loud: log once per run, stamp the span, and let
+	// the sweep executor count it (SweepStats.LaneFallbacks).
 	lanes := rc.Lanes
 	if lanes < 1 {
 		lanes = 1
 	}
 	lookahead := memsys.LaneLookahead(memCfg)
-	if lookahead < 1 || rc.Migration != nil || rc.CPUTrafficGBps > 0 || rc.traceWriter != nil {
+	if reason := LaneFallbackReason(rc); reason != "" {
+		if lanes > 1 {
+			slog.Warn("experiments: run falls back to one event lane",
+				"reason", reason, "requested_lanes", lanes,
+				"workload", spec.Name, "policy", policyLabel(rc))
+			if sp != nil {
+				sp.SetAttr("sim.lane_fallback", reason)
+			}
+		}
 		lanes = 1
 	}
 	world := sim.NewWorld(lanes, lookahead)
@@ -324,6 +362,16 @@ func runTraced(sp *telemetry.Span, rc RunConfig) (Result, error) {
 		sp.SetAttr("workload", spec.Name)
 		sp.SetAttr("policy", policyLabel(rc))
 		sp.SetAttr("sim.lanes", lanes)
+		if mig != nil {
+			sp.SetAttr("migrate.policy", mig.PolicyName())
+			sp.SetAttr("migrate.epochs", migStats.Epochs)
+			sp.SetAttr("migrate.promotions", migStats.Promotions)
+			sp.SetAttr("migrate.demotions", migStats.Demotions)
+			sp.SetAttr("migrate.skipped", migStats.Skipped)
+			sp.SetAttr("migrate.async_writebacks", migStats.AsyncWriteBacks)
+			sp.SetAttr("migrate.writeback_stalls", migStats.WriteBackStalls)
+			sp.SetAttr("migrate.pages", st.MigratedPages)
+		}
 		attachSimTelemetry(sp, world, mem, g, cycles)
 	}
 	return Result{

@@ -50,10 +50,11 @@ type RemoteRunner func(sp *telemetry.Span, key string, rc RunConfig) (Result, bo
 // slices for any worker count, and cached results are bit-identical to
 // freshly simulated ones.
 type Executor struct {
-	p    pool.Pool[RunConfig, Result]
-	span *telemetry.Span // parent scope for Map calls; nil when untraced
-	mu   sync.Mutex
-	st   metrics.SweepStats
+	p     pool.Pool[RunConfig, Result]
+	span  *telemetry.Span // parent scope for Map calls; nil when untraced
+	lanes int             // default RunConfig.Lanes applied by WithLanes
+	mu    sync.Mutex
+	st    metrics.SweepStats
 }
 
 // NewExecutor returns an executor running up to workers concurrent
@@ -135,6 +136,7 @@ func (e *Executor) WithLanes(n int) *Executor {
 	if n < 2 {
 		return e
 	}
+	e.lanes = n
 	e.p.Run = func(sp *telemetry.Span, rc RunConfig) (Result, error) {
 		if rc.Lanes == 0 {
 			rc.Lanes = n
@@ -154,21 +156,37 @@ func (e *Executor) Map(cfgs []RunConfig) ([]Result, error) {
 	}
 	res, st, err := e.p.MapSpan(sweep, cfgs)
 	sweep.End()
-	var accesses uint64
+	var accesses, migrated uint64
+	fallbacks := 0
 	for i := range res {
-		if !st.Cached[i] {
-			accesses += res[i].Accesses
+		if st.Cached[i] {
+			continue
+		}
+		accesses += res[i].Accesses
+		migrated += res[i].Mem.MigratedPages
+		// A run that asked for multiple lanes (explicitly or via
+		// WithLanes) but had to execute sequentially is a lane fallback —
+		// surfaced here so sweeps report it instead of silently ignoring
+		// the request.
+		req := cfgs[i].Lanes
+		if req == 0 {
+			req = e.lanes
+		}
+		if req > 1 && LaneFallbackReason(cfgs[i]) != "" {
+			fallbacks++
 		}
 	}
 	e.mu.Lock()
 	e.st.Add(metrics.SweepStats{
-		Runs:      st.Executed,
-		CacheHits: st.CacheHits,
-		Remote:    st.Offloaded,
-		Errors:    st.Errors,
-		Workers:   st.Workers,
-		Accesses:  accesses,
-		Wall:      st.Wall,
+		Runs:          st.Executed,
+		CacheHits:     st.CacheHits,
+		Remote:        st.Offloaded,
+		Errors:        st.Errors,
+		Workers:       st.Workers,
+		Accesses:      accesses,
+		LaneFallbacks: fallbacks,
+		MigratedPages: migrated,
+		Wall:          st.Wall,
 	})
 	e.mu.Unlock()
 	return res, err
@@ -303,6 +321,15 @@ func canonicalKey(rc RunConfig) (string, bool) {
 	c.GPU.PageSize = c.PageSize
 	if c.BOCapacityFrac <= 0 || c.BOCapacityFrac >= 1e9 {
 		c.BOCapacityFrac = 0 // unconstrained either way
+	}
+	if c.Migration != nil {
+		// Mirror the migration engine's defaulting: an empty Policy selects
+		// the counter classifier, so both spellings must share a key.
+		m := *c.Migration
+		if m.Policy == "" {
+			m.Policy = migrate.PolicyCounter
+		}
+		c.Migration = &m
 	}
 	if c.Shrink < 1 {
 		c.Shrink = 1

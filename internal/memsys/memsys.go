@@ -180,6 +180,13 @@ type Stats struct {
 	Accesses      uint64 // total post-L1 accesses
 	TotalLatency  sim.Time
 	MigratedPages uint64
+	// Write-back buffer counters: demotions accepted into the bounded
+	// asynchronous buffer, drains completed, and accesses that touched a
+	// page while its old copy was still draining (PagePendingWriteBack —
+	// such accesses proceed without stalling, unlike migration locks).
+	WriteBacksQueued  uint64
+	WriteBacksDrained uint64
+	WriteBackAccesses uint64
 	// Latency is the round-trip latency distribution (log-bucketed).
 	Latency metrics.Histogram
 	PerZone [vm.MaxZones]ZoneStats
@@ -250,8 +257,12 @@ type System struct {
 	// error; a nil handler makes unmapped accesses panic (eager mode).
 	FaultHandler func(vpage uint64) error
 
-	// locks holds per-vpage migration locks (see LockPage).
+	// locks holds per-vpage migration locks (see LockPage); wb is the
+	// bounded asynchronous write-back buffer for demotions (see
+	// ConfigureWriteBack). Both exist only in migration runs, which are
+	// single-laned.
 	locks map[uint64]sim.Time
+	wb    *writeBackBuf
 }
 
 // New assembles a memory system over an engine and an address space. The
@@ -581,6 +592,12 @@ func (s *System) begin(a *access, tc *vm.TransCache) {
 	if d := s.lockDelay(vpage, now); d > 0 {
 		src.After(d, a, stepRetryLock)
 		return
+	}
+	if s.wb != nil && s.wb.pending[vpage] {
+		// Pending write-back: the page is already remapped and readable at
+		// its new address, so the access proceeds — only count it. wb is
+		// non-nil only in migration runs, which are single-laned.
+		s.stats.WriteBackAccesses++
 	}
 	pa, ok := s.space.TranslateCached(tc, a.va)
 	if !ok && s.FaultHandler != nil {

@@ -13,11 +13,50 @@ import (
 //
 //   - InvalidatePage drops a physical page's lines from the owning L2
 //     slices (the TLB-shootdown/cache-flush part of a move);
-//   - CopyPageTraffic charges the page copy to both zones' DRAM channels,
-//     so migrations steal real bandwidth from the application;
+//   - CopyPageTraffic charges the page copy to both zones' DRAM channels
+//     plus each zone's interconnect hop, so migrations steal real
+//     bandwidth from the application and pay the link crossing;
 //   - LockPage delays any access to a virtual page until the move
 //     completes (the paper's "several microseconds of latency between
-//     invalidation and first re-use").
+//     invalidation and first re-use");
+//   - the bounded write-back buffer (ConfigureWriteBack /
+//     EnqueueWriteBack) lets demotions drain asynchronously at DRAM
+//     speed, the PENDING_WRITE_BACK state of real GPU page managers.
+//
+// A virtual page is therefore in one of three states, with distinct lock
+// semantics:
+//
+//	PageValid             — accesses proceed normally;
+//	PagePendingMigration  — a blocking move holds the page lock; accesses
+//	                        are deferred until the lock expires, then
+//	                        re-translated (LockPage / lockDelay);
+//	PagePendingWriteBack  — the page has been remapped and is readable at
+//	                        its new address while the old copy drains
+//	                        through the write-back buffer; accesses do not
+//	                        stall but are counted (WriteBackAccesses).
+
+// PageState classifies a virtual page's migration status; see the state
+// table above.
+type PageState int
+
+const (
+	PageValid PageState = iota
+	PagePendingMigration
+	PagePendingWriteBack
+)
+
+// PageState reports vpage's current migration state at engine time now.
+func (s *System) PageState(vpage uint64) PageState {
+	if s.locks != nil {
+		if until, ok := s.locks[vpage]; ok && until > s.eng.Now() {
+			return PagePendingMigration
+		}
+	}
+	if s.wb != nil && s.wb.pending[vpage] {
+		return PagePendingWriteBack
+	}
+	return PageValid
+}
 
 // InvalidatePage removes every cache line of the physical page starting at
 // oldPA from the L2 slices that could hold it, returning how many live
@@ -42,11 +81,11 @@ func (s *System) InvalidatePage(oldPA uint64, pageSize uint64) int {
 	return dropped
 }
 
-// CopyPageTraffic models the DRAM traffic of copying one page from oldPA
-// to newPA: line-sized reads on the source channel and writes on the
-// destination channel. It returns the time the copy completes (the later
-// of the two streams).
-func (s *System) CopyPageTraffic(oldPA, newPA, pageSize uint64) sim.Time {
+// copyPage charges one page copy to both pools' DRAM channels and returns
+// the completion time: the later of the read and write streams plus each
+// pool's interconnect hop (the per-hop transfer cost — a CXL → DDR move
+// crosses both links once per page).
+func (s *System) copyPage(oldPA, newPA, pageSize uint64) sim.Time {
 	var done sim.Time
 	for off := uint64(0); off < pageSize; off += uint64(s.cfg.LineBytes) {
 		srcHW, srcSl, srcAddr := s.route(oldPA + off)
@@ -60,12 +99,94 @@ func (s *System) CopyPageTraffic(oldPA, newPA, pageSize uint64) sim.Time {
 		}
 		s.stats.PerZone[dstHW.cfg.Zone].DRAMWrites++
 	}
+	srcHW, _, _ := s.route(oldPA)
+	dstHW, _, _ := s.route(newPA)
+	done += srcHW.cfg.ExtraLatency + dstHW.cfg.ExtraLatency
 	s.stats.MigratedPages++
 	return done
 }
 
+// CopyPageTraffic models the DRAM traffic of copying one page from oldPA
+// to newPA: line-sized reads on the source channel and writes on the
+// destination channel, plus the interconnect hop of each pool involved.
+// It returns the time the copy completes (the later of the two streams).
+func (s *System) CopyPageTraffic(oldPA, newPA, pageSize uint64) sim.Time {
+	return s.copyPage(oldPA, newPA, pageSize)
+}
+
+// wbEntry is one queued asynchronous demotion: the page has already been
+// remapped to newPA; the data still has to drain from oldPA.
+type wbEntry struct {
+	vpage    uint64
+	oldPA    uint64
+	newPA    uint64
+	pageSize uint64
+}
+
+// writeBackBuf is the bounded asynchronous write-back buffer: queued
+// demotions drain head-first at DRAM speed while the application keeps
+// running (à la a GPU page manager's write_back_buffer).
+type writeBackBuf struct {
+	cap      int
+	queue    []wbEntry
+	pending  map[uint64]bool // vpage -> PagePendingWriteBack
+	draining bool
+}
+
+// ConfigureWriteBack sizes the asynchronous write-back buffer in pages;
+// zero or negative disables it (every demotion then blocks on the copy).
+// Call before the run starts.
+func (s *System) ConfigureWriteBack(pages int) {
+	if pages <= 0 {
+		s.wb = nil
+		return
+	}
+	s.wb = &writeBackBuf{cap: pages, pending: make(map[uint64]bool)}
+}
+
+// EnqueueWriteBack queues one demoted page for asynchronous draining and
+// reports whether the buffer accepted it. False — buffer disabled or full
+// — means the caller must fall back to a blocking CopyPageTraffic. On
+// accept the page enters PagePendingWriteBack until its copy completes;
+// the copy traffic is charged when the drain reaches it.
+func (s *System) EnqueueWriteBack(vpage, oldPA, newPA, pageSize uint64) bool {
+	if s.wb == nil || len(s.wb.queue) >= s.wb.cap {
+		return false
+	}
+	s.wb.queue = append(s.wb.queue, wbEntry{vpage, oldPA, newPA, pageSize})
+	s.wb.pending[vpage] = true
+	s.stats.WriteBacksQueued++
+	if !s.wb.draining {
+		s.wb.draining = true
+		s.drainWriteBack()
+	}
+	return true
+}
+
+// drainWriteBack processes the buffer head: charge its copy traffic now,
+// then complete (and start the next drain) when the DRAM streams finish.
+// Entries drain serially — the buffer models one copy engine.
+func (s *System) drainWriteBack() {
+	if len(s.wb.queue) == 0 {
+		s.wb.draining = false
+		return
+	}
+	e := s.wb.queue[0]
+	done := s.copyPage(e.oldPA, e.newPA, e.pageSize)
+	d := done - s.eng.Now()
+	if d < 1 {
+		d = 1
+	}
+	s.eng.After(d, func() {
+		s.wb.queue = s.wb.queue[1:]
+		delete(s.wb.pending, e.vpage)
+		s.stats.WriteBacksDrained++
+		s.drainWriteBack()
+	})
+}
+
 // LockPage blocks accesses to vpage until t; accesses arriving earlier are
-// deferred to t before entering the memory system.
+// deferred to t before entering the memory system (PagePendingMigration).
 func (s *System) LockPage(vpage uint64, until sim.Time) {
 	if s.locks == nil {
 		s.locks = make(map[uint64]sim.Time)

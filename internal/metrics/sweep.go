@@ -17,7 +17,14 @@ type SweepStats struct {
 	Errors    int    // configs that finished with an error
 	Workers   int    // maximum worker goroutines used
 	Accesses  uint64 // post-L1 accesses simulated by executed runs (cache hits excluded)
-	Wall      time.Duration
+	// LaneFallbacks counts executed runs that requested multiple event
+	// lanes but fell back to one (migration, CPU traffic, trace recording,
+	// or a sub-cycle lookahead force sequential execution).
+	LaneFallbacks int
+	// MigratedPages sums the pages moved by the migration engine across
+	// executed runs (cache hits excluded, like Accesses).
+	MigratedPages uint64
+	Wall          time.Duration
 }
 
 // Total is the number of configs dispatched (executed + cached).
@@ -34,6 +41,8 @@ func (s *SweepStats) Add(o SweepStats) {
 		s.Workers = o.Workers
 	}
 	s.Accesses += o.Accesses
+	s.LaneFallbacks += o.LaneFallbacks
+	s.MigratedPages += o.MigratedPages
 	s.Wall += o.Wall
 }
 
@@ -61,6 +70,14 @@ func (s SweepStats) String() string {
 	if s.Errors > 0 {
 		errs = fmt.Sprintf(", %d errors", s.Errors)
 	}
-	return fmt.Sprintf("%d runs%s in %s, %d workers%s%s",
-		s.Runs, cached, s.Wall.Round(10*time.Millisecond), s.Workers, remote, errs)
+	lanes := ""
+	if s.LaneFallbacks > 0 {
+		lanes = fmt.Sprintf(", %d lane fallbacks", s.LaneFallbacks)
+	}
+	migrated := ""
+	if s.MigratedPages > 0 {
+		migrated = fmt.Sprintf(", %d pages migrated", s.MigratedPages)
+	}
+	return fmt.Sprintf("%d runs%s in %s, %d workers%s%s%s%s",
+		s.Runs, cached, s.Wall.Round(10*time.Millisecond), s.Workers, remote, errs, lanes, migrated)
 }

@@ -1,0 +1,52 @@
+package migrate
+
+import (
+	"testing"
+)
+
+// BenchmarkMigrationEpoch measures one epoch pass of each classifier over
+// a three-tier system with a few thousand resident pages: the scan, the
+// hot/cold sorts, and the (steady-state) move attempts. This is the
+// per-epoch overhead a migration run adds on top of the simulation itself.
+func BenchmarkMigrationEpoch(b *testing.B) {
+	const pages = 4096
+	for _, policy := range PolicyNames() {
+		b.Run(policy, func(b *testing.B) {
+			eng, space, sys := buildTiered(b, nil)
+			cfg := DefaultConfig()
+			cfg.Policy = policy
+			cfg.CooldownEpochs = 0
+			m, err := New(eng, sys, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Spread pages over the two lower tiers; the fastest pool
+			// starts empty so promotions have headroom.
+			order := m.Order()
+			for vp := uint64(0); vp < pages; vp++ {
+				if err := space.MapPage(vp, order[1+int(vp)%2]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			// Synthetic per-epoch activity: a fixed skewed pattern, so
+			// every iteration classifies the same distribution.
+			delta := make([]uint64, pages)
+			for vp := range delta {
+				delta[vp] = uint64(vp*7) % 37
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				v := &View{
+					Delta:  delta,
+					Order:  m.order,
+					Space:  space,
+					Cfg:    cfg,
+					eng:    m,
+					budget: cfg.PagesPerEpoch,
+				}
+				m.stats.Epochs++
+				m.policy.Epoch(v)
+			}
+		})
+	}
+}

@@ -1,0 +1,309 @@
+package migrate
+
+import (
+	"sort"
+
+	"hetsim/internal/vm"
+)
+
+// Policy classifies the epoch's page activity and plans moves through a
+// View. Implementations must be deterministic: the simulator's output is
+// byte-compared across reruns.
+type Policy interface {
+	Name() string
+	// Epoch plans and executes this epoch's moves via v.Move, within
+	// v.Remaining() budget.
+	Epoch(v *View)
+}
+
+// View is one epoch's window onto the system, handed to the Policy. Moves
+// execute immediately (View.Move), so capacity queries through Space
+// reflect earlier moves in the same pass.
+type View struct {
+	// Delta[vpage] is the page's DRAM access count this epoch.
+	Delta []uint64
+	// Order lists the pools fastest-first (SBIT bandwidth order); Rank
+	// gives a pool's index in it. Promotion moves a page toward Order[0].
+	Order []vm.ZoneID
+	// Space answers residency and capacity queries (PageZone, ZoneFree,
+	// ZoneUsed, ZoneCapacity).
+	Space *vm.Space
+	Cfg   Config
+
+	eng    *Engine
+	budget int
+}
+
+// Remaining reports how many more pages may move this epoch.
+func (v *View) Remaining() int { return v.budget }
+
+// Span is the page-iteration bound: every mapped page number is below it.
+// It covers the full page table, not just pages with access history — an
+// idle page must still be a demotion candidate.
+func (v *View) Span() uint64 {
+	n := uint64(len(v.Delta))
+	if sp := v.Space.TableSpan(); sp > n {
+		n = sp
+	}
+	return n
+}
+
+// DeltaOf returns vpage's DRAM access count this epoch (zero for pages
+// beyond the recorded counter table).
+func (v *View) DeltaOf(vpage uint64) uint64 {
+	if vpage < uint64(len(v.Delta)) {
+		return v.Delta[vpage]
+	}
+	return 0
+}
+
+// Rank returns z's position in the bandwidth order (0 = fastest), or -1
+// for an unknown zone.
+func (v *View) Rank(z vm.ZoneID) int {
+	if r, ok := v.eng.rank[z]; ok {
+		return r
+	}
+	return -1
+}
+
+// Eligible reports whether vpage may move this epoch: pages migrated
+// within the cooldown window (including earlier in this same pass) are
+// left to settle.
+func (v *View) Eligible(vpage uint64) bool { return v.eng.eligible(vpage) }
+
+// Move migrates vpage to pool z, charging invalidation + copy traffic and
+// locking the page. It returns false without consuming budget when the
+// page is not mapped, already resident in z, the budget is spent, or the
+// remap fails (destination full).
+func (v *View) Move(vpage uint64, to vm.ZoneID) bool {
+	if v.budget <= 0 {
+		return false
+	}
+	from, ok := v.Space.PageZone(vpage)
+	if !ok || from == to {
+		return false
+	}
+	if !v.eng.move(vpage, from, to) {
+		return false
+	}
+	v.budget--
+	if v.Rank(to) < v.Rank(from) {
+		v.eng.stats.Promotions++
+	} else {
+		v.eng.stats.Demotions++
+	}
+	return true
+}
+
+// Skip records a promotion candidate abandoned for lack of a cold-enough
+// victim (the hysteresis guard) — the Stats.Skipped counter.
+func (v *View) Skip() { v.eng.stats.Skipped++ }
+
+type pageHeat struct {
+	vpage uint64
+	heat  uint64
+}
+
+// sortHot orders hottest-first; sortCold coldest-first. Both break heat
+// ties by page number so the plan is deterministic.
+func sortHot(ps []pageHeat) {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].heat != ps[j].heat {
+			return ps[i].heat > ps[j].heat
+		}
+		return ps[i].vpage < ps[j].vpage
+	})
+}
+
+func sortCold(ps []pageHeat) {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].heat != ps[j].heat {
+			return ps[i].heat < ps[j].heat
+		}
+		return ps[i].vpage < ps[j].vpage
+	})
+}
+
+// counterPolicy is the epoch-diff access-counter classifier, the K-pool
+// generalization of the original two-zone engine: for each adjacent tier
+// pair (fastest pair first), pages in the lower tier whose count this
+// epoch clears MinHeat are promoted one hop up, displacing the upper
+// tier's coldest pages when it is full — but only when the candidate
+// clearly dominates its victim (hysteresis). A page climbs a multi-tier
+// chain (CXL → DDR → HBM) one hop per epoch.
+type counterPolicy struct{}
+
+func (counterPolicy) Name() string { return PolicyCounter }
+
+func (p counterPolicy) Epoch(v *View) {
+	for pi := 0; pi+1 < len(v.Order) && v.Remaining() > 0; pi++ {
+		upper, lower := v.Order[pi], v.Order[pi+1]
+		var hot, cold []pageHeat
+		for vp, span := uint64(0), v.Span(); vp < span; vp++ {
+			z, ok := v.Space.PageZone(vp)
+			if !ok || !v.Eligible(vp) {
+				continue
+			}
+			switch z {
+			case lower:
+				if d := v.DeltaOf(vp); d >= v.Cfg.MinHeat {
+					hot = append(hot, pageHeat{vp, d})
+				}
+			case upper:
+				cold = append(cold, pageHeat{vp, v.DeltaOf(vp)})
+			}
+		}
+		sortHot(hot)
+		sortCold(cold)
+		exchange(v, hot, cold, upper, lower)
+	}
+}
+
+// exchange promotes hot pages into upper within budget, demoting upper's
+// coldest pages to lower when it is full. cold is sorted coldest-first and
+// hot hottest-first, so the first failed dominance check ends the pair's
+// pass — no later pair can dominate either. Without the hysteresis guard
+// equal-heat pages would swap back and forth every epoch.
+func exchange(v *View, hot, cold []pageHeat, upper, lower vm.ZoneID) {
+	ci := 0
+	for _, h := range hot {
+		if v.Remaining() <= 0 {
+			return
+		}
+		if v.Space.ZoneFree(upper) < 1 {
+			if ci >= len(cold) ||
+				float64(h.heat) < v.Cfg.hysteresis()*float64(cold[ci].heat)+float64(v.Cfg.MinHeat) {
+				v.Skip()
+				return
+			}
+			v.Move(cold[ci].vpage, lower)
+			ci++
+			if v.Remaining() <= 0 {
+				return
+			}
+		}
+		v.Move(h.vpage, upper)
+	}
+}
+
+// ewmaPolicy is the history classifier: per-page exponentially-weighted
+// heat plus per-pool occupancy watermarks, after the hot/cold tracking of
+// dynamic tiering systems ("Dynamic Page Placement on Real Persistent
+// Memory Systems"). Each epoch it first drains capacity-bounded pools
+// filled above HighWatermark down to LowWatermark by demoting their
+// coldest pages one hop down the bandwidth order, then promotes pages
+// whose smoothed heat clears MinHeat one hop up while the tier above has
+// headroom (or via a hysteresis swap with its coldest page when full).
+type ewmaPolicy struct {
+	heat []float64
+}
+
+func (*ewmaPolicy) Name() string { return PolicyEWMA }
+
+func (p *ewmaPolicy) Epoch(v *View) {
+	// Decay history and fold in this epoch's counts. The table spans every
+	// mapped page, so idle pages carry (decaying) heat entries too.
+	if span := v.Span(); span > uint64(len(p.heat)) {
+		grown := make([]float64, span)
+		copy(grown, p.heat)
+		p.heat = grown
+	}
+	a := v.Cfg.EWMAAlpha
+	for vp := range p.heat {
+		p.heat[vp] = a*float64(v.DeltaOf(uint64(vp))) + (1-a)*p.heat[vp]
+	}
+
+	p.drainWatermarks(v)
+	p.promote(v)
+}
+
+// residents collects the eligible pages of zone z with their smoothed
+// heat, coldest first.
+func (p *ewmaPolicy) residents(v *View, z vm.ZoneID) []pageHeat {
+	var out []pageHeat
+	for vp := uint64(0); vp < uint64(len(p.heat)); vp++ {
+		if pz, ok := v.Space.PageZone(vp); ok && pz == z && v.Eligible(vp) {
+			// Quantize for ordering; ties break by page number.
+			out = append(out, pageHeat{vp, uint64(p.heat[vp] * 1024)})
+		}
+	}
+	sortCold(out)
+	return out
+}
+
+// drainWatermarks demotes the coldest pages of over-full pools one hop
+// down the bandwidth order until each pool is back at its low watermark.
+func (p *ewmaPolicy) drainWatermarks(v *View) {
+	for pi := 0; pi+1 < len(v.Order) && v.Remaining() > 0; pi++ {
+		z, below := v.Order[pi], v.Order[pi+1]
+		cap := v.Space.ZoneCapacity(z)
+		if cap == vm.Unlimited || cap <= 0 {
+			continue
+		}
+		if float64(v.Space.ZoneUsed(z)) <= v.Cfg.HighWatermark*float64(cap) {
+			continue
+		}
+		lowMark := int(v.Cfg.LowWatermark * float64(cap))
+		for _, c := range p.residents(v, z) {
+			if v.Space.ZoneUsed(z) <= lowMark || v.Remaining() <= 0 {
+				break
+			}
+			v.Move(c.vpage, below)
+		}
+	}
+}
+
+// promote climbs hot pages one hop up the order: into free headroom below
+// the high watermark when available, else by swapping with the upper
+// pool's coldest page under the hysteresis guard.
+func (p *ewmaPolicy) promote(v *View) {
+	minHeat := float64(v.Cfg.MinHeat)
+	for pi := 0; pi+1 < len(v.Order) && v.Remaining() > 0; pi++ {
+		upper, lower := v.Order[pi], v.Order[pi+1]
+		var hot []pageHeat
+		for vp := uint64(0); vp < uint64(len(p.heat)); vp++ {
+			if z, ok := v.Space.PageZone(vp); ok && z == lower && v.Eligible(vp) && p.heat[vp] >= minHeat {
+				hot = append(hot, pageHeat{vp, uint64(p.heat[vp] * 1024)})
+			}
+		}
+		sortHot(hot)
+		cold := p.residents(v, upper)
+		ci := 0
+		for _, h := range hot {
+			if v.Remaining() <= 0 {
+				return
+			}
+			if p.headroom(v, upper) {
+				v.Move(h.vpage, upper)
+				continue
+			}
+			// Full (or at the watermark): swap with the coldest page,
+			// hysteresis-guarded. Both lists are sorted, so the first
+			// failed dominance check ends the pair's pass.
+			if ci >= len(cold) ||
+				float64(h.heat) < v.Cfg.hysteresis()*float64(cold[ci].heat)+minHeat*1024 {
+				v.Skip()
+				break
+			}
+			v.Move(cold[ci].vpage, lower)
+			ci++
+			if v.Remaining() <= 0 {
+				return
+			}
+			v.Move(h.vpage, upper)
+		}
+	}
+}
+
+// headroom reports whether pool z can take one more page without crossing
+// its high watermark (unlimited pools always can, given a free slot).
+func (p *ewmaPolicy) headroom(v *View, z vm.ZoneID) bool {
+	if v.Space.ZoneFree(z) < 1 {
+		return false
+	}
+	cap := v.Space.ZoneCapacity(z)
+	if cap == vm.Unlimited || cap <= 0 {
+		return true
+	}
+	return float64(v.Space.ZoneUsed(z)+1) <= v.Cfg.HighWatermark*float64(cap)
+}

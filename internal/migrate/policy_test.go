@@ -1,0 +1,228 @@
+package migrate
+
+import (
+	"fmt"
+	"testing"
+
+	"hetsim/internal/memsys"
+	"hetsim/internal/sim"
+	"hetsim/internal/topology"
+	"hetsim/internal/vm"
+)
+
+// buildTiered builds a three-pool system from the cxl-expansion preset,
+// with per-zone page capacities overridden by caps (default unlimited).
+func buildTiered(t testing.TB, caps map[vm.ZoneID]int) (*sim.Engine, *vm.Space, *memsys.System) {
+	t.Helper()
+	topo, err := topology.Preset("cxl-expansion")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := topo.MemsysConfig()
+	maxZone := 0
+	for _, z := range cfg.Zones {
+		if int(z.Zone) > maxZone {
+			maxZone = int(z.Zone)
+		}
+	}
+	zcfgs := make([]vm.ZoneConfig, maxZone+1)
+	for i := range zcfgs {
+		zcfgs[i] = vm.ZoneConfig{Name: fmt.Sprintf("z%d", i), CapacityPages: vm.Unlimited}
+	}
+	for _, z := range cfg.Zones {
+		cp := vm.Unlimited
+		if c, ok := caps[z.Zone]; ok {
+			cp = c
+		}
+		zcfgs[z.Zone] = vm.ZoneConfig{Name: z.Name, CapacityPages: cp}
+	}
+	eng := sim.New()
+	space := vm.NewSpace(vm.DefaultPageSize, zcfgs)
+	sys, err := memsys.New(eng, space, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, space, sys
+}
+
+// A hot page in the slowest pool of a three-tier topology must climb the
+// bandwidth order one hop per epoch: CXL → DDR → GDDR across two epochs.
+func TestCounterMultiTierPromotionChain(t *testing.T) {
+	eng, space, sys := buildTiered(t, nil)
+	cfg := DefaultConfig()
+	cfg.EpochCycles = 1000
+	cfg.MinHeat = 2
+	cfg.CooldownEpochs = 0
+	cfg.LockCycles = 0
+	m, err := New(eng, sys, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := m.Order()
+	if len(order) != 3 {
+		t.Fatalf("order has %d pools, want 3", len(order))
+	}
+	m.Start()
+
+	if err := space.MapPage(0, order[2]); err != nil {
+		t.Fatal(err)
+	}
+	touch := func() {
+		for i := 0; i < 8; i++ {
+			sys.Access(uint64(i)*128, false, func() {})
+		}
+	}
+
+	touch()
+	eng.RunUntil(1500)
+	if z, _ := space.PageZone(0); z != order[1] {
+		t.Fatalf("after epoch 1 page in zone %d, want middle tier %d", z, order[1])
+	}
+	touch()
+	eng.RunUntil(2500)
+	if z, _ := space.PageZone(0); z != order[0] {
+		t.Fatalf("after epoch 2 page in zone %d, want fastest tier %d", z, order[0])
+	}
+	if got := m.Stats().Promotions; got != 2 {
+		t.Fatalf("Promotions = %d, want 2 (one hop per epoch)", got)
+	}
+}
+
+// The ewma policy's watermark drain: a capacity-bounded pool filled above
+// its high watermark sheds its coldest pages one hop down the order until
+// it reaches the low watermark. Demotions go through the bounded
+// asynchronous write-back buffer; once it fills, the rest block.
+func TestEWMAWatermarkDrain(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Policy = PolicyEWMA
+	cfg.EpochCycles = 1000
+	cfg.CooldownEpochs = 0
+	cfg.HighWatermark = 0.8
+	cfg.LowWatermark = 0.5
+	cfg.PagesPerEpoch = 16
+	cfg.WriteBackPages = 4
+
+	// We don't know which pool is fastest until the engine derives the
+	// order, so build once to discover it, then build the real system with
+	// that pool capacity-bounded.
+	eng0, _, sys0 := buildTiered(t, nil)
+	probe, err := New(eng0, sys0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fastest, mid := probe.Order()[0], probe.Order()[1]
+
+	eng, space, sys := buildTiered(t, map[vm.ZoneID]int{fastest: 10})
+	m, err := New(eng, sys, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	epochs := 0
+	m.Active = func() bool { epochs++; return epochs <= 2 }
+	m.Start()
+	for vp := uint64(0); vp < 10; vp++ {
+		if err := space.MapPage(vp, fastest); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch one line so the page-count table (and thus Delta) is non-empty.
+	sys.Access(0, false, func() {})
+
+	eng.RunUntil(1500)
+	if used := space.ZoneUsed(fastest); used != 5 {
+		t.Fatalf("fastest pool used = %d after drain, want 5 (low watermark)", used)
+	}
+	if used := space.ZoneUsed(mid); used != 5 {
+		t.Fatalf("middle pool used = %d, want the 5 demoted pages", used)
+	}
+	st := m.Stats()
+	if st.Demotions != 5 {
+		t.Fatalf("Demotions = %d, want 5", st.Demotions)
+	}
+	if st.Promotions != 0 {
+		t.Fatalf("Promotions = %d, want 0 (no page clears MinHeat)", st.Promotions)
+	}
+	if st.AsyncWriteBacks != 4 || st.WriteBackStalls != 1 {
+		t.Fatalf("async/stalls = %d/%d, want 4/1 (buffer holds 4)", st.AsyncWriteBacks, st.WriteBackStalls)
+	}
+	eng.Run()
+	if got := sys.Stats().WriteBacksDrained; got != 4 {
+		t.Fatalf("WriteBacksDrained = %d, want 4", got)
+	}
+}
+
+// EWMA history: a page hammered in epoch 1 but idle in epoch 2 must still
+// be promoted on its smoothed heat once the tier above has headroom.
+func TestEWMAHistoryCarriesHeat(t *testing.T) {
+	eng, space, sys := buildTiered(t, nil)
+	cfg := DefaultConfig()
+	cfg.Policy = PolicyEWMA
+	cfg.EpochCycles = 1000
+	cfg.CooldownEpochs = 0
+	cfg.MinHeat = 3
+	cfg.EWMAAlpha = 0.5
+	m, err := New(eng, sys, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := m.Order()
+	m.Start()
+	if err := space.MapPage(0, order[1]); err != nil {
+		t.Fatal(err)
+	}
+	// 16 DRAM accesses in epoch 1: heat after the epoch is 8, and with no
+	// further traffic it decays 8 → 4 → 2, staying above MinHeat=3 for one
+	// idle epoch.
+	for i := 0; i < 16; i++ {
+		sys.Access(uint64(i)*128, false, func() {})
+	}
+	eng.RunUntil(2500) // two epochs, traffic only in the first
+	if z, _ := space.PageZone(0); z != order[0] {
+		t.Fatalf("page in zone %d, want fastest %d (promoted on history)", z, order[0])
+	}
+	if got := m.Stats().Promotions; got == 0 {
+		t.Fatal("no promotions recorded")
+	}
+}
+
+// Cooldown must also suppress re-moves within the same epoch pass: a page
+// promoted by the (mid, slow) pair may not be picked up again by a later
+// pair until the cooldown expires.
+func TestCooldownBlocksImmediateRemove(t *testing.T) {
+	eng, space, sys := buildTiered(t, nil)
+	cfg := DefaultConfig()
+	cfg.EpochCycles = 1000
+	cfg.MinHeat = 2
+	cfg.CooldownEpochs = 3
+	cfg.LockCycles = 0
+	m, err := New(eng, sys, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := m.Order()
+	m.Start()
+	if err := space.MapPage(0, order[2]); err != nil {
+		t.Fatal(err)
+	}
+	touch := func() {
+		for i := 0; i < 8; i++ {
+			sys.Access(uint64(i)*128, false, func() {})
+		}
+	}
+	touch()
+	eng.RunUntil(1500)
+	if z, _ := space.PageZone(0); z != order[1] {
+		t.Fatalf("page in zone %d after epoch 1, want middle tier", z)
+	}
+	// Epochs 2 and 3 fall inside the cooldown window: the page must stay.
+	touch()
+	eng.RunUntil(2500)
+	touch()
+	eng.RunUntil(3500)
+	if z, _ := space.PageZone(0); z != order[1] {
+		t.Fatalf("page moved during cooldown to zone %d", z)
+	}
+	if got := m.Stats().Promotions; got != 1 {
+		t.Fatalf("Promotions = %d during cooldown, want 1", got)
+	}
+}

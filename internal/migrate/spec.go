@@ -1,0 +1,117 @@
+package migrate
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"hetsim/internal/sim"
+)
+
+// Spec strings are the CLI / HTTP surface of Config: the -migrate flag on
+// hmexp/hmsim/hmserved and the ?migrate= query parameter both accept
+//
+//	""            — migration disabled (also "off", "none")
+//	"on"          — DefaultConfig ("default" works too)
+//	"k=v,k=v,..." — DefaultConfig with overrides
+//
+// with keys policy, epoch, pages, lock, minheat, hyst, cooldown, alpha,
+// high, low, wb. Config.Spec renders the canonical form back (every key,
+// sorted), so equal configurations always produce equal strings — the
+// serve layer folds it into figure cache keys.
+
+// ParseSpec parses a migration spec string. It returns (nil, nil) when the
+// spec disables migration, and a validated Config otherwise.
+func ParseSpec(s string) (*Config, error) {
+	switch strings.TrimSpace(strings.ToLower(s)) {
+	case "", "off", "none", "false", "0":
+		return nil, nil
+	case "on", "default", "true", "1":
+		cfg := DefaultConfig()
+		return &cfg, nil
+	}
+	cfg := DefaultConfig()
+	for _, kv := range strings.Split(s, ",") {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		k, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return nil, fmt.Errorf("migrate: bad spec element %q (want key=value)", kv)
+		}
+		k = strings.ToLower(strings.TrimSpace(k))
+		val = strings.TrimSpace(val)
+		var err error
+		switch k {
+		case "policy":
+			cfg.Policy = val
+		case "epoch":
+			err = specInt(val, func(n int64) { cfg.EpochCycles = sim.Time(n) })
+		case "pages":
+			err = specInt(val, func(n int64) { cfg.PagesPerEpoch = int(n) })
+		case "lock":
+			err = specInt(val, func(n int64) { cfg.LockCycles = sim.Time(n) })
+		case "minheat":
+			err = specInt(val, func(n int64) { cfg.MinHeat = uint64(n) })
+		case "hyst":
+			err = specFloat(val, func(f float64) { cfg.HysteresisFactor = f })
+		case "cooldown":
+			err = specInt(val, func(n int64) { cfg.CooldownEpochs = int(n) })
+		case "alpha":
+			err = specFloat(val, func(f float64) { cfg.EWMAAlpha = f })
+		case "high":
+			err = specFloat(val, func(f float64) { cfg.HighWatermark = f })
+		case "low":
+			err = specFloat(val, func(f float64) { cfg.LowWatermark = f })
+		case "wb":
+			err = specInt(val, func(n int64) { cfg.WriteBackPages = int(n) })
+		default:
+			return nil, fmt.Errorf("migrate: unknown spec key %q", k)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("migrate: bad value for %q: %w", k, err)
+		}
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &cfg, nil
+}
+
+func specInt(s string, set func(int64)) error {
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return err
+	}
+	set(n)
+	return nil
+}
+
+func specFloat(s string, set func(float64)) error {
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return err
+	}
+	set(f)
+	return nil
+}
+
+// Spec renders the canonical spec string for c: every key in a fixed
+// order, so equal configurations render identically. ParseSpec(c.Spec())
+// round-trips (MinHeat of a valid config is nonzero, so the string never
+// collides with the disabled forms).
+func (c Config) Spec() string {
+	pol := c.Policy
+	if pol == "" {
+		pol = PolicyCounter
+	}
+	return fmt.Sprintf(
+		"policy=%s,epoch=%d,pages=%d,lock=%d,minheat=%d,hyst=%s,cooldown=%d,alpha=%s,high=%s,low=%s,wb=%d",
+		pol, c.EpochCycles, c.PagesPerEpoch, c.LockCycles, c.MinHeat,
+		specG(c.HysteresisFactor), c.CooldownEpochs,
+		specG(c.EWMAAlpha), specG(c.HighWatermark), specG(c.LowWatermark),
+		c.WriteBackPages)
+}
+
+func specG(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }

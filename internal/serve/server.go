@@ -15,6 +15,7 @@ import (
 	"hetsim/internal/experiments"
 	"hetsim/internal/experiments/pool"
 	"hetsim/internal/metrics"
+	"hetsim/internal/migrate"
 	"hetsim/internal/telemetry"
 	"hetsim/internal/topology"
 )
@@ -38,6 +39,13 @@ type Config struct {
 	// for any lane count — lanes only change the daemon's wall-clock time
 	// per simulation. 0 or 1 means sequential.
 	Lanes int
+	// Migrate is the default migration spec (migrate.ParseSpec) for figure
+	// requests carrying no ?migrate= parameter; "" keeps each migration
+	// figure's defaults. hmserved validates it at startup.
+	Migrate string
+	// MigratePolicy is the default ?migrate-policy= ("counter" or "ewma");
+	// "" keeps the spec's classifier.
+	MigratePolicy string
 	// JobWorkers caps concurrently executing jobs (default 2).
 	JobWorkers int
 	// QueueCap bounds the number of queued-but-not-running jobs
@@ -551,6 +559,7 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 	opts := experiments.Options{
 		Cache: s.cache, Workers: s.cfg.SimWorkers, Remote: s.cfg.Remote,
 		Topology: s.cfg.Topology, Lanes: s.cfg.Lanes,
+		Migrate: s.cfg.Migrate, MigratePolicy: s.cfg.MigratePolicy,
 	}
 	q := r.URL.Query()
 	if v := q.Get("shrink"); v != "" {
@@ -578,6 +587,21 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		opts.Topology = v
+	}
+	if v := q.Get("migrate"); v != "" {
+		if _, err := migrate.ParseSpec(v); err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		opts.Migrate = v
+	}
+	if v := q.Get("migrate-policy"); v != "" {
+		if !migrate.KnownPolicy(v) {
+			writeError(w, http.StatusBadRequest,
+				fmt.Sprintf("unknown migrate policy %q (have %s)", v, strings.Join(migrate.PolicyNames(), " ")))
+			return
+		}
+		opts.MigratePolicy = v
 	}
 
 	_, root := s.requestTrace(r, "rpc.figure")
@@ -629,8 +653,21 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 // it are distinct submissions, which also lets callers force a re-render
 // through the result cache.
 func figureKey(name string, opts experiments.Options) string {
-	desc := fmt.Sprintf("figure|%s|shrink=%d|workloads=%s|workers=%d|topology=%s",
-		name, opts.Shrink, strings.Join(opts.Workloads, ","), opts.Workers, opts.Topology)
+	// The migration selection is canonicalized through the spec parser so
+	// equivalent spellings ("on" vs the expanded default config) share a
+	// key; an invalid spec (already rejected with 400 upstream) degrades to
+	// the raw string.
+	mig := opts.Migrate
+	if cfg, err := migrate.ParseSpec(opts.Migrate); err == nil {
+		if cfg == nil {
+			mig = ""
+		} else {
+			mig = cfg.Spec()
+		}
+	}
+	desc := fmt.Sprintf("figure|%s|shrink=%d|workloads=%s|workers=%d|topology=%s|migrate=%s|migrate-policy=%s",
+		name, opts.Shrink, strings.Join(opts.Workloads, ","), opts.Workers, opts.Topology,
+		mig, opts.MigratePolicy)
 	return hashString(desc)
 }
 

@@ -152,6 +152,12 @@ func (s *Space) MappedPages() int {
 // PageOf returns the virtual page number containing va.
 func (s *Space) PageOf(va uint64) uint64 { return va >> s.pageShift }
 
+// TableSpan returns the exclusive upper bound of virtual page numbers the
+// space has ever mapped (the page-table extent): iterating [0, TableSpan)
+// with PageZone visits every mapped page, including pages with no access
+// history.
+func (s *Space) TableSpan() uint64 { return uint64(len(s.table)) }
+
 // MapPage allocates a physical page in zone z and maps virtual page vpage
 // to it. It returns ErrZoneFull when z has no free pages and ErrMapped when
 // vpage already has a mapping.
