@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet check bench bench-compare bench-sweep bench-serve serve cluster cluster-smoke trace-smoke topology-smoke lanes-smoke migration-smoke clean
+.PHONY: all build test race vet check bench bench-compare bench-sweep bench-serve serve cluster cluster-smoke trace-smoke topology-smoke lanes-smoke migration-smoke tune-smoke clean
 
 all: build
 
@@ -20,15 +20,16 @@ test:
 # engine and the lane determinism suite (parallel in-run lanes with
 # cross-lane mailbox traffic), the worker-pool sweep executor, every
 # figure sweep dispatched through it, the daemon's job queue / two-tier
-# cache, the cluster coordinator's dispatch and heartbeat paths, and the
-# telemetry recorder fed by all of them in parallel.
+# cache, the cluster coordinator's dispatch and heartbeat paths, the
+# autotuner's multi-worker searches, and the telemetry recorder fed by all
+# of them in parallel.
 race:
-	$(GO) test -race ./internal/sim/ ./internal/experiments/... ./internal/serve/ ./internal/cluster/ ./internal/telemetry/ ./internal/metrics/
+	$(GO) test -race ./internal/sim/ ./internal/experiments/... ./internal/serve/ ./internal/cluster/ ./internal/telemetry/ ./internal/metrics/ ./internal/tune/
 
 vet:
 	$(GO) vet ./...
 
-check: build vet test race topology-smoke lanes-smoke migration-smoke
+check: build vet test race topology-smoke lanes-smoke migration-smoke tune-smoke
 
 # Tier-1 performance snapshot: the event-engine microbenchmarks plus the
 # figure-level simulator benchmarks, with allocation counts, captured to a
@@ -38,6 +39,7 @@ BENCH_SHA := $(shell git rev-parse --short HEAD)
 bench:
 	{ $(GO) test -bench 'BenchmarkEngine|BenchmarkLanedThroughput' -run - -benchmem ./internal/sim/ && \
 	  $(GO) test -bench 'BenchmarkMigrationEpoch' -run - -benchmem ./internal/migrate/ && \
+	  $(GO) test -bench 'BenchmarkTuneSearch' -run - -benchmem -benchtime 1x ./internal/tune/ && \
 	  $(GO) test -bench 'BenchmarkSimulatorThroughput' -run - -benchmem . && \
 	  $(GO) test -bench 'BenchmarkFig2aBandwidthSensitivity' -run - -benchmem -benchtime 1x . ; } \
 	  | tee bench_$(BENCH_SHA).txt
@@ -98,6 +100,13 @@ lanes-smoke:
 # CLIs reject invalid -migrate specs with exit 2.
 migration-smoke:
 	scripts/migration_smoke.sh
+
+# End-to-end autotuning check on real binaries: hmexp -tune reports are
+# byte-identical across processes, lane counts, worker counts, the daemon
+# (POST /v1/tune), and cluster dispatch; bad specs get 422 from the daemon
+# and exit 2 from the CLIs.
+tune-smoke:
+	scripts/tune_smoke.sh
 
 # End-to-end telemetry check: a tiny sweep through a 2-worker fleet with
 # -trace-out, then the emitted Chrome/Perfetto trace (trace-smoke.json)

@@ -14,6 +14,8 @@
 //	hmexp -cluster http://w1:8081,http://w2:8082 fig3   # shard sweeps across a fleet
 //	hmexp -cluster http://w1:8081,http://w2:8082 -cluster-verify fig3
 //	hmexp -trace-out sweep.json -shrink 16 fig2a     # Perfetto timeline of the run
+//	hmexp -tune -shrink 8 bfs                # autotune bfs's placement + migration config
+//	hmexp -tune -tune-strategy grid -tune-budget 8 -topology gh200 bfs
 //
 // Each figure's simulations run on a worker pool sized by -workers
 // (default: all CPUs); -parallel additionally renders whole figures
@@ -36,6 +38,16 @@
 // unless the two encodings are byte-identical. A dispatch summary is
 // printed to stderr on exit. -server and -cluster are mutually exclusive.
 //
+// With -tune, hmexp autotunes instead of rendering figures: for each
+// workload (positional args, or -workloads, default bfs) it searches the
+// joint placement-policy + migration-spec space (internal/tune) under
+// -tune-budget candidate evaluations and prints the winning configuration,
+// the oracle comparison, and the search trace. -tune-strategy picks the
+// searcher (successive halving by default; "grid" is the exhaustive
+// baseline). -server runs the search on the daemon via POST /v1/tune;
+// -cluster dispatches candidate evaluations across the fleet. Reports are
+// byte-identical on every path.
+//
 // With -trace-out, the run's execution telemetry (internal/telemetry) is
 // recorded and written as Chrome trace-event JSON, loadable in Perfetto
 // (ui.perfetto.dev): per-figure sweeps, cache-tier consultations, cluster
@@ -47,6 +59,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -91,30 +104,29 @@ func main() {
 		lanes     = flag.Int("lanes", 1, "parallel event lanes per simulation (output is byte-identical for any count)")
 		migSpec   = flag.String("migrate", "", "add a dynamic page-migration arm to figures that support one: off | on | key=value,...")
 		migPol    = flag.String("migrate-policy", "", "migration classifier: counter | ewma (overrides the -migrate spec)")
+		doTune    = flag.Bool("tune", false, "autotune placement policy + migration config per workload instead of rendering figures")
+		tuneBud   = flag.Int("tune-budget", heteromem.DefaultTuneBudget, "with -tune, max candidate evaluations per search")
+		tuneStrat = flag.String("tune-strategy", heteromem.DefaultTuneStrategy, "with -tune, search strategy: grid | halving")
 	)
 	flag.Parse()
-	if *topo != "" {
-		if _, err := heteromem.TopologyPreset(*topo); err != nil {
-			fmt.Fprintln(os.Stderr, "hmexp:", err)
-			os.Exit(2)
+	budgetSet, strategySet := false, false
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "tune-budget":
+			budgetSet = true
+		case "tune-strategy":
+			strategySet = true
 		}
-	}
-	if *lanes < 1 {
-		fmt.Fprintf(os.Stderr, "hmexp: -lanes must be >= 1 (got %d)\n", *lanes)
-		flag.Usage()
-		os.Exit(2)
-	}
-	if _, err := heteromem.ParseMigrationSpec(*migSpec); err != nil {
-		fmt.Fprintln(os.Stderr, "hmexp: -migrate:", err)
-		os.Exit(2)
-	}
-	if !heteromem.KnownMigrationPolicy(*migPol) {
-		fmt.Fprintf(os.Stderr, "hmexp: -migrate-policy: unknown policy %q (have %s)\n",
-			*migPol, strings.Join(heteromem.MigrationPolicies(), ", "))
+	})
+	if errs := validateFlags(*topo, *lanes, *migSpec, *migPol,
+		*doTune, *tuneBud, *tuneStrat, budgetSet, strategySet); len(errs) > 0 {
+		for _, err := range errs {
+			fmt.Fprintln(os.Stderr, "hmexp:", err)
+		}
 		os.Exit(2)
 	}
 	args := flag.Args()
-	if len(args) == 0 {
+	if len(args) == 0 && !*doTune {
 		fmt.Fprintf(os.Stderr, "usage: hmexp [flags] all | cdf | %s\n", strings.Join(heteromem.FigureIDs(), " | "))
 		os.Exit(2)
 	}
@@ -187,6 +199,27 @@ func main() {
 				fmt.Fprintln(os.Stderr, "hmexp: cluster-metrics:", err)
 			}
 		}()
+	}
+
+	// -tune replaces figure rendering with a policy-autotuning search per
+	// workload (positional args name workloads here, not figures).
+	if *doTune {
+		wls := args
+		if len(wls) == 0 {
+			wls = opts.Workloads
+		}
+		if len(wls) == 0 {
+			wls = []string{"bfs"}
+		}
+		err := runTune(root, wls, opts, coord, *server,
+			&http.Client{Timeout: *srvTO}, *srvRetry, *tuneStrat, *tuneBud)
+		if coord != nil {
+			fmt.Fprintln(os.Stderr, "hmexp:", coord.String())
+		}
+		if err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	// figure renders one figure: sharded across the fleet in cluster mode
@@ -341,6 +374,160 @@ func main() {
 		flushTrace()
 		os.Exit(1)
 	}
+}
+
+// validateFlags checks every spec-valued flag up front so one bad
+// invocation reports all of its problems — each error naming the valid
+// options — before exiting 2, matching hmserved's startup validation.
+// budgetSet/strategySet report whether the -tune-* flags were set
+// explicitly (flag.Visit), so setting them without -tune is rejected
+// rather than silently ignored.
+func validateFlags(topo string, lanes int, migSpec, migPol string,
+	tune bool, budget int, strategy string, budgetSet, strategySet bool) []error {
+	var errs []error
+	if topo != "" {
+		if _, err := heteromem.TopologyPreset(topo); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	if lanes < 1 {
+		errs = append(errs, fmt.Errorf("-lanes must be >= 1 (got %d)", lanes))
+	}
+	if _, err := heteromem.ParseMigrationSpec(migSpec); err != nil {
+		errs = append(errs, fmt.Errorf("-migrate: %w", err))
+	}
+	if !heteromem.KnownMigrationPolicy(migPol) {
+		errs = append(errs, fmt.Errorf("-migrate-policy: unknown policy %q (have %s)",
+			migPol, strings.Join(heteromem.MigrationPolicies(), ", ")))
+	}
+	if !tune && (budgetSet || strategySet) {
+		errs = append(errs, fmt.Errorf("-tune-budget and -tune-strategy require -tune"))
+	}
+	if tune {
+		if budget < 1 {
+			errs = append(errs, fmt.Errorf("-tune-budget must be >= 1 (got %d)", budget))
+		}
+		if !heteromem.KnownTuneStrategy(strategy) {
+			errs = append(errs, fmt.Errorf("-tune-strategy: unknown strategy %q (have %s)",
+				strategy, strings.Join(heteromem.TuneStrategies(), ", ")))
+		}
+	}
+	return errs
+}
+
+// runTune autotunes each workload's placement + migration configuration
+// and prints the winning config, the oracle comparison, and the search
+// trace. With -server the search runs on the daemon (POST /v1/tune); with
+// -cluster, locally with cache-missing evaluations dispatched to the
+// fleet. Every path prints byte-identical reports (sweep statistics go to
+// stderr: they vary with cache state, the report does not).
+func runTune(root *telemetry.Span, wls []string, opts heteromem.Options, coord *cluster.Coordinator,
+	server string, client *http.Client, retries int, strategy string, budget int) error {
+	for _, wl := range wls {
+		sp := root.Child("tune.workload")
+		if sp != nil {
+			sp.SetAttr("workload", wl)
+		}
+		prob := heteromem.TuneProblem{Workload: wl, Topology: opts.Topology, Shrink: opts.Shrink}
+		var (
+			rep heteromem.TuneReport
+			err error
+		)
+		if server != "" {
+			var r *heteromem.TuneReport
+			r, err = fetchTune(sp, server, serve.TuneRequest{
+				Problem: prob, Strategy: strategy, Budget: budget, Workers: opts.Workers,
+			}, client, retries)
+			if r != nil {
+				rep = *r
+			}
+		} else {
+			to := heteromem.TuneOptions{
+				Strategy: strategy, Budget: budget,
+				Workers: opts.Workers, Lanes: opts.Lanes, Span: sp,
+			}
+			if coord != nil {
+				to.Remote = coord.Run
+			}
+			rep, err = heteromem.Tune(prob, to)
+		}
+		sp.End()
+		if err != nil {
+			return fmt.Errorf("tune %s: %w", wl, err)
+		}
+		fmt.Print(rep.Text())
+		fmt.Println()
+		if rep.Sweep.Total() > 0 {
+			fmt.Fprintln(os.Stderr, "hmexp: tune sweep:", rep.Sweep)
+		}
+	}
+	return nil
+}
+
+// fetchTune submits one tuning problem to an hmserved daemon's POST
+// /v1/tune endpoint. Retry semantics match fetchFigure: transport errors
+// and 5xx retry with backoff, 4xx (bad specs) fail immediately.
+func fetchTune(sp *telemetry.Span, base string, treq serve.TuneRequest, client *http.Client, retries int) (*heteromem.TuneReport, error) {
+	u := strings.TrimSuffix(base, "/") + "/v1/tune"
+	body, err := json.Marshal(treq)
+	if err != nil {
+		return nil, err
+	}
+	var lastErr error
+	for attempt := 0; attempt <= retries; attempt++ {
+		if attempt > 0 {
+			delay := 500 * time.Millisecond << (attempt - 1)
+			if delay > 5*time.Second {
+				delay = 5 * time.Second
+			}
+			fmt.Fprintf(os.Stderr, "hmexp: tune %s: retrying in %s: %v\n", treq.Workload, delay, lastErr)
+			time.Sleep(delay)
+		}
+		rep, retryable, err := postTuneOnce(sp, client, u, body)
+		if err == nil {
+			return rep, nil
+		}
+		if !retryable {
+			return nil, err
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("after %d attempts: %w", retries+1, lastErr)
+}
+
+// postTuneOnce performs a single tune submission; retryable reports
+// whether the failure is transient.
+func postTuneOnce(sp *telemetry.Span, client *http.Client, url string, body []byte) (rep *heteromem.TuneReport, retryable bool, err error) {
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return nil, false, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	telemetry.InjectHeader(req.Header, sp)
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, true, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, true, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		err = fmt.Errorf("server: %s", resp.Status)
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			err = fmt.Errorf("server: %s (%s)", e.Error, resp.Status)
+		}
+		return nil, resp.StatusCode >= 500, err
+	}
+	rep = new(heteromem.TuneReport)
+	if err := json.Unmarshal(data, rep); err != nil {
+		return nil, false, fmt.Errorf("decoding tune response: %w", err)
+	}
+	return rep, false, nil
 }
 
 // flushTrace dumps the collected telemetry spans to -trace-out; a no-op

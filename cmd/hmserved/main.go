@@ -19,6 +19,7 @@
 //	GET    /v1/jobs/{id}     job status + results
 //	DELETE /v1/jobs/{id}     cancel a queued job
 //	GET    /v1/figures/{id}  reproduce a paper figure (?shrink=&workloads=&workers=&topology=)
+//	POST   /v1/tune          autotune a workload's placement + migration config (internal/tune)
 //	GET    /healthz          liveness (503 while draining)
 //	GET    /metrics          Prometheus text metrics
 //	GET    /debug/vars       the same counters, expvar-style JSON

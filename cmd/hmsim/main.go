@@ -49,23 +49,16 @@ func main() {
 		migPol   = flag.String("migrate-policy", "", "migration classifier: counter | ewma (overrides the -migrate spec)")
 	)
 	flag.Parse()
-	if *lanes < 1 {
-		fmt.Fprintf(os.Stderr, "hmsim: -lanes must be >= 1 (got %d)\n", *lanes)
-		flag.Usage()
+	if errs := validateFlags(*policy, *dataset, *topo, *lanes, *migSpec, *migPol); len(errs) > 0 {
+		for _, err := range errs {
+			fmt.Fprintln(os.Stderr, "hmsim:", err)
+		}
 		os.Exit(2)
 	}
-	migCfg, err := migrationConfig(*migSpec, *migPol)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "hmsim:", err)
-		os.Exit(2)
-	}
+	migCfg, _ := migrationConfig(*migSpec, *migPol)
 	mem := memsys.Table1Config()
 	if *topo != "" {
-		t, err := heteromem.TopologyPreset(*topo)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "hmsim:", err)
-			os.Exit(2)
-		}
+		t, _ := heteromem.TopologyPreset(*topo)
 		mem = t.MemsysConfig()
 	}
 	stopProf, err := prof.Start(*cpuProf, *memProf)
@@ -174,6 +167,32 @@ func main() {
 	}
 }
 
+// validateFlags checks every spec-valued flag up front so one bad
+// invocation reports all of its problems — each error naming the valid
+// options — before exiting 2, matching hmexp and hmserved. Run-time
+// failures (missing files, unknown workloads) still exit 1.
+func validateFlags(policy, dataset, topo string, lanes int, migSpec, migPol string) []error {
+	var errs []error
+	if _, err := policyByName(policy); err != nil {
+		errs = append(errs, err)
+	}
+	if _, err := datasetByName(dataset); err != nil {
+		errs = append(errs, err)
+	}
+	if topo != "" {
+		if _, err := heteromem.TopologyPreset(topo); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	if lanes < 1 {
+		errs = append(errs, fmt.Errorf("-lanes must be >= 1 (got %d)", lanes))
+	}
+	if _, err := migrationConfig(migSpec, migPol); err != nil {
+		errs = append(errs, err)
+	}
+	return errs
+}
+
 // migrationConfig resolves the -migrate spec and -migrate-policy override
 // to an engine configuration (nil = migration disabled).
 func migrationConfig(spec, policy string) (*heteromem.MigrationConfig, error) {
@@ -254,7 +273,7 @@ func policyByName(name string) (heteromem.PolicyKind, error) {
 	case "annotated", "hinted":
 		return heteromem.Annotated, nil
 	default:
-		return 0, fmt.Errorf("unknown policy %q", name)
+		return 0, fmt.Errorf("unknown policy %q (have local interleave bw-aware ratio oracle annotated)", name)
 	}
 }
 
@@ -262,12 +281,14 @@ func datasetByName(name string) (heteromem.Dataset, error) {
 	if name == "train" || name == "" {
 		return heteromem.TrainDataset(), nil
 	}
+	names := []string{"train"}
 	for _, v := range heteromem.DatasetVariants() {
 		if v.Name == name {
 			return v, nil
 		}
+		names = append(names, v.Name)
 	}
-	return heteromem.Dataset{}, fmt.Errorf("unknown dataset %q", name)
+	return heteromem.Dataset{}, fmt.Errorf("unknown dataset %q (have %s)", name, strings.Join(names, " "))
 }
 
 func describeWorkload(name string) string {

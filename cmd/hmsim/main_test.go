@@ -1,0 +1,31 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateFlags(t *testing.T) {
+	if errs := validateFlags("bw-aware", "train", "", 1, "", ""); len(errs) != 0 {
+		t.Errorf("default config rejected: %v", errs)
+	}
+	if errs := validateFlags("oracle", "shifted", "gh200", 4, "on", "ewma"); len(errs) != 0 {
+		t.Errorf("valid config rejected: %v", errs)
+	}
+	if errs := validateFlags("fifo", "huge", "vax", 0, "epoch=-1", "no-such-policy"); len(errs) != 5 {
+		// The migrate spec and policy share one resolver, so the pair counts
+		// once; every other bad flag reports its own error.
+		t.Errorf("got %d errors, want 5: %v", len(errs), errs)
+	}
+}
+
+// TestSpecErrorsNameOptions: rejection messages must list the valid
+// options, so exit-2 failures are self-explanatory.
+func TestSpecErrorsNameOptions(t *testing.T) {
+	if _, err := policyByName("fifo"); err == nil || !strings.Contains(err.Error(), "bw-aware") {
+		t.Errorf("policy error does not list options: %v", err)
+	}
+	if _, err := datasetByName("huge"); err == nil || !strings.Contains(err.Error(), "train") {
+		t.Errorf("dataset error does not list options: %v", err)
+	}
+}

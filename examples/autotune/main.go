@@ -1,16 +1,16 @@
-// Autotune: the full §5 profile-driven annotation pipeline, end to end.
+// Autotune: search the placement-policy space instead of hand-picking.
 //
-//  1. Profile the application once on a training input (the instrumented-
-//     compiler pass of §5.1): per-structure hotness and sizes.
+// The paper's §5 pipeline derives one annotated configuration from a
+// profile. The tune subsystem (internal/tune, surfaced as heteromem.Tune)
+// goes further: it searches the joint space of placement policy (BW-AWARE,
+// INTERLEAVE, fixed ratios, annotated placement at several hint
+// thresholds) and dynamic-migration configuration with a successive-
+// halving search, and reports how much of the static-oracle gap the
+// winner recovers. Every candidate evaluation flows through the shared
+// result cache, and the search is deterministic: same problem, same
+// report, on any machine.
 //
-//  2. Derive placement hints with GetAllocation (§5.3) for a capacity-
-//     constrained machine (BO holds only 10% of the footprint).
-//
-//  3. Run the annotated program and compare against INTERLEAVE, BW-AWARE,
-//     and the oracle (Figure 10's comparison) — on a *different* input than
-//     the one profiled, demonstrating Figure 11's robustness.
-//
-//     go run ./examples/autotune [workload]
+//	go run ./examples/autotune [workload [topology]]
 package main
 
 import (
@@ -21,67 +21,35 @@ import (
 	"hetsim"
 )
 
-const (
-	shrink   = 4
-	capacity = 0.10
-)
-
 func main() {
 	workload := "xsbench"
 	if len(os.Args) > 1 {
 		workload = os.Args[1]
 	}
-	train := heteromem.TrainDataset()
-	eval := heteromem.DatasetVariants()[0] // unseen input
+	topo := "" // the paper's Table 1 machine; try "gh200" or "cxl-expansion"
+	if len(os.Args) > 2 {
+		topo = os.Args[2]
+	}
 
-	// Step 1: profile on the training input.
-	prof, err := heteromem.Profile(workload, train, shrink)
+	rep, err := heteromem.Tune(heteromem.TuneProblem{
+		Workload: workload,
+		Topology: topo,
+		Shrink:   8, // quick mode; drop for full fidelity
+	}, heteromem.TuneOptions{
+		Strategy: "halving", // coarse rungs first, survivors re-measured finer
+		Budget:   12,        // candidate evaluations across all rungs
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("1) profiled %s on %q: %d structures, %d DRAM accesses\n",
-		workload, train.Name, len(prof.Allocations), heteromem.PageCDF(prof).Total)
-	for _, st := range heteromem.StructureProfile(prof) {
-		fmt.Printf("     %-22s %6d KB  %5.1f%% of traffic\n",
-			st.Alloc.Label, st.Alloc.Size>>10, st.AccessFrac*100)
-	}
 
-	// Step 2: derive hints for the evaluation input's sizes.
-	hints, err := heteromem.AnnotatedHints(workload, train, eval, capacity, shrink)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("\n2) GetAllocation hints at %.0f%% BO capacity: %v\n", capacity*100, hints)
+	// The report carries the winner, the tuned/default/oracle comparison,
+	// and the full search trace; Text renders all of it.
+	fmt.Print(rep.Text())
 
-	// Step 3: head-to-head on the unseen input.
-	evalProf, err := heteromem.Profile(workload, eval, shrink)
-	if err != nil {
-		log.Fatal(err)
-	}
-	run := func(pk heteromem.PolicyKind) float64 {
-		rc := heteromem.RunConfig{
-			Workload: workload, Dataset: eval, Policy: pk,
-			BOCapacityFrac: capacity, Shrink: shrink,
-			ProfileCounts: evalProf.PageCounts,
-		}
-		if pk == heteromem.Annotated {
-			rc.Hints = hints
-		}
-		res, err := heteromem.Run(rc)
-		if err != nil {
-			log.Fatal(err)
-		}
-		return res.Perf
-	}
-	inter := run(heteromem.Interleave)
-	bw := run(heteromem.BWAware)
-	ann := run(heteromem.Annotated)
-	orc := run(heteromem.Oracle)
-
-	fmt.Printf("\n3) evaluation on unseen input %q (BO = %.0f%% of footprint):\n", eval.Name, capacity*100)
-	fmt.Printf("     INTERLEAVE  %8.1f  (1.00x)\n", inter)
-	fmt.Printf("     BW-AWARE    %8.1f  (%.2fx)\n", bw, bw/inter)
-	fmt.Printf("     ANNOTATED   %8.1f  (%.2fx)  <- profile-driven, no migration\n", ann, ann/inter)
-	fmt.Printf("     ORACLE      %8.1f  (%.2fx)  <- perfect knowledge upper bound\n", orc, orc/inter)
-	fmt.Printf("\nannotated placement reaches %.0f%% of oracle on an input it never saw.\n", ann/orc*100)
+	fmt.Printf("\nthe tuned config (%s) recovers %.0f%% of the oracle's edge\n",
+		rep.Winner, rep.GapRecovered*100)
+	fmt.Printf("over default BW-AWARE placement, using %d evaluations\n", rep.Evals)
+	fmt.Printf("(%d served from cache: re-tuning a neighborhood is nearly free).\n",
+		rep.Sweep.CacheHits)
 }

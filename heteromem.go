@@ -40,6 +40,7 @@ import (
 	"hetsim/internal/profiler"
 	"hetsim/internal/topology"
 	"hetsim/internal/trace"
+	"hetsim/internal/tune"
 	"hetsim/internal/vm"
 	"hetsim/internal/workloads"
 )
@@ -215,6 +216,42 @@ func ComputeHints(sizes []uint64, hotness []float64, boCapacityBytes uint64, boS
 	}
 	return core.ComputeHints(infos, boCapacityBytes, boShare)
 }
+
+// Policy autotuning (internal/tune): a deterministic search over the joint
+// placement-policy + migration-spec space for one workload on one
+// topology. Importing heteromem also registers the "figtune" figure (the
+// oracle-vs-tuned gap study) with FigureIDs.
+type (
+	// TuneProblem names the tuning target: workload, topology preset,
+	// dataset, capacity constraint, fidelity, and sampling seed.
+	TuneProblem = tune.Problem
+	// TuneParams is one candidate configuration in the search space.
+	TuneParams = tune.Params
+	// TuneOptions tunes the search itself: strategy, budget, workers,
+	// lanes, caches, and cluster dispatch.
+	TuneOptions = tune.Options
+	// TuneReport is the search outcome: the winner, the search trace, and
+	// the tuned/default/oracle comparison.
+	TuneReport = tune.Report
+)
+
+// Search defaults shared by the CLI flags and the serving layer.
+const (
+	DefaultTuneStrategy = tune.DefaultStrategy
+	DefaultTuneBudget   = tune.DefaultBudget
+)
+
+// Tune searches the placement-policy space for the problem's best
+// configuration. Reports are byte-identical for any worker or lane count,
+// fresh or warm caches, and local or cluster dispatch.
+func Tune(p TuneProblem, o TuneOptions) (TuneReport, error) { return tune.Run(p, o) }
+
+// TuneStrategies lists the built-in search strategies.
+func TuneStrategies() []string { return tune.Strategies() }
+
+// KnownTuneStrategy reports whether name is a built-in search strategy
+// ("" selects the default).
+func KnownTuneStrategy(name string) bool { return tune.Known(name) }
 
 // Report flattens a Result into a machine-readable summary.
 type Report = experiments.Report

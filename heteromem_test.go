@@ -44,8 +44,12 @@ func TestFacadeWorkloadsAndDatasets(t *testing.T) {
 	if len(DatasetVariants()) < 3 {
 		t.Fatal("missing dataset variants")
 	}
-	if len(FigureIDs()) != 20 {
-		t.Fatalf("FigureIDs = %d, want 20", len(FigureIDs()))
+	// 20 built-ins plus figtune, registered by the tune subsystem.
+	if len(FigureIDs()) != 21 {
+		t.Fatalf("FigureIDs = %d, want 21", len(FigureIDs()))
+	}
+	if FigureIDs()[20] != "figtune" {
+		t.Fatalf("FigureIDs[20] = %q, want figtune", FigureIDs()[20])
 	}
 }
 

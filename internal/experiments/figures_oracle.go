@@ -284,56 +284,5 @@ func Fig11(opts Options) (Figure, error) {
 	}, nil
 }
 
-// All runs every figure and table reproduction in paper order.
-func All(opts Options) ([]Figure, error) {
-	runs := []func(Options) (Figure, error){
-		Table1, Fig1, Fig2a, Fig2b, Fig3, Fig4, Fig5, Fig6, Fig7, Fig8, Fig10, Fig11,
-		FigMigration, FigZones, FigEnergy, FigPhase, FigTLB, FigCPU, FigTopology, FigMigTopo,
-	}
-	var out []Figure
-	for _, f := range runs {
-		fig, err := f(opts)
-		if err != nil {
-			return out, err
-		}
-		out = append(out, fig)
-	}
-	return out, nil
-}
-
-// ByID returns the reproduction function for a figure/table identifier.
-func ByID(id string) (func(Options) (Figure, error), bool) {
-	m := map[string]func(Options) (Figure, error){
-		"table1":     Table1,
-		"fig1":       Fig1,
-		"fig2a":      Fig2a,
-		"fig2b":      Fig2b,
-		"fig3":       Fig3,
-		"fig4":       Fig4,
-		"fig5":       Fig5,
-		"fig6":       Fig6,
-		"fig7":       Fig7,
-		"fig8":       Fig8,
-		"fig10":      Fig10,
-		"fig11":      Fig11,
-		"figmig":     FigMigration,
-		"figzones":   FigZones,
-		"figenergy":  FigEnergy,
-		"figphase":   FigPhase,
-		"figtlb":     FigTLB,
-		"figcpu":     FigCPU,
-		"figtopo":    FigTopology,
-		"figmigtopo": FigMigTopo,
-	}
-	f, ok := m[id]
-	return f, ok
-}
-
-// IDs lists the reproducible figure/table identifiers in paper order.
-func IDs() []string {
-	return []string{
-		"table1", "fig1", "fig2a", "fig2b", "fig3", "fig4", "fig5", "fig6",
-		"fig7", "fig8", "fig10", "fig11", "figmig", "figzones", "figenergy", "figphase", "figtlb", "figcpu",
-		"figtopo", "figmigtopo",
-	}
-}
+// All, ByID, and IDs moved to registry.go, which folds in figure
+// reproductions registered by packages layered above this one.

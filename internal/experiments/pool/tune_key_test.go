@@ -1,0 +1,89 @@
+// Tune cache-key tests live here, in package pool_test, like the topology
+// and migration ones (see topology_key_test.go): the autotuner
+// (internal/tune) walks a space of hint-threshold and migration-spec
+// variations, and its cache-hit economy depends on each distinct candidate
+// keying its own entry while equivalent spellings collapse onto one.
+package pool_test
+
+import (
+	"testing"
+
+	"hetsim/internal/core"
+	"hetsim/internal/experiments"
+	"hetsim/internal/migrate"
+)
+
+// TestHintVariantCacheKeys: annotated candidates differing only in their
+// placement hints (the tuner's hint-threshold axis) are different
+// simulations and need distinct keys; equal hint vectors share one; and
+// hints left on a config whose policy ignores them must not fragment the
+// cache.
+func TestHintVariantCacheKeys(t *testing.T) {
+	base := experiments.RunConfig{Workload: "bfs", Policy: experiments.HintedPolicy, Shrink: 16}
+
+	with := func(hints ...core.Hint) experiments.RunConfig {
+		rc := base
+		rc.Hints = hints
+		return rc
+	}
+
+	a := key(t, with(core.HintBO, core.HintCO))
+	b := key(t, with(core.HintCO, core.HintBO))
+	if a == b {
+		t.Error("different hint vectors share a cache key")
+	}
+	if again := key(t, with(core.HintBO, core.HintCO)); again != a {
+		t.Error("equal hint vectors produced different keys")
+	}
+	if c := key(t, with(core.HintBO, core.HintBW)); c == a || c == b {
+		t.Error("hint variants collided on one key")
+	}
+
+	// A BW-AWARE run ignores hints, so carrying a leftover vector must not
+	// split its cache entry.
+	bw := base
+	bw.Policy = experiments.BWAwarePolicy
+	bwHints := bw
+	bwHints.Hints = []core.Hint{core.HintBO}
+	if key(t, bw) != key(t, bwHints) {
+		t.Error("leftover hints fragment the cache for a policy that ignores them")
+	}
+}
+
+// TestMigrationSpecCacheKeys: the tuner's migration axis is spelled as
+// ParseSpec strings; distinct specs must key distinct entries, and the
+// equivalent spellings of the defaults ("on", "policy=counter", and an
+// explicit DefaultConfig) must share one.
+func TestMigrationSpecCacheKeys(t *testing.T) {
+	base := experiments.RunConfig{Workload: "bfs", Policy: experiments.BWAwarePolicy, Shrink: 16}
+
+	withSpec := func(spec string) experiments.RunConfig {
+		cfg, err := migrate.ParseSpec(spec)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", spec, err)
+		}
+		rc := base
+		rc.Migration = cfg
+		return rc
+	}
+
+	specs := []string{"off", "on", "epoch=2500,minheat=8", "policy=ewma"}
+	seen := map[string]string{}
+	for _, s := range specs {
+		k := key(t, withSpec(s))
+		if prev, dup := seen[k]; dup {
+			t.Errorf("specs %q and %q collided on cache key %s", prev, s, k)
+		}
+		seen[k] = s
+	}
+
+	if key(t, withSpec("on")) != key(t, withSpec("policy=counter")) {
+		t.Error(`"on" and "policy=counter" are the same engine config but keyed differently`)
+	}
+	def := migrate.DefaultConfig()
+	explicit := base
+	explicit.Migration = &def
+	if key(t, withSpec("on")) != key(t, explicit) {
+		t.Error(`"on" and an explicit DefaultConfig are keyed differently`)
+	}
+}

@@ -1,0 +1,96 @@
+package experiments
+
+import "fmt"
+
+// Figure reproductions live in two tiers: the built-ins below (the paper's
+// tables and figures plus this repo's extension studies), and extensions
+// registered at init time by packages layered above experiments —
+// internal/tune's figtune is the first. ByID, IDs, and All consult both,
+// so every surface that renders figures (hmexp, hmserved's
+// /v1/figures/{id}, heteromem.Figure) picks registered extensions up
+// automatically once their package is linked in.
+
+var builtinOrder = []string{
+	"table1", "fig1", "fig2a", "fig2b", "fig3", "fig4", "fig5", "fig6",
+	"fig7", "fig8", "fig10", "fig11", "figmig", "figzones", "figenergy",
+	"figphase", "figtlb", "figcpu", "figtopo", "figmigtopo",
+}
+
+func builtinFigs() map[string]func(Options) (Figure, error) {
+	return map[string]func(Options) (Figure, error){
+		"table1":     Table1,
+		"fig1":       Fig1,
+		"fig2a":      Fig2a,
+		"fig2b":      Fig2b,
+		"fig3":       Fig3,
+		"fig4":       Fig4,
+		"fig5":       Fig5,
+		"fig6":       Fig6,
+		"fig7":       Fig7,
+		"fig8":       Fig8,
+		"fig10":      Fig10,
+		"fig11":      Fig11,
+		"figmig":     FigMigration,
+		"figzones":   FigZones,
+		"figenergy":  FigEnergy,
+		"figphase":   FigPhase,
+		"figtlb":     FigTLB,
+		"figcpu":     FigCPU,
+		"figtopo":    FigTopology,
+		"figmigtopo": FigMigTopo,
+	}
+}
+
+// Registered extensions, in registration order. Written only from init
+// functions (before main starts), read-only afterwards, so no locking.
+var (
+	extOrder []string
+	extFigs  = map[string]func(Options) (Figure, error){}
+)
+
+// Register adds a figure reproduction under id, making it reachable from
+// ByID, IDs, and All. It is intended for init-time use by packages built
+// on top of experiments (which cannot live here without an import cycle);
+// a duplicate or built-in id panics — a programming error caught at
+// process start.
+func Register(id string, fn func(Options) (Figure, error)) {
+	if _, dup := builtinFigs()[id]; dup {
+		panic(fmt.Sprintf("experiments: Register(%q) collides with a built-in figure", id))
+	}
+	if _, dup := extFigs[id]; dup {
+		panic(fmt.Sprintf("experiments: Register(%q) called twice", id))
+	}
+	extFigs[id] = fn
+	extOrder = append(extOrder, id)
+}
+
+// All runs every figure and table reproduction: the built-ins in paper
+// order, then registered extensions in registration order.
+func All(opts Options) ([]Figure, error) {
+	var out []Figure
+	for _, id := range IDs() {
+		fn, _ := ByID(id)
+		fig, err := fn(opts)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, fig)
+	}
+	return out, nil
+}
+
+// ByID returns the reproduction function for a figure/table identifier.
+func ByID(id string) (func(Options) (Figure, error), bool) {
+	if f, ok := builtinFigs()[id]; ok {
+		return f, true
+	}
+	f, ok := extFigs[id]
+	return f, ok
+}
+
+// IDs lists the reproducible figure/table identifiers: built-ins in paper
+// order, then registered extensions.
+func IDs() []string {
+	ids := append([]string(nil), builtinOrder...)
+	return append(ids, extOrder...)
+}

@@ -11,6 +11,7 @@ import (
 	"hetsim/internal/experiments"
 	"hetsim/internal/metrics"
 	"hetsim/internal/telemetry"
+	"hetsim/internal/tune"
 )
 
 // JobState is the lifecycle of a submitted job.
@@ -42,6 +43,7 @@ type Job struct {
 	// Exactly one payload is set on success, matching Kind.
 	Results []experiments.Result
 	Figure  *FigureResult
+	Tune    *tune.Report
 
 	exec func(ctx context.Context, j *Job) error
 	done chan struct{}
@@ -66,6 +68,7 @@ type jobView struct {
 	Sweep     *metrics.SweepStats  `json:"sweep,omitempty"`
 	Results   []experiments.Result `json:"results,omitempty"`
 	Figure    *FigureResult        `json:"figure,omitempty"`
+	Tune      *tune.Report         `json:"tune,omitempty"`
 }
 
 // view renders the job for JSON responses. Caller holds s.mu.
@@ -89,6 +92,7 @@ func (j *Job) view(withPayload bool) jobView {
 	if withPayload && j.State == JobDone {
 		v.Results = j.Results
 		v.Figure = j.Figure
+		v.Tune = j.Tune
 	}
 	return v
 }

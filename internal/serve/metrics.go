@@ -53,6 +53,9 @@ func (s *Server) snapshot() snapshot {
 		"sim_lane_fallbacks_total": float64(sweep.LaneFallbacks),
 		"sim_migrated_pages_total": float64(sweep.MigratedPages),
 
+		"tune_jobs_total":  float64(s.tuneRuns),
+		"tune_evals_total": float64(s.tuneEvals),
+
 		"cache_mem_entries": float64(s.cache.Len()),
 	}
 	if s.draining {

@@ -18,6 +18,7 @@ import (
 	"hetsim/internal/migrate"
 	"hetsim/internal/telemetry"
 	"hetsim/internal/topology"
+	"hetsim/internal/tune"
 )
 
 // Config tunes a Server.
@@ -131,12 +132,16 @@ type Server struct {
 	jobsDeduped   int
 	sweepTotal    metrics.SweepStats
 	httpRequests  uint64
+	tuneRuns      int
+	tuneEvals     int
 
 	// Test seams: runSweep executes a config grid, figure reproduces a
-	// figure. Defaults run real simulations through the server cache. The
-	// span is the job's telemetry scope (nil when the request is untraced).
+	// figure, tune runs a policy search. Defaults run real simulations
+	// through the server cache. The span is the job's telemetry scope (nil
+	// when the request is untraced).
 	runSweep func(ctx context.Context, sp *telemetry.Span, cfgs []experiments.RunConfig) ([]experiments.Result, metrics.SweepStats, error)
 	figure   func(ctx context.Context, sp *telemetry.Span, id string, opts experiments.Options) (experiments.Figure, error)
+	tune     func(ctx context.Context, sp *telemetry.Span, p tune.Problem, o tune.Options) (tune.Report, error)
 }
 
 // New builds a Server, opening the disk cache and starting the job
@@ -185,6 +190,10 @@ func New(cfg Config) (*Server, error) {
 		}
 		opts.Span = sp
 		return fn(opts)
+	}
+	s.tune = func(_ context.Context, sp *telemetry.Span, p tune.Problem, o tune.Options) (tune.Report, error) {
+		o.Span = sp
+		return tune.Run(p, o)
 	}
 	s.rootCtx, s.rootCancel = context.WithCancel(context.Background())
 	s.workersWG.Add(cfg.JobWorkers)
@@ -261,6 +270,7 @@ func (s *Server) buildMux() {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
 	mux.HandleFunc("GET /v1/figures/{name}", s.handleFigure)
+	mux.HandleFunc("POST /v1/tune", s.handleTune)
 	mux.HandleFunc("POST /v1/cluster/run", s.handleClusterRun)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)

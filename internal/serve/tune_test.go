@@ -1,0 +1,108 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"hetsim/internal/experiments"
+	"hetsim/internal/tune"
+)
+
+// TestTuneEndToEnd: POST /v1/tune runs a search on the daemon, repeats
+// dedupe onto the finished job byte-identically, the tune counters land on
+// /metrics, and the daemon's report matches a local tune.Run wire-exactly
+// (the acceptance property: -server changes where the search runs, never
+// what it returns).
+func TestTuneEndToEnd(t *testing.T) {
+	_, ts := testServer(t, Config{CacheDir: t.TempDir()})
+	body := `{"workload":"bfs","shrink":64,"budget":5}`
+
+	code, first := post(t, ts.URL+"/v1/tune", body)
+	if code != http.StatusOK {
+		t.Fatalf("tune request: status %d, body %s", code, first)
+	}
+	var rep tune.Report
+	if err := json.Unmarshal(first, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Winner == "" || rep.Evals == 0 {
+		t.Fatalf("empty report: %+v", rep)
+	}
+	if rep.Strategy != tune.DefaultStrategy {
+		t.Errorf("default strategy = %q, want %q", rep.Strategy, tune.DefaultStrategy)
+	}
+
+	// Idempotent repeat: same key, deduped, byte-identical.
+	code, second := post(t, ts.URL+"/v1/tune", body)
+	if code != http.StatusOK {
+		t.Fatalf("repeat tune request: status %d", code)
+	}
+	if !bytes.Equal(first, second) {
+		t.Error("idempotent tune repeat not byte-identical")
+	}
+	if d := metric(t, ts, "jobs_deduped_total"); d != 1 {
+		t.Errorf("jobs_deduped_total = %v, want 1", d)
+	}
+	if runs := metric(t, ts, "tune_jobs_total"); runs != 1 {
+		t.Errorf("tune_jobs_total = %v, want 1", runs)
+	}
+	if evals := metric(t, ts, "tune_evals_total"); evals != float64(rep.Evals) {
+		t.Errorf("tune_evals_total = %v, want %d", evals, rep.Evals)
+	}
+
+	// The daemon's answer is the local library answer, byte for byte.
+	local, err := tune.Run(tune.Problem{Workload: "bfs", Shrink: 64}, tune.Options{
+		Budget: 5, Cache: experiments.NewResultCache(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := json.Marshal(local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSuffix(string(first), "\n"); got != string(want) {
+		t.Errorf("daemon report differs from local tune.Run\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestTuneRejectsBadSpecs: semantic errors answer 422 with a message
+// naming the valid options; malformed JSON answers 400.
+func TestTuneRejectsBadSpecs(t *testing.T) {
+	_, ts := testServer(t, Config{CacheDir: t.TempDir()})
+	cases := []struct {
+		name string
+		body string
+		want string // substring of the error
+	}{
+		{"unknown workload", `{"workload":"nope"}`, "nope"},
+		{"unknown topology", `{"workload":"bfs","topology":"vax"}`, "vax"},
+		{"unknown dataset", `{"workload":"bfs","dataset":"huge"}`, "have train"},
+		{"unknown strategy", `{"workload":"bfs","strategy":"anneal"}`, "have grid halving"},
+		{"bad budget", `{"workload":"bfs","budget":-1}`, "budget"},
+		{"bad capacity", `{"workload":"bfs","capacity":2}`, "capacity"},
+		{"bad workers", `{"workload":"bfs","workers":-1}`, "workers"},
+	}
+	for _, tc := range cases {
+		code, body := post(t, ts.URL+"/v1/tune", tc.body)
+		if code != http.StatusUnprocessableEntity {
+			t.Errorf("%s: status %d, want 422 (body %s)", tc.name, code, body)
+			continue
+		}
+		var e struct {
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(body, &e); err != nil || !strings.Contains(e.Error, tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, e.Error, tc.want)
+		}
+	}
+	if code, _ := post(t, ts.URL+"/v1/tune", `{"workload":`); code != http.StatusBadRequest {
+		t.Errorf("malformed JSON: status %d, want 400", code)
+	}
+	if runs := metric(t, ts, "tune_jobs_total"); runs != 0 {
+		t.Errorf("rejected requests ran %v tunes", runs)
+	}
+}

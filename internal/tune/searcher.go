@@ -1,0 +1,156 @@
+package tune
+
+import "sort"
+
+// Searcher is a pluggable search strategy: evaluate candidates from space
+// through ev within the eval budget and return the index (into space) of
+// the winner. Implementations must be deterministic functions of
+// (space, budget, ev.Seed()) — no wall clock, no unseeded randomness —
+// so a search is reproducible bit-for-bit anywhere.
+type Searcher interface {
+	Name() string
+	Search(ev *Evaluator, space []Params, budget int) (int, error)
+}
+
+// searchers holds the built-in strategies in presentation order.
+var searchers = []Searcher{gridSearcher{}, halvingSearcher{}}
+
+// Strategies lists the built-in strategy names.
+func Strategies() []string {
+	names := make([]string, len(searchers))
+	for i, s := range searchers {
+		names[i] = s.Name()
+	}
+	return names
+}
+
+// Known reports whether name is a built-in strategy ("" selects the
+// default, halving).
+func Known(name string) bool {
+	_, ok := byName(name)
+	return name == "" || ok
+}
+
+func byName(name string) (Searcher, bool) {
+	for _, s := range searchers {
+		if s.Name() == name {
+			return s, true
+		}
+	}
+	return nil, false
+}
+
+// gridSearcher is the baseline: a seeded sample of the space, every
+// candidate evaluated once at final fidelity, best perf wins (ties go to
+// the lower space index). It spends the whole budget at full cost per
+// candidate, so it covers budget candidates where halving covers ~2x as
+// many — the comparison figtune's notes quantify.
+type gridSearcher struct{}
+
+func (gridSearcher) Name() string { return "grid" }
+
+func (gridSearcher) Search(ev *Evaluator, space []Params, budget int) (int, error) {
+	idxs := sample(budget, len(space), ev.Seed())
+	cands := make([]Params, len(idxs))
+	for i, si := range idxs {
+		cands[i] = space[si]
+	}
+	perfs, offset, err := ev.Eval(0, ev.FinalShrink(), cands)
+	if err != nil {
+		return 0, err
+	}
+	best := 0
+	for i := 1; i < len(perfs); i++ {
+		if perfs[i] > perfs[best] {
+			best = i
+		}
+	}
+	ev.Keep(offset + best)
+	return idxs[best], nil
+}
+
+// halvingSearcher is successive halving (eta = 2): start from a seeded
+// sample of the space, evaluate every survivor at a coarse fidelity, keep
+// the better half, double the fidelity, repeat — the final rung runs at
+// the problem's target fidelity. Cheap rungs discard the bulk of the space
+// for a fraction of a full evaluation each, so a given budget explores
+// roughly twice the candidates grid search can.
+type halvingSearcher struct{}
+
+func (halvingSearcher) Name() string { return "halving" }
+
+// halvingRungs is the preferred rung count; small budgets shed rungs
+// until even a single survivor chain (one eval per rung) fits.
+const halvingRungs = 3
+
+// halvingCost is the total evaluation count of starting n0 candidates
+// through r halving rungs.
+func halvingCost(n0, r int) int {
+	total, n := 0, n0
+	for i := 0; i < r; i++ {
+		total += n
+		n = keepCount(n)
+	}
+	return total
+}
+
+func keepCount(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return n / 2
+}
+
+func (halvingSearcher) Search(ev *Evaluator, space []Params, budget int) (int, error) {
+	rungs := halvingRungs
+	for rungs > 1 && halvingCost(1, rungs) > budget {
+		rungs--
+	}
+	// The widest starting cohort whose full halving schedule fits the
+	// budget.
+	n0 := 1
+	for n := 2; n <= len(space); n++ {
+		if halvingCost(n, rungs) > budget {
+			break
+		}
+		n0 = n
+	}
+
+	idxs := sample(n0, len(space), ev.Seed())
+	for r := 0; r < rungs; r++ {
+		shrink := ev.FinalShrink() << (rungs - 1 - r)
+		cands := make([]Params, len(idxs))
+		for i, si := range idxs {
+			cands[i] = space[si]
+		}
+		perfs, offset, err := ev.Eval(r, shrink, cands)
+		if err != nil {
+			return 0, err
+		}
+		// Rank positions by measured perf, ties broken by the candidate's
+		// space index — a total, deterministic order.
+		order := make([]int, len(idxs))
+		for i := range order {
+			order[i] = i
+		}
+		sort.SliceStable(order, func(a, b int) bool {
+			pa, pb := order[a], order[b]
+			if perfs[pa] != perfs[pb] {
+				return perfs[pa] > perfs[pb]
+			}
+			return idxs[pa] < idxs[pb]
+		})
+		keep := keepCount(len(idxs))
+		if r == rungs-1 {
+			keep = 1
+		}
+		next := make([]int, 0, keep)
+		for _, pos := range order[:keep] {
+			ev.Keep(offset + pos)
+			next = append(next, idxs[pos])
+		}
+		sort.Ints(next) // survivors re-enter the next rung in space order
+		idxs = next
+	}
+	return idxs[0], nil
+}

@@ -1,0 +1,60 @@
+package tune
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// Space enumerates the candidate grid: every placement-policy point
+// crossed with every migration arm, in a fixed deterministic order (the
+// candidate's index in this slice is its identity for sampling and
+// tie-breaking).
+//
+// The placement axis covers the paper's policy menu — BW-AWARE,
+// INTERLEAVE, fixed xC-yB ratios around the interesting region, and
+// annotated placement at three hint thresholds (the GetAllocation capacity
+// fraction of internal/core/hints.go). The migration axis layers the
+// internal/migrate engine on top: disabled, the engine defaults, a
+// fast-reacting epoch, and the EWMA classifier.
+func Space() []Params {
+	placements := []Params{
+		{Policy: PolicyBWAware},
+		{Policy: PolicyInterleave},
+		{Policy: PolicyRatio, RatioPct: 10},
+		{Policy: PolicyRatio, RatioPct: 25},
+		{Policy: PolicyRatio, RatioPct: 50},
+		{Policy: PolicyRatio, RatioPct: 75},
+		{Policy: PolicyAnnotated, HintFrac: 0.05},
+		{Policy: PolicyAnnotated, HintFrac: 0.1},
+		{Policy: PolicyAnnotated, HintFrac: 0.2},
+	}
+	migrations := []string{"off", "on", "epoch=2500,minheat=8", "policy=ewma"}
+	space := make([]Params, 0, len(placements)*len(migrations))
+	for _, pl := range placements {
+		for _, mig := range migrations {
+			c := pl
+			c.Migrate = mig
+			space = append(space, c)
+		}
+	}
+	return space
+}
+
+// sample deterministically picks n distinct indices out of [0, total),
+// returned in ascending order. n >= total returns every index. The seeded
+// permutation runs single-threaded in the search driver, so the same
+// (n, total, seed) always selects the same candidates — the root of the
+// any-worker-count determinism guarantee.
+func sample(n, total int, seed int64) []int {
+	if n >= total {
+		idxs := make([]int, total)
+		for i := range idxs {
+			idxs[i] = i
+		}
+		return idxs
+	}
+	perm := rand.New(rand.NewSource(seed)).Perm(total)
+	idxs := append([]int(nil), perm[:n]...)
+	sort.Ints(idxs)
+	return idxs
+}

@@ -1,0 +1,132 @@
+#!/usr/bin/env sh
+# Tune smoke test: the policy-autotuning subsystem end to end on real
+# binaries, with the invariants that hold it together checked:
+#
+#   - hmexp -tune prints a byte-identical report across fresh processes,
+#     across -lanes 1 vs 8, and across -workers 1 vs all CPUs — the search
+#     is deterministic;
+#   - an hmserved daemon answers POST /v1/tune (via hmexp -server) with the
+#     same bytes as a local search, and its /metrics exposes the tune
+#     counters;
+#   - the cluster path (hmexp -tune -cluster, evaluations dispatched to a
+#     worker daemon) is byte-identical too;
+#   - a bad tune spec sent to the daemon is rejected with 422, not retried;
+#   - hmexp, hmsim, and hmserved reject invalid specs with exit status 2.
+#
+# Everything binds to 127.0.0.1 only and uses throwaway cache dirs.
+set -eu
+
+BASE_PORT="${BASE_PORT:-18121}"
+TUNE_OPTS="-tune -shrink 64 -tune-budget 6"
+
+cd "$(dirname "$0")/.."
+
+tmp="$(mktemp -d "${TMPDIR:-/tmp}/hmtune.XXXXXX")"
+pids=""
+cleanup() {
+    for p in $pids; do kill "$p" 2>/dev/null || true; done
+    for p in $pids; do wait "$p" 2>/dev/null || true; done
+    rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+go build -o "$tmp/hmserved" ./cmd/hmserved
+go build -o "$tmp/hmexp" ./cmd/hmexp
+go build -o "$tmp/hmsim" ./cmd/hmsim
+
+fetch() { # url
+    if command -v curl >/dev/null 2>&1; then
+        curl -fsS "$1"
+    else
+        wget -qO- "$1"
+    fi
+}
+
+wait_healthy() { # url
+    for _ in $(seq 1 50); do
+        fetch "$1/healthz" >/dev/null 2>&1 && return 0
+        sleep 0.2
+    done
+    echo "tune_smoke.sh: daemon at $1 never became healthy" >&2
+    cat "$tmp"/daemon.log >&2 || true
+    return 1
+}
+
+echo "== hmexp -tune is deterministic across processes, lanes, and workers =="
+# shellcheck disable=SC2086
+"$tmp/hmexp" $TUNE_OPTS bfs >"$tmp/tune-run1" 2>/dev/null
+# shellcheck disable=SC2086
+"$tmp/hmexp" $TUNE_OPTS bfs >"$tmp/tune-run2" 2>/dev/null
+[ -s "$tmp/tune-run1" ] || {
+    echo "tune_smoke.sh: hmexp -tune produced no output" >&2
+    exit 1
+}
+grep -q "^  winner" "$tmp/tune-run1" || {
+    echo "tune_smoke.sh: tune report has no winner line" >&2
+    exit 1
+}
+diff "$tmp/tune-run1" "$tmp/tune-run2"
+# shellcheck disable=SC2086
+"$tmp/hmexp" -lanes 8 $TUNE_OPTS bfs >"$tmp/tune-lanes8" 2>/dev/null
+diff "$tmp/tune-run1" "$tmp/tune-lanes8"
+# shellcheck disable=SC2086
+"$tmp/hmexp" -workers 1 $TUNE_OPTS bfs >"$tmp/tune-w1" 2>/dev/null
+diff "$tmp/tune-run1" "$tmp/tune-w1"
+
+echo "== daemon POST /v1/tune matches the local search byte-for-byte =="
+url="http://127.0.0.1:$BASE_PORT"
+"$tmp/hmserved" -addr "127.0.0.1:$BASE_PORT" -cache-dir "$tmp/cache" \
+    -drain 5s 2>>"$tmp/daemon.log" &
+pids="$pids $!"
+wait_healthy "$url"
+# shellcheck disable=SC2086
+"$tmp/hmexp" -server "$url" $TUNE_OPTS bfs >"$tmp/tune-srv" 2>/dev/null
+diff "$tmp/tune-run1" "$tmp/tune-srv"
+# A repeat submission dedupes onto the finished job, still byte-identical.
+# shellcheck disable=SC2086
+"$tmp/hmexp" -server "$url" $TUNE_OPTS bfs >"$tmp/tune-srv2" 2>/dev/null
+diff "$tmp/tune-srv" "$tmp/tune-srv2"
+fetch "$url/metrics" | grep -q "^hmserved_tune_jobs_total 1$" || {
+    echo "tune_smoke.sh: /metrics is missing hmserved_tune_jobs_total 1" >&2
+    exit 1
+}
+
+echo "== cluster-dispatched tune matches the local search byte-for-byte =="
+# shellcheck disable=SC2086
+"$tmp/hmexp" -cluster "$url" $TUNE_OPTS bfs >"$tmp/tune-cluster" 2>/dev/null
+diff "$tmp/tune-run1" "$tmp/tune-cluster"
+
+echo "== daemon rejects a bad tune spec with 422, unretried =="
+set +e
+"$tmp/hmexp" -server "$url" -tune no-such-workload >/dev/null 2>"$tmp/tune-422.log"
+status=$?
+set -e
+if [ "$status" -ne 1 ]; then
+    echo "tune_smoke.sh: bad workload via -server exited $status, want 1" >&2
+    exit 1
+fi
+grep -q "422" "$tmp/tune-422.log" || {
+    echo "tune_smoke.sh: bad workload was not rejected with 422:" >&2
+    cat "$tmp/tune-422.log" >&2
+    exit 1
+}
+
+echo "== invalid tune / policy / dataset specs rejected with exit 2 =="
+for cmd in "$tmp/hmexp -tune -tune-strategy anneal bfs" \
+    "$tmp/hmexp -tune -tune-budget 0 bfs" \
+    "$tmp/hmexp -tune-budget 4 fig3" \
+    "$tmp/hmexp -tune-strategy grid fig3" \
+    "$tmp/hmsim -policy fifo -workload bfs" \
+    "$tmp/hmsim -dataset huge -workload bfs"; do
+    set +e
+    # shellcheck disable=SC2086
+    $cmd >/dev/null 2>&1
+    status=$?
+    set -e
+    if [ "$status" -ne 2 ]; then
+        echo "tune_smoke.sh: '$cmd' exited $status, want 2" >&2
+        exit 1
+    fi
+done
+
+echo "tune smoke OK: deterministic search, daemon and cluster byte-identical, specs validated"
