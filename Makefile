@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet check bench bench-compare bench-sweep bench-serve serve cluster cluster-smoke trace-smoke topology-smoke lanes-smoke migration-smoke tune-smoke clean
+.PHONY: all build test race vet check bench bench-compare bench-sweep bench-serve serve cluster cluster-smoke trace-smoke topology-smoke lanes-smoke migration-smoke tune-smoke probe-smoke clean
 
 all: build
 
@@ -29,7 +29,7 @@ race:
 vet:
 	$(GO) vet ./...
 
-check: build vet test race topology-smoke lanes-smoke migration-smoke tune-smoke
+check: build vet test race topology-smoke lanes-smoke migration-smoke tune-smoke probe-smoke
 
 # Tier-1 performance snapshot: the event-engine microbenchmarks plus the
 # figure-level simulator benchmarks, with allocation counts, captured to a
@@ -107,6 +107,15 @@ migration-smoke:
 # and exit 2 from the CLIs.
 tune-smoke:
 	scripts/tune_smoke.sh
+
+# End-to-end flight-recorder check on real binaries: -json and figure CSVs
+# are byte-identical with probes on or off (including multi-lane runs),
+# probed series dumps and Chrome-trace counter tracks validate with
+# hmtrace counters, hmexp -list enumerates the registry, figdyn renders
+# deterministically, hmserved streams ?probe= jobs over /progress, and
+# invalid -probe specs get exit 2.
+probe-smoke:
+	scripts/probe_smoke.sh
 
 # End-to-end telemetry check: a tiny sweep through a 2-worker fleet with
 # -trace-out, then the emitted Chrome/Perfetto trace (trace-smoke.json)

@@ -16,6 +16,10 @@
 //	hmexp -trace-out sweep.json -shrink 16 fig2a     # Perfetto timeline of the run
 //	hmexp -tune -shrink 8 bfs                # autotune bfs's placement + migration config
 //	hmexp -tune -tune-strategy grid -tune-budget 8 -topology gh200 bfs
+//	hmexp -list                              # every figure id with its one-line description
+//	hmexp -probe on -shrink 16 figmig        # flight-recorder summary of every simulation
+//	hmexp -probe interval=5000,out=series.csv -shrink 16 figmig
+//	hmexp -probe on -trace-out t.json figmig # probe series as Perfetto counter tracks
 //
 // Each figure's simulations run on a worker pool sized by -workers
 // (default: all CPUs); -parallel additionally renders whole figures
@@ -55,6 +59,20 @@
 // header — the worker-side queue waits and simulation runs, all under one
 // trace ID. Results are byte-identical with or without tracing.
 //
+// With -probe, every simulation a figure dispatches carries an in-run
+// flight recorder (internal/obs) sampling per-pool bandwidth utilization,
+// occupancy, migration activity, and queue depths on a fixed
+// simulated-time grid. Each run's series is dumped to
+// <out>.<workload.policy.key8>.<json|csv> when the spec names an out=
+// path, or summarized on stderr otherwise; with -trace-out the series
+// additionally appear as Perfetto counter tracks in the same timeline.
+// Probed runs bypass the result cache and the cluster fleet by design
+// (the series is a local side channel), so -probe trades throughput for
+// visibility; figures and tables stay byte-identical. -probe requires
+// local simulation and is rejected with -server — probe a daemon's runs
+// with ?probe= on its REST API and stream GET /v1/jobs/{id}/progress
+// instead.
+//
 // Flags must precede the figure identifiers (standard Go flag parsing).
 package main
 
@@ -68,7 +86,9 @@ import (
 	"net/url"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"hetsim"
@@ -107,8 +127,16 @@ func main() {
 		doTune    = flag.Bool("tune", false, "autotune placement policy + migration config per workload instead of rendering figures")
 		tuneBud   = flag.Int("tune-budget", heteromem.DefaultTuneBudget, "with -tune, max candidate evaluations per search")
 		tuneStrat = flag.String("tune-strategy", heteromem.DefaultTuneStrategy, "with -tune, search strategy: grid | halving")
+		list      = flag.Bool("list", false, "list every figure identifier with its one-line description and exit")
+		probeSpec = flag.String("probe", "", "attach a flight recorder to every simulation: off | on | interval=N,samples=N,out=PATH,format=json|csv")
 	)
 	flag.Parse()
+	if *list {
+		for _, id := range heteromem.FigureIDs() {
+			fmt.Printf("%-12s %s\n", id, heteromem.DescribeFigure(id))
+		}
+		return
+	}
 	budgetSet, strategySet := false, false
 	flag.Visit(func(f *flag.Flag) {
 		switch f.Name {
@@ -118,7 +146,7 @@ func main() {
 			strategySet = true
 		}
 	})
-	if errs := validateFlags(*topo, *lanes, *migSpec, *migPol,
+	if errs := validateFlags(*topo, *lanes, *migSpec, *migPol, *probeSpec,
 		*doTune, *tuneBud, *tuneStrat, budgetSet, strategySet); len(errs) > 0 {
 		for _, err := range errs {
 			fmt.Fprintln(os.Stderr, "hmexp:", err)
@@ -132,6 +160,15 @@ func main() {
 	}
 	if *server != "" && *fleet != "" {
 		fmt.Fprintln(os.Stderr, "hmexp: -server and -cluster are mutually exclusive")
+		os.Exit(2)
+	}
+	probeCfg, _ := heteromem.ParseProbeSpec(*probeSpec) // validated above
+	if *server != "" && probeCfg != nil {
+		fmt.Fprintln(os.Stderr, "hmexp: -probe needs local simulation; probe the daemon's runs with ?probe= and GET /v1/jobs/{id}/progress instead of -server")
+		os.Exit(2)
+	}
+	if *doTune && probeCfg != nil {
+		fmt.Fprintln(os.Stderr, "hmexp: -probe applies to figure sweeps, not -tune searches")
 		os.Exit(2)
 	}
 	if *cVerify && *fleet == "" {
@@ -148,9 +185,18 @@ func main() {
 	}
 	defer stopProf()
 
+	// -probe series accumulate as Chrome counter records so -trace-out can
+	// merge them into the same Perfetto timeline. The sink runs on worker
+	// goroutines; sorted before writing for a deterministic trace file.
+	var (
+		probeMu       sync.Mutex
+		probeCounters []telemetry.Counter
+	)
+
 	// -trace-out turns on the process recorder and, at exit (success or
 	// failure), dumps everything it collected — including spans imported
-	// from workers — as a Perfetto-loadable Chrome trace.
+	// from workers and any -probe counter series — as a Perfetto-loadable
+	// Chrome trace.
 	var root *telemetry.Span
 	if *traceOut != "" {
 		telemetry.Default.SetEnabled(true)
@@ -166,12 +212,25 @@ func main() {
 			}
 			defer f.Close()
 			recs := telemetry.Default.Records()
-			if err := telemetry.WriteChromeTrace(f, recs); err != nil {
+			probeMu.Lock()
+			counters := append([]telemetry.Counter(nil), probeCounters...)
+			probeMu.Unlock()
+			sort.Slice(counters, func(i, j int) bool {
+				a, b := counters[i], counters[j]
+				if a.Proc != b.Proc {
+					return a.Proc < b.Proc
+				}
+				if a.Name != b.Name {
+					return a.Name < b.Name
+				}
+				return a.TS < b.TS
+			})
+			if err := telemetry.WriteChromeTraceCounters(f, recs, counters); err != nil {
 				fmt.Fprintln(os.Stderr, "hmexp: trace-out:", err)
 				return
 			}
-			fmt.Fprintf(os.Stderr, "hmexp: wrote %d spans (trace %s) to %s\n",
-				len(recs), root.TraceID(), *traceOut)
+			fmt.Fprintf(os.Stderr, "hmexp: wrote %d spans, %d counter events (trace %s) to %s\n",
+				len(recs), len(counters), root.TraceID(), *traceOut)
 		}
 		defer flushTrace()
 	}
@@ -182,6 +241,30 @@ func main() {
 	}
 	if *workloads != "" {
 		opts.Workloads = strings.Split(*workloads, ",")
+	}
+	if probeCfg != nil {
+		opts.Probe = probeCfg
+		opts.ProbeSink = func(label string, snap heteromem.ProbeSnapshot) {
+			probeMu.Lock()
+			probeCounters = append(probeCounters, snap.Counters("probe:"+label)...)
+			probeMu.Unlock()
+			if probeCfg.Out == "" {
+				fmt.Fprintf(os.Stderr, "hmexp: probe %s: %s\n", label, snap.Summary())
+				return
+			}
+			path := fmt.Sprintf("%s.%s.%s", probeCfg.Out, label, probeCfg.EffectiveFormat())
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "hmexp: probe:", err)
+				return
+			}
+			defer f.Close()
+			if err := snap.Write(f, probeCfg.EffectiveFormat()); err != nil {
+				fmt.Fprintln(os.Stderr, "hmexp: probe:", err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "hmexp: probe: wrote %s (%s)\n", path, snap.Summary())
+		}
 	}
 
 	var coord *cluster.Coordinator
@@ -382,7 +465,7 @@ func main() {
 // budgetSet/strategySet report whether the -tune-* flags were set
 // explicitly (flag.Visit), so setting them without -tune is rejected
 // rather than silently ignored.
-func validateFlags(topo string, lanes int, migSpec, migPol string,
+func validateFlags(topo string, lanes int, migSpec, migPol, probeSpec string,
 	tune bool, budget int, strategy string, budgetSet, strategySet bool) []error {
 	var errs []error
 	if topo != "" {
@@ -395,6 +478,9 @@ func validateFlags(topo string, lanes int, migSpec, migPol string,
 	}
 	if _, err := heteromem.ParseMigrationSpec(migSpec); err != nil {
 		errs = append(errs, fmt.Errorf("-migrate: %w", err))
+	}
+	if _, err := heteromem.ParseProbeSpec(probeSpec); err != nil {
+		errs = append(errs, fmt.Errorf("-probe: %w", err))
 	}
 	if !heteromem.KnownMigrationPolicy(migPol) {
 		errs = append(errs, fmt.Errorf("-migrate-policy: unknown policy %q (have %s)",

@@ -81,16 +81,17 @@ func TestValidateFlags(t *testing.T) {
 			t.Errorf("%s: got %d errors, want %d: %v", name, len(errs), want, errs)
 		}
 	}
-	ok("defaults", validateFlags("", 1, "", "", false, 16, "halving", false, false))
-	ok("valid everything", validateFlags("gh200", 8, "on", "ewma", true, 4, "grid", true, true))
+	ok("defaults", validateFlags("", 1, "", "", "", false, 16, "halving", false, false))
+	ok("valid everything", validateFlags("gh200", 8, "on", "ewma", "interval=5000,out=s.csv", true, 4, "grid", true, true))
 
-	bad("unknown topology", 1, validateFlags("vax", 1, "", "", false, 16, "halving", false, false))
-	bad("bad lanes", 1, validateFlags("", 0, "", "", false, 16, "halving", false, false))
-	bad("bad migrate spec", 1, validateFlags("", 1, "epoch=-1", "", false, 16, "halving", false, false))
-	bad("unknown migrate policy", 1, validateFlags("", 1, "", "fifo", false, 16, "halving", false, false))
-	bad("tune-budget without -tune", 1, validateFlags("", 1, "", "", false, 8, "halving", true, false))
-	bad("tune-strategy without -tune", 1, validateFlags("", 1, "", "", false, 16, "grid", false, true))
-	bad("bad tune budget", 1, validateFlags("", 1, "", "", true, 0, "halving", true, false))
-	bad("unknown tune strategy", 1, validateFlags("", 1, "", "", true, 16, "anneal", false, true))
-	bad("everything wrong", 6, validateFlags("vax", 0, "epoch=-1", "fifo", true, -1, "anneal", true, true))
+	bad("unknown topology", 1, validateFlags("vax", 1, "", "", "", false, 16, "halving", false, false))
+	bad("bad lanes", 1, validateFlags("", 0, "", "", "", false, 16, "halving", false, false))
+	bad("bad migrate spec", 1, validateFlags("", 1, "epoch=-1", "", "", false, 16, "halving", false, false))
+	bad("unknown migrate policy", 1, validateFlags("", 1, "", "fifo", "", false, 16, "halving", false, false))
+	bad("bad probe spec", 1, validateFlags("", 1, "", "", "interval=0", false, 16, "halving", false, false))
+	bad("tune-budget without -tune", 1, validateFlags("", 1, "", "", "", false, 8, "halving", true, false))
+	bad("tune-strategy without -tune", 1, validateFlags("", 1, "", "", "", false, 16, "grid", false, true))
+	bad("bad tune budget", 1, validateFlags("", 1, "", "", "", true, 0, "halving", true, false))
+	bad("unknown tune strategy", 1, validateFlags("", 1, "", "", "", true, 16, "anneal", false, true))
+	bad("everything wrong", 7, validateFlags("vax", 0, "epoch=-1", "fifo", "format=xml", true, -1, "anneal", true, true))
 }

@@ -12,17 +12,26 @@
 //
 // API:
 //
-//	POST   /v1/runs          submit one RunConfig (idempotent by config hash)
-//	POST   /v1/sweeps        submit a config grid: {"configs": [...]}
+//	POST   /v1/runs          submit one RunConfig (idempotent by config hash; ?probe= attaches a flight recorder)
+//	POST   /v1/sweeps        submit a config grid: {"configs": [...]} (?probe= as above)
 //	POST   /v1/cluster/run   synchronous single-config run (coordinator dispatch)
 //	GET    /v1/jobs          list jobs
 //	GET    /v1/jobs/{id}     job status + results
+//	GET    /v1/jobs/{id}/progress  NDJSON stream of a probed job's time series (?once=1 for one pass)
 //	DELETE /v1/jobs/{id}     cancel a queued job
 //	GET    /v1/figures/{id}  reproduce a paper figure (?shrink=&workloads=&workers=&topology=)
 //	POST   /v1/tune          autotune a workload's placement + migration config (internal/tune)
-//	GET    /healthz          liveness (503 while draining)
+//	GET    /healthz          liveness (503 while draining), build identity, uptime
 //	GET    /metrics          Prometheus text metrics
-//	GET    /debug/vars       the same counters, expvar-style JSON
+//	GET    /debug/vars       the same counters plus build identity, expvar-style JSON
+//
+// ?probe= on a run or sweep submission (spec: "on" or
+// "interval=N,samples=N") attaches an in-run flight recorder (internal/obs)
+// to every config; GET /v1/jobs/{id}/progress then streams the recorded
+// series — per-pool bandwidth utilization, occupancy, migration activity,
+// queue depths — as NDJSON chunks while the simulation runs, ending with
+// the job's terminal state. Probed jobs bypass the result cache and are
+// never deduplicated; results are byte-identical with probes on or off.
 //
 // Every daemon is a cluster worker by construction: POST /v1/cluster/run
 // flows through the same idempotent job queue and two-tier cache as every

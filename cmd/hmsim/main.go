@@ -10,7 +10,17 @@
 //	hmsim -workload bfs -trace bfs.trc          # record the access stream
 //	hmsim -replay bfs.trc -policy bw-aware      # replay it under a policy
 //	hmsim -workload bfs -topology gh200         # simulate on a GH200-class topology
+//	hmsim -workload bfs -migrate on -probe on   # one-line flight-recorder summary
+//	hmsim -probe interval=5000,out=series.csv -workload bfs -migrate on
 //	hmsim -list
+//
+// -probe attaches an in-run flight recorder (internal/obs) that samples
+// per-pool bandwidth utilization, occupancy, migration activity, and queue
+// depths on a fixed simulated-time grid. The series is dumped to the
+// spec's out= path (format from the extension, or format=), or summarized
+// on one line without it; the printed result is identical with the probe
+// on or off. -probe rides the live simulation loop and is rejected with
+// -trace or -replay.
 package main
 
 import (
@@ -47,15 +57,17 @@ func main() {
 		lanes    = flag.Int("lanes", 1, "parallel event lanes for the simulation (output is byte-identical for any count)")
 		migSpec  = flag.String("migrate", "", "dynamic page migration: off | on | key=value,... (epoch, pages, lock, minheat, hyst, cooldown, policy, alpha, high, low, wb)")
 		migPol   = flag.String("migrate-policy", "", "migration classifier: counter | ewma (overrides the -migrate spec)")
+		probeSp  = flag.String("probe", "", "attach a flight recorder: off | on | interval=N,samples=N,out=PATH,format=json|csv")
 	)
 	flag.Parse()
-	if errs := validateFlags(*policy, *dataset, *topo, *lanes, *migSpec, *migPol); len(errs) > 0 {
+	if errs := validateFlags(*policy, *dataset, *topo, *lanes, *migSpec, *migPol, *probeSp, *tracePth, *replay); len(errs) > 0 {
 		for _, err := range errs {
 			fmt.Fprintln(os.Stderr, "hmsim:", err)
 		}
 		os.Exit(2)
 	}
 	migCfg, _ := migrationConfig(*migSpec, *migPol)
+	probeCfg, _ := heteromem.ParseProbeSpec(*probeSp) // validated above
 	mem := memsys.Table1Config()
 	if *topo != "" {
 		t, _ := heteromem.TopologyPreset(*topo)
@@ -120,6 +132,14 @@ func main() {
 		rc.Hints = hints
 	}
 
+	var probe *heteromem.Probe
+	if probeCfg != nil {
+		if probe, err = heteromem.NewProbe(*probeCfg); err != nil {
+			fatal(err)
+		}
+		rc = rc.WithProbe(probe)
+	}
+
 	var res heteromem.Result
 	switch {
 	case *replay != "":
@@ -131,6 +151,11 @@ func main() {
 	}
 	if err != nil {
 		fatal(err)
+	}
+	if probe != nil {
+		if err := dumpProbe(probe, *probeCfg); err != nil {
+			fatal(err)
+		}
 	}
 	if *asJSON {
 		if err := experiments.NewReport(res).WriteJSON(os.Stdout); err != nil {
@@ -171,7 +196,7 @@ func main() {
 // invocation reports all of its problems — each error naming the valid
 // options — before exiting 2, matching hmexp and hmserved. Run-time
 // failures (missing files, unknown workloads) still exit 1.
-func validateFlags(policy, dataset, topo string, lanes int, migSpec, migPol string) []error {
+func validateFlags(policy, dataset, topo string, lanes int, migSpec, migPol, probeSpec, tracePth, replay string) []error {
 	var errs []error
 	if _, err := policyByName(policy); err != nil {
 		errs = append(errs, err)
@@ -190,7 +215,37 @@ func validateFlags(policy, dataset, topo string, lanes int, migSpec, migPol stri
 	if _, err := migrationConfig(migSpec, migPol); err != nil {
 		errs = append(errs, err)
 	}
+	if cfg, err := heteromem.ParseProbeSpec(probeSpec); err != nil {
+		errs = append(errs, fmt.Errorf("-probe: %w", err))
+	} else if cfg != nil && (tracePth != "" || replay != "") {
+		errs = append(errs, fmt.Errorf("-probe rides the live simulation loop and cannot be combined with -trace or -replay"))
+	}
 	return errs
+}
+
+// dumpProbe exports a completed run's recorded series to the spec's out=
+// path (in its effective format) or, without one, as a one-line summary.
+// Notes go to stderr so stdout carries exactly the run report and -json
+// stays parseable with a probe attached.
+func dumpProbe(p *heteromem.Probe, cfg heteromem.ProbeConfig) error {
+	snap := p.Snapshot()
+	if cfg.Out == "" {
+		fmt.Fprintf(os.Stderr, "hmsim: probe: %s\n", snap.Summary())
+		return nil
+	}
+	f, err := os.Create(cfg.Out)
+	if err != nil {
+		return err
+	}
+	if err := snap.Write(f, cfg.EffectiveFormat()); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "hmsim: probe: wrote %s (%s)\n", cfg.Out, snap.Summary())
+	return nil
 }
 
 // migrationConfig resolves the -migrate spec and -migrate-policy override

@@ -6,16 +6,24 @@ import (
 )
 
 func TestValidateFlags(t *testing.T) {
-	if errs := validateFlags("bw-aware", "train", "", 1, "", ""); len(errs) != 0 {
+	if errs := validateFlags("bw-aware", "train", "", 1, "", "", "", "", ""); len(errs) != 0 {
 		t.Errorf("default config rejected: %v", errs)
 	}
-	if errs := validateFlags("oracle", "shifted", "gh200", 4, "on", "ewma"); len(errs) != 0 {
+	if errs := validateFlags("oracle", "shifted", "gh200", 4, "on", "ewma", "interval=1000,samples=64", "", ""); len(errs) != 0 {
 		t.Errorf("valid config rejected: %v", errs)
 	}
-	if errs := validateFlags("fifo", "huge", "vax", 0, "epoch=-1", "no-such-policy"); len(errs) != 5 {
+	if errs := validateFlags("fifo", "huge", "vax", 0, "epoch=-1", "no-such-policy", "samples=1", "", ""); len(errs) != 6 {
 		// The migrate spec and policy share one resolver, so the pair counts
 		// once; every other bad flag reports its own error.
-		t.Errorf("got %d errors, want 5: %v", len(errs), errs)
+		t.Errorf("got %d errors, want 6: %v", len(errs), errs)
+	}
+	// The recorder rides the live simulation loop: recording or replaying a
+	// trace at the same time is a contradiction, caught at exit 2.
+	if errs := validateFlags("bw-aware", "train", "", 1, "", "", "on", "x.trc", ""); len(errs) != 1 {
+		t.Errorf("-probe with -trace: got %v, want 1 error", errs)
+	}
+	if errs := validateFlags("bw-aware", "train", "", 1, "", "", "on", "", "x.trc"); len(errs) != 1 {
+		t.Errorf("-probe with -replay: got %v, want 1 error", errs)
 	}
 }
 

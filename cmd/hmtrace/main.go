@@ -1,31 +1,39 @@
-// Command hmtrace works with execution-trace files produced by
-// `hmexp -trace-out` (Chrome trace-event JSON, loadable in Perfetto or
-// chrome://tracing). It is the CI-side counterpart of the exporter: the
-// trace-smoke target runs a tiny cluster sweep and then uses hmtrace to
-// prove the emitted timeline is well-formed before uploading it as an
-// artifact.
+// Command hmtrace works with the observability files the simulator emits:
+// execution traces from `hmexp -trace-out` (Chrome trace-event JSON,
+// loadable in Perfetto or chrome://tracing) and flight-recorder series
+// from `-probe` (internal/obs JSON or CSV). It is the CI-side counterpart
+// of the exporters: the trace-smoke and probe-smoke targets produce tiny
+// real outputs and then use hmtrace to prove they are well-formed before
+// uploading them as artifacts.
 //
-//	hmtrace validate sweep.json    # exit 0 iff the file is a valid, non-empty trace
+//	hmtrace validate sweep.json    # exit 0 iff a valid, non-empty trace
+//	hmtrace counters run.json      # exit 0 iff valid, non-empty probe output
 //
 // validate parses the file with the same rules Perfetto applies to the
-// JSON trace format — a traceEvents array whose entries are "M" metadata
-// or "X" complete events with name, ts, dur, pid, and tid — and prints a
-// one-line summary (span count). An unreadable, malformed, or span-free
-// trace exits nonzero so a regression in the exporter fails CI instead of
-// silently producing timelines nobody can open.
+// JSON trace format — a traceEvents array whose entries are "M" metadata,
+// "X" complete events with name/ts/dur/pid/tid, or "C" counter samples —
+// and prints a one-line summary (span count). An unreadable, malformed,
+// or span-free trace exits nonzero so a regression in the exporter fails
+// CI instead of silently producing timelines nobody can open.
+//
+// counters detects the probe output format — a Chrome trace (requires at
+// least one counter event), a probe JSON snapshot, or probe CSV — checks
+// it against the emitter's schema (time_cycles lead column, rectangular
+// rows, non-decreasing timestamps), and prints the series summary.
 package main
 
 import (
+	"bytes"
 	"fmt"
 	"os"
 
+	"hetsim/internal/obs"
 	"hetsim/internal/telemetry"
 )
 
 func main() {
-	if len(os.Args) != 3 || os.Args[1] != "validate" {
-		fmt.Fprintln(os.Stderr, "usage: hmtrace validate <trace.json>")
-		os.Exit(2)
+	if len(os.Args) != 3 {
+		usage()
 	}
 	path := os.Args[2]
 	data, err := os.ReadFile(path)
@@ -33,6 +41,23 @@ func main() {
 		fmt.Fprintln(os.Stderr, "hmtrace:", err)
 		os.Exit(1)
 	}
+	switch os.Args[1] {
+	case "validate":
+		validate(path, data)
+	case "counters":
+		counters(path, data)
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: hmtrace validate <trace.json>")
+	fmt.Fprintln(os.Stderr, "       hmtrace counters <probe.{json,csv}>")
+	os.Exit(2)
+}
+
+func validate(path string, data []byte) {
 	spans, err := telemetry.ValidateChromeTrace(data)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "hmtrace: %s: %v\n", path, err)
@@ -43,4 +68,41 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("%s: valid Chrome trace, %d spans\n", path, spans)
+}
+
+func counters(path string, data []byte) {
+	trimmed := bytes.TrimSpace(data)
+	switch {
+	case bytes.Contains(trimmed, []byte(`"traceEvents"`)):
+		// A merged timeline: spans plus counter events. The point of the
+		// merge is the counters, so zero of them is a failure.
+		_, cnt, err := telemetry.ValidateChromeTraceCounters(data)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hmtrace: %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		if cnt == 0 {
+			fmt.Fprintf(os.Stderr, "hmtrace: %s: valid trace but contains no counter events\n", path)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: valid Chrome trace, %d counter events\n", path, cnt)
+	case len(trimmed) > 0 && trimmed[0] == '{':
+		summarize(path, obs.ValidateJSON, data)
+	default:
+		summarize(path, obs.ValidateCSV, data)
+	}
+}
+
+// summarize validates probe output with check and prints its summary.
+func summarize(path string, check func([]byte) (obs.Summary, error), data []byte) {
+	sum, err := check(data)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hmtrace: %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	if sum.Samples == 0 {
+		fmt.Fprintf(os.Stderr, "hmtrace: %s: valid but contains no samples\n", path)
+		os.Exit(1)
+	}
+	fmt.Printf("%s: %s\n", path, sum)
 }

@@ -37,6 +37,7 @@ import (
 	"hetsim/internal/experiments"
 	"hetsim/internal/metrics"
 	"hetsim/internal/migrate"
+	"hetsim/internal/obs"
 	"hetsim/internal/profiler"
 	"hetsim/internal/topology"
 	"hetsim/internal/trace"
@@ -71,6 +72,16 @@ type (
 	StructureStat = profiler.StructureStat
 	// Table is a renderable result table (text or CSV).
 	Table = metrics.Table
+	// ProbeConfig configures the in-run flight recorder (internal/obs):
+	// sampling interval in simulated cycles, ring capacity, dump path and
+	// format. Attach to figure sweeps via Options.Probe.
+	ProbeConfig = obs.Config
+	// ProbeSnapshot is one recorded time series: column names plus sample
+	// rows on the simulated-time grid.
+	ProbeSnapshot = obs.Snapshot
+	// Probe is a flight recorder instance; attach one to a single run with
+	// RunConfig.WithProbe and read it back with Snapshot.
+	Probe = obs.Probe
 )
 
 // Placement policies.
@@ -127,6 +138,20 @@ func Figure(id string, opts Options) (Fig, error) {
 
 // FigureIDs lists the reproducible tables and figures in paper order.
 func FigureIDs() []string { return experiments.IDs() }
+
+// DescribeFigure returns the one-line description of a figure or table
+// identifier ("" for unknown ids), as printed by hmexp -list.
+func DescribeFigure(id string) string { return experiments.Describe(id) }
+
+// ParseProbeSpec parses a flight-recorder spec of the form used by the
+// -probe flags: "off"/"" (nil config), "on" (defaults), or
+// "interval=N,samples=N,out=PATH,format=json|csv".
+func ParseProbeSpec(s string) (*ProbeConfig, error) { return obs.ParseSpec(s) }
+
+// NewProbe builds a flight recorder from a validated config; pass it to a
+// run with RunConfig.WithProbe. The recorder is single-use: one run, then
+// read its Snapshot.
+func NewProbe(cfg ProbeConfig) (*Probe, error) { return obs.New(cfg) }
 
 // AllFigures regenerates every table and figure.
 func AllFigures(opts Options) ([]Fig, error) { return experiments.All(opts) }

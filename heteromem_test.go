@@ -44,12 +44,19 @@ func TestFacadeWorkloadsAndDatasets(t *testing.T) {
 	if len(DatasetVariants()) < 3 {
 		t.Fatal("missing dataset variants")
 	}
-	// 20 built-ins plus figtune, registered by the tune subsystem.
-	if len(FigureIDs()) != 21 {
-		t.Fatalf("FigureIDs = %d, want 21", len(FigureIDs()))
+	// 21 built-ins (including figdyn) plus figtune, registered by the
+	// tune subsystem.
+	if len(FigureIDs()) != 22 {
+		t.Fatalf("FigureIDs = %d, want 22", len(FigureIDs()))
 	}
-	if FigureIDs()[20] != "figtune" {
-		t.Fatalf("FigureIDs[20] = %q, want figtune", FigureIDs()[20])
+	ids := FigureIDs()
+	if ids[len(ids)-1] != "figtune" {
+		t.Fatalf("FigureIDs last = %q, want figtune", ids[len(ids)-1])
+	}
+	for _, id := range ids {
+		if DescribeFigure(id) == "" {
+			t.Fatalf("DescribeFigure(%q) is empty", id)
+		}
 	}
 }
 

@@ -91,6 +91,10 @@ func (m *MSHR) Capacity() int { return m.capacity }
 // Used reports how many entries are live.
 func (m *MSHR) Used() int { return m.used }
 
+// Stalled reports how many requests are currently queued on a full file —
+// the instantaneous backpressure depth, read by flight-recorder probes.
+func (m *MSHR) Stalled() int { return len(m.stalled) }
+
 // Stats returns a copy of the counters.
 func (m *MSHR) Stats() MSHRStats { return m.stats }
 

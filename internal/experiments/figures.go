@@ -9,6 +9,7 @@ import (
 	"hetsim/internal/memsys"
 	"hetsim/internal/metrics"
 	"hetsim/internal/migrate"
+	"hetsim/internal/obs"
 	"hetsim/internal/telemetry"
 	"hetsim/internal/topology"
 	"hetsim/internal/vm"
@@ -68,6 +69,16 @@ type Options struct {
 	// ("counter" or "ewma"); "" keeps the spec's choice. figmigtopo, which
 	// compares both classifiers side by side, ignores it.
 	MigratePolicy string
+
+	// Probe, when set, attaches a flight recorder (internal/obs) to every
+	// run of the figure's sweeps; ProbeSink receives each run's label and
+	// final series (it must be safe for concurrent use). Probed runs are
+	// uncacheable, so the figure executes every config — results stay
+	// byte-identical, only the caching changes. Figures that need probes
+	// for their own content (figdyn) manage recorders themselves and
+	// ignore these fields.
+	Probe     *obs.Config
+	ProbeSink func(label string, snap obs.Snapshot)
 }
 
 func (o Options) workloadList() []string {
@@ -137,7 +148,11 @@ func (o Options) executor() *Executor {
 	if cache == nil {
 		cache = sweepCache
 	}
-	return newExecutor(o.Workers, cache, o.Remote).WithSpan(o.Span).WithLanes(o.Lanes)
+	e := newExecutor(o.Workers, cache, o.Remote).WithSpan(o.Span).WithLanes(o.Lanes)
+	if o.Probe != nil {
+		e = e.WithProbe(*o.Probe, o.ProbeSink)
+	}
+	return e
 }
 
 // Figure is one reproduced table or figure.

@@ -208,12 +208,18 @@ func TestByIDAndIDs(t *testing.T) {
 		if _, ok := ByID(id); !ok {
 			t.Errorf("ByID(%q) missing", id)
 		}
+		if Describe(id) == "" {
+			t.Errorf("Describe(%q) empty — hmexp -list needs a one-liner for every figure", id)
+		}
 	}
 	if _, ok := ByID("fig99"); ok {
 		t.Error("ByID accepted unknown id")
 	}
-	if len(IDs()) != 20 {
-		t.Errorf("IDs() = %d entries, want 20", len(IDs()))
+	if Describe("fig99") != "" {
+		t.Error("Describe returned text for unknown id")
+	}
+	if len(IDs()) != 21 {
+		t.Errorf("IDs() = %d entries, want 21", len(IDs()))
 	}
 }
 

@@ -1,0 +1,33 @@
+// Probe cache-key tests live here, in package pool_test, like the
+// topology and migration ones: they pin the property the acceptance
+// criteria call out — probe configuration is excluded from canonical
+// cache keys. A probed run is uncacheable (it must execute to produce a
+// series), and an unprobed run's key is untouched by any probe setting,
+// so probing can never split or pollute the shared result cache.
+package pool_test
+
+import (
+	"testing"
+
+	"hetsim/internal/experiments"
+	"hetsim/internal/obs"
+)
+
+func TestProbeExcludedFromCacheKeys(t *testing.T) {
+	base := experiments.RunConfig{Workload: "bfs", Policy: experiments.BWAwarePolicy, Shrink: 16}
+	plain := key(t, base)
+
+	p, err := obs.New(obs.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k, ok := experiments.ConfigKey(base.WithProbe(p)); ok || k != "" {
+		t.Errorf("probed config got cache key %q, want uncacheable", k)
+	}
+
+	// WithProbe must not mutate the receiver: the original config still
+	// hashes to its unprobed key.
+	if again := key(t, base); again != plain {
+		t.Errorf("key changed after WithProbe copy: %s vs %s", again, plain)
+	}
+}

@@ -13,7 +13,7 @@ import "fmt"
 var builtinOrder = []string{
 	"table1", "fig1", "fig2a", "fig2b", "fig3", "fig4", "fig5", "fig6",
 	"fig7", "fig8", "fig10", "fig11", "figmig", "figzones", "figenergy",
-	"figphase", "figtlb", "figcpu", "figtopo", "figmigtopo",
+	"figphase", "figtlb", "figcpu", "figtopo", "figmigtopo", "figdyn",
 }
 
 func builtinFigs() map[string]func(Options) (Figure, error) {
@@ -38,7 +38,34 @@ func builtinFigs() map[string]func(Options) (Figure, error) {
 		"figcpu":     FigCPU,
 		"figtopo":    FigTopology,
 		"figmigtopo": FigMigTopo,
+		"figdyn":     FigDyn,
 	}
+}
+
+// builtinDesc holds the one-line description shown by `hmexp -list`; keep
+// entries in sync with builtinOrder.
+var builtinDesc = map[string]string{
+	"table1":     "simulation-configuration table for the selected topology (paper Table 1)",
+	"fig1":       "motivation: bandwidth ratios of likely future heterogeneous memory systems",
+	"fig2a":      "bandwidth sensitivity: all-LOCAL performance as GPU-memory bandwidth scales 0.5x-2x",
+	"fig2b":      "latency sensitivity: performance as fixed latency is added to every access",
+	"fig3":       "placement-ratio sweep: fixed xC-yB splits vs LOCAL/INTERLEAVE/BW-AWARE",
+	"fig4":       "capacity constraint: BW-AWARE as the fast pool shrinks to 10% of the footprint",
+	"fig5":       "CPU-memory bandwidth sweep: policies as the slow pool approaches parity",
+	"fig6":       "page-hotness profiles: DRAM-traffic share of the hottest pages, plus skew",
+	"fig7":       "page-hotness case studies: bfs, mummergpu, needle access distributions",
+	"fig8":       "oracle study: oracle vs BW-AWARE placement, unconstrained and at 10% capacity",
+	"fig10":      "annotated placement: INTERLEAVE/BW-AWARE/ANNOTATED/ORACLE under 10% capacity",
+	"fig11":      "annotation robustness: profiles trained on one dataset, evaluated on variants",
+	"figmig":     "online migration vs static placement: how much of the oracle gap it recovers",
+	"figzones":   "three-pool BW-AWARE: placement fractions converge to bandwidth shares",
+	"figenergy":  "energy and energy-delay product of placement policies, normalized to LOCAL",
+	"figphase":   "phase-shifting workload: online migration vs every static placement",
+	"figtlb":     "page-size study: 4 kB vs 2 MB placement precision with translation costs",
+	"figcpu":     "CPU interference: BW-AWARE under CPU traffic, with a contention-aware SBIT",
+	"figtopo":    "BW-AWARE edge vs LOCAL/INTERLEAVE across all topology presets",
+	"figmigtopo": "migration classifiers (counter, ewma) across topology presets at 10% capacity",
+	"figdyn":     "migration dynamics over time: counter vs ewma flight-recorder series on cxl-expansion",
 }
 
 // Registered extensions, in registration order. Written only from init
@@ -46,14 +73,16 @@ func builtinFigs() map[string]func(Options) (Figure, error) {
 var (
 	extOrder []string
 	extFigs  = map[string]func(Options) (Figure, error){}
+	extDesc  = map[string]string{}
 )
 
-// Register adds a figure reproduction under id, making it reachable from
-// ByID, IDs, and All. It is intended for init-time use by packages built
-// on top of experiments (which cannot live here without an import cycle);
-// a duplicate or built-in id panics — a programming error caught at
-// process start.
-func Register(id string, fn func(Options) (Figure, error)) {
+// Register adds a figure reproduction under id with a one-line description
+// (shown by `hmexp -list`), making it reachable from ByID, IDs, Describe,
+// and All. It is intended for init-time use by packages built on top of
+// experiments (which cannot live here without an import cycle); a
+// duplicate or built-in id panics — a programming error caught at process
+// start.
+func Register(id, desc string, fn func(Options) (Figure, error)) {
 	if _, dup := builtinFigs()[id]; dup {
 		panic(fmt.Sprintf("experiments: Register(%q) collides with a built-in figure", id))
 	}
@@ -61,6 +90,7 @@ func Register(id string, fn func(Options) (Figure, error)) {
 		panic(fmt.Sprintf("experiments: Register(%q) called twice", id))
 	}
 	extFigs[id] = fn
+	extDesc[id] = desc
 	extOrder = append(extOrder, id)
 }
 
@@ -86,6 +116,15 @@ func ByID(id string) (func(Options) (Figure, error), bool) {
 	}
 	f, ok := extFigs[id]
 	return f, ok
+}
+
+// Describe returns the one-line description of a figure/table identifier
+// ("" for unknown ids).
+func Describe(id string) string {
+	if d, ok := builtinDesc[id]; ok {
+		return d
+	}
+	return extDesc[id]
 }
 
 // IDs lists the reproducible figure/table identifiers: built-ins in paper

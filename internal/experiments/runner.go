@@ -19,6 +19,7 @@ import (
 	"hetsim/internal/gpurt"
 	"hetsim/internal/memsys"
 	"hetsim/internal/migrate"
+	"hetsim/internal/obs"
 	"hetsim/internal/sim"
 	"hetsim/internal/telemetry"
 	"hetsim/internal/tlb"
@@ -128,6 +129,21 @@ type RunConfig struct {
 	// traceWriter, when set (via RecordTrace), records the post-L1 access
 	// stream of the run.
 	traceWriter *trace.Writer
+
+	// probe, when set (via WithProbe), records epoch-sampled time series
+	// during the run. Like traceWriter it is deliberately excluded from
+	// the canonical cache key — see canonicalKey — and like the telemetry
+	// span it never changes the Result: probed and unprobed runs are
+	// byte-identical, the series leaves out-of-band through the probe.
+	probe *obs.Probe
+}
+
+// WithProbe returns a copy of rc with the flight recorder attached. The
+// probed run bypasses every cache tier (a cached result would have no
+// series to replay), so it always executes.
+func (rc RunConfig) WithProbe(p *obs.Probe) RunConfig {
+	rc.probe = p
+	return rc
 }
 
 // Result summarizes one run.
@@ -346,6 +362,11 @@ func runTraced(sp *telemetry.Span, rc RunConfig) (Result, error) {
 		}
 		mig.Active = func() bool { return g.Outstanding() > 0 }
 		mig.Start()
+	}
+	if rc.probe != nil {
+		// After every other window hook (notably space.FlushPending), so
+		// samples observe flushed page-table state at each barrier.
+		rc.probe.Attach(world, mem, mig, g)
 	}
 	g.Launch(spec.Programs(allocs))
 	cycles := g.Run()

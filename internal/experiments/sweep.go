@@ -12,6 +12,7 @@ import (
 	"hetsim/internal/memsys"
 	"hetsim/internal/metrics"
 	"hetsim/internal/migrate"
+	"hetsim/internal/obs"
 	"hetsim/internal/telemetry"
 	"hetsim/internal/vm"
 	"hetsim/internal/workloads"
@@ -146,6 +147,44 @@ func (e *Executor) WithLanes(n int) *Executor {
 	return e
 }
 
+// WithProbe attaches a flight recorder to every run this executor
+// dispatches: each config gets its own obs.Probe built from cfg, and when
+// its run completes sink receives the run's label (workload.policy.key8)
+// and final series snapshot. Probed configs are uncacheable, so every
+// config executes locally — no cache hits, no fleet offload; WithProbe is
+// for watching dynamics, not for throughput. sink is called from worker
+// goroutines and must be safe for concurrent use; a nil sink records and
+// discards. Call after WithLanes (which replaces the run function this
+// wraps). Returns e for chaining.
+func (e *Executor) WithProbe(cfg obs.Config, sink func(label string, snap obs.Snapshot)) *Executor {
+	run := e.p.Run
+	e.p.Run = func(sp *telemetry.Span, rc RunConfig) (Result, error) {
+		p, err := obs.New(cfg)
+		if err != nil {
+			return Result{}, err
+		}
+		p.Label = probeLabel(rc)
+		res, err := run(sp, rc.WithProbe(p))
+		if err == nil && sink != nil {
+			sink(p.Label, p.Snapshot())
+		}
+		return res, err
+	}
+	e.p.Key = func(RunConfig) (string, bool) { return "", false }
+	return e
+}
+
+// probeLabel names one probed run's series — the workload, the placement
+// policy, and the first 8 hex digits of the config's canonical key so
+// sweep arms differing only in parameters stay distinguishable.
+func probeLabel(rc RunConfig) string {
+	label := rc.Workload + "." + policyLabel(rc)
+	if key, ok := canonicalKey(rc); ok && len(key) >= 8 {
+		label += "." + key[:8]
+	}
+	return label
+}
+
 // Map executes every config and returns results in input order; see the
 // Executor determinism guarantee. Results may be shared with other cache
 // users and must be treated as immutable.
@@ -274,10 +313,12 @@ type canonicalRC struct {
 }
 
 // canonicalKey hashes the canonical form of rc. ok is false for configs
-// that must not be cached (currently: runs recording a trace, whose
-// side effect is the point).
+// that must not be cached (runs recording a trace or carrying a flight
+// recorder, whose side effect is the point). Probe configuration is
+// therefore never part of a cache key: a probed run bypasses every cache
+// tier instead of polluting the identity of its unprobed twin.
 func canonicalKey(rc RunConfig) (string, bool) {
-	if rc.traceWriter != nil {
+	if rc.traceWriter != nil || rc.probe != nil {
 		return "", false
 	}
 	c := canonicalRC{

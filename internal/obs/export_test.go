@@ -1,0 +1,7 @@
+package obs
+
+import "hetsim/internal/sim"
+
+// RecordForTest drives one sample directly — the hook path without a
+// window barrier — so external tests can assert the sampling cost.
+func (p *Probe) RecordForTest(t sim.Time) { p.record(t) }

@@ -1,0 +1,202 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"hetsim/internal/sim"
+	"hetsim/internal/telemetry"
+)
+
+// Snapshot is an immutable copy of (a suffix of) a probe's sample ring —
+// the wire format of every export path: JSON/CSV dumps, the /progress
+// stream, and the Chrome counter conversion. Rows share one column layout;
+// column 0 is always "time_cycles".
+type Snapshot struct {
+	IntervalCycles sim.Time    `json:"interval_cycles"`
+	Columns        []string    `json:"columns"`
+	Rows           [][]float64 `json:"rows"`
+	// Dropped counts samples lost before the first row — ring overwrites,
+	// plus (for SnapshotSince) samples before the cursor that were already
+	// overwritten.
+	Dropped uint64 `json:"dropped"`
+	// Seq is the probe's total sample count at snapshot time: pass it back
+	// to SnapshotSince to resume the stream after the last row here.
+	Seq uint64 `json:"seq"`
+	// Final is set once the run has drained; FinalTime is then the
+	// simulated end time (the last row's stamp).
+	Final     bool     `json:"final"`
+	FinalTime sim.Time `json:"final_time"`
+}
+
+// Summary describes validated probe output in one line, e.g.
+// "128 samples × 14 series over [0, 2097152] cycles".
+type Summary struct {
+	Samples   int
+	Series    int // value columns (excludes time_cycles)
+	FinalTime sim.Time
+	Dropped   uint64
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("%d samples × %d series over [0, %d] cycles (%d dropped)",
+		s.Samples, s.Series, s.FinalTime, s.Dropped)
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(s)
+}
+
+// WriteCSV writes the snapshot as CSV: a column-name header, then one row
+// per sample with values in shortest round-trip form.
+func (s Snapshot) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(s.Columns); err != nil {
+		return err
+	}
+	rec := make([]string, len(s.Columns))
+	for _, row := range s.Rows {
+		for i, v := range row {
+			rec[i] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Write renders the snapshot in format (FormatJSON or FormatCSV).
+func (s Snapshot) Write(w io.Writer, format string) error {
+	if format == FormatCSV {
+		return s.WriteCSV(w)
+	}
+	return s.WriteJSON(w)
+}
+
+// Summary reduces the snapshot to its one-line description.
+func (s Snapshot) Summary() Summary {
+	return Summary{
+		Samples:   len(s.Rows),
+		Series:    max(len(s.Columns)-1, 0),
+		FinalTime: s.FinalTime,
+		Dropped:   s.Dropped,
+	}
+}
+
+// Counters converts the snapshot into Chrome counter events under process
+// proc, one event per (sample, column group). Columns group by the prefix
+// before the first '.' — util.gddr5 and util.ddr4 become one "util" track
+// with two stacked values — and dot-less columns become single-value
+// tracks. time_cycles supplies the event timestamp (cycles rendered as
+// microseconds) and is not itself a track.
+func (s Snapshot) Counters(proc string) []telemetry.Counter {
+	type col struct {
+		group, sub string
+		idx        int
+	}
+	var cols []col
+	var groups []string
+	seen := map[string]bool{}
+	for i, name := range s.Columns {
+		if i == 0 || name == "time_cycles" {
+			continue
+		}
+		group, sub, ok := strings.Cut(name, ".")
+		if !ok {
+			group, sub = name, "value"
+		}
+		cols = append(cols, col{group: group, sub: sub, idx: i})
+		if !seen[group] {
+			seen[group] = true
+			groups = append(groups, group)
+		}
+	}
+	out := make([]telemetry.Counter, 0, len(s.Rows)*len(groups))
+	for _, row := range s.Rows {
+		ts := 0.0
+		if len(row) > 0 {
+			ts = row[0]
+		}
+		for _, g := range groups {
+			vals := map[string]float64{}
+			for _, c := range cols {
+				if c.group == g && c.idx < len(row) {
+					vals[c.sub] = row[c.idx]
+				}
+			}
+			out = append(out, telemetry.Counter{Proc: proc, Name: g, TS: ts, Vals: vals})
+		}
+	}
+	return out
+}
+
+// ValidateJSON checks data against the Snapshot JSON schema — a columns
+// array led by time_cycles, rows of matching width, non-decreasing
+// timestamps — and returns its summary. Behind `hmtrace counters`.
+func ValidateJSON(data []byte) (Summary, error) {
+	var s Snapshot
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return Summary{}, fmt.Errorf("not a probe snapshot: %w", err)
+	}
+	return validateSnapshot(s)
+}
+
+// ValidateCSV checks data against the probe CSV layout (the header row
+// plus float columns) and returns its summary.
+func ValidateCSV(data []byte) (Summary, error) {
+	recs, err := csv.NewReader(bytes.NewReader(data)).ReadAll()
+	if err != nil {
+		return Summary{}, fmt.Errorf("not valid CSV: %w", err)
+	}
+	if len(recs) == 0 {
+		return Summary{}, fmt.Errorf("empty CSV, want a column header")
+	}
+	s := Snapshot{Columns: recs[0]}
+	for i, rec := range recs[1:] {
+		row := make([]float64, len(rec))
+		for j, f := range rec {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return Summary{}, fmt.Errorf("row %d column %d: %q is not a number", i+1, j, f)
+			}
+			row[j] = v
+		}
+		s.Rows = append(s.Rows, row)
+	}
+	if n := len(s.Rows); n > 0 {
+		s.FinalTime = sim.Time(s.Rows[n-1][0])
+	}
+	return validateSnapshot(s)
+}
+
+func validateSnapshot(s Snapshot) (Summary, error) {
+	if len(s.Columns) == 0 {
+		return Summary{}, fmt.Errorf("no columns")
+	}
+	if s.Columns[0] != "time_cycles" {
+		return Summary{}, fmt.Errorf("first column %q, want time_cycles", s.Columns[0])
+	}
+	last := -1.0
+	for i, row := range s.Rows {
+		if len(row) != len(s.Columns) {
+			return Summary{}, fmt.Errorf("row %d has %d values, want %d", i, len(row), len(s.Columns))
+		}
+		if row[0] < last {
+			return Summary{}, fmt.Errorf("row %d time %g before row %d time %g", i, row[0], i-1, last)
+		}
+		last = row[0]
+	}
+	return s.Summary(), nil
+}

@@ -10,6 +10,7 @@ import (
 
 	"hetsim/internal/experiments"
 	"hetsim/internal/metrics"
+	"hetsim/internal/obs"
 	"hetsim/internal/telemetry"
 	"hetsim/internal/tune"
 )
@@ -48,6 +49,11 @@ type Job struct {
 	exec func(ctx context.Context, j *Job) error
 	done chan struct{}
 
+	// probes are the flight recorders of a ?probe= submission, one per
+	// config, streamed by GET /v1/jobs/{id}/progress. Probed jobs always
+	// have Key == "": their configs are uncacheable and never deduplicate.
+	probes []*obs.Probe
+
 	// Telemetry scope (nil when the submitting request was untraced):
 	// span covers submit to finish, qspan the time spent queued, rspan the
 	// execution — the one exec closures hand to the sweep executor.
@@ -66,6 +72,7 @@ type jobView struct {
 	Started   *time.Time           `json:"started,omitempty"`
 	Finished  *time.Time           `json:"finished,omitempty"`
 	Sweep     *metrics.SweepStats  `json:"sweep,omitempty"`
+	Probed    bool                 `json:"probed,omitempty"`
 	Results   []experiments.Result `json:"results,omitempty"`
 	Figure    *FigureResult        `json:"figure,omitempty"`
 	Tune      *tune.Report         `json:"tune,omitempty"`
@@ -75,7 +82,7 @@ type jobView struct {
 func (j *Job) view(withPayload bool) jobView {
 	v := jobView{
 		ID: j.ID, Kind: j.Kind, State: j.State, Error: j.Err,
-		Submitted: j.Submitted,
+		Submitted: j.Submitted, Probed: len(j.probes) > 0,
 	}
 	if !j.Started.IsZero() {
 		t := j.Started

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"strings"
+	"time"
 
 	"hetsim/internal/metrics"
 )
@@ -36,6 +37,7 @@ func (s *Server) snapshot() snapshot {
 	c := map[string]float64{
 		"jobs_submitted_total": float64(s.jobsSubmitted),
 		"jobs_deduped_total":   float64(s.jobsDeduped),
+		"jobs_probed_total":    float64(s.jobsProbed),
 		"jobs_inflight":        float64(s.inflight),
 		"queue_depth":          float64(len(s.queue)),
 		"queue_capacity":       float64(cap(s.queue)),
@@ -112,5 +114,7 @@ func (s *Server) handleVars(w http.ResponseWriter, r *http.Request) {
 		jobs[string(st)] = n
 	}
 	vars["jobs_by_state"] = jobs
+	vars["build"] = Build()
+	vars["uptime_seconds"] = time.Since(s.start).Seconds()
 	writeJSON(w, http.StatusOK, vars)
 }

@@ -1,0 +1,148 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"hetsim/internal/experiments"
+	"hetsim/internal/obs"
+)
+
+// parseProbe extracts the ?probe= spec of a run or sweep submission. nil
+// config means the parameter was absent or "off". out= is rejected: the
+// daemon never writes series files on its own host — clients stream GET
+// /v1/jobs/{id}/progress and dump wherever they like.
+func parseProbe(r *http.Request) (*obs.Config, error) {
+	cfg, err := obs.ParseSpec(r.URL.Query().Get("probe"))
+	if err != nil {
+		return nil, err
+	}
+	if cfg != nil && cfg.Out != "" {
+		return nil, fmt.Errorf("probe out= names a file on the daemon's host; drop it and stream GET /v1/jobs/{id}/progress instead")
+	}
+	return cfg, nil
+}
+
+// probeConfigs attaches one flight recorder per config, labeled by workload
+// and grid position. The returned probes are handed to the job for the
+// /progress endpoint; the rewritten configs carry them into the sweep
+// executor. Probed configs are uncacheable by construction, so the caller
+// must submit with an empty idempotency key — two probed submissions are
+// always distinct jobs with distinct recorders.
+func probeConfigs(cfg obs.Config, cfgs []experiments.RunConfig) ([]*obs.Probe, error) {
+	probes := make([]*obs.Probe, len(cfgs))
+	for i, rc := range cfgs {
+		p, err := obs.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		p.Label = fmt.Sprintf("%s[%d]", rc.Workload, i)
+		probes[i] = p
+		cfgs[i] = rc.WithProbe(p)
+	}
+	return probes, nil
+}
+
+// progressLine is one NDJSON line of GET /v1/jobs/{id}/progress: either a
+// chunk of new samples from one recorded series (Label and Chunk set) or
+// the stream's terminal line (State set, Chunk absent).
+type progressLine struct {
+	Job    string        `json:"job"`
+	Series int           `json:"series"`
+	Label  string        `json:"label,omitempty"`
+	State  JobState      `json:"state,omitempty"`
+	Error  string        `json:"error,omitempty"`
+	Chunk  *obs.Snapshot `json:"chunk,omitempty"`
+}
+
+// handleProgress streams a probed job's flight-recorder series as NDJSON
+// while the simulation runs: each line carries the samples recorded since
+// the last one (SnapshotSince cursors, so a slow reader sees every sample
+// the ring still holds and an accurate dropped count for the rest), and the
+// stream ends with a terminal line naming the job's final state. ?once=1
+// answers with a single pass — everything recorded so far plus the current
+// state — instead of following the job. Unprobed jobs are a 400: there is
+// no series to stream (submit with ?probe=).
+func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	var probes []*obs.Probe
+	if ok {
+		probes = j.probes
+	}
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job "+id)
+		return
+	}
+	if len(probes) == 0 {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("job %s was not submitted with ?probe=; nothing to stream", id))
+		return
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	cursors := make([]uint64, len(probes))
+	finalSent := make([]bool, len(probes))
+
+	// emit writes one chunk line per series with new samples (or a newly
+	// final series), advancing that series' cursor.
+	emit := func() {
+		for i, p := range probes {
+			snap := p.SnapshotSince(cursors[i])
+			if len(snap.Rows) == 0 && (!snap.Final || finalSent[i]) {
+				continue
+			}
+			enc.Encode(progressLine{Job: id, Series: i, Label: p.Label, Chunk: &snap})
+			cursors[i] = snap.Seq
+			if snap.Final {
+				finalSent[i] = true
+			}
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	state := func() (JobState, string) {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return j.State, j.Err
+	}
+	terminal := func(st JobState) bool {
+		return st == JobDone || st == JobFailed || st == JobCanceled
+	}
+
+	if r.URL.Query().Get("once") != "" {
+		emit()
+		st, errMsg := state()
+		enc.Encode(progressLine{Job: id, State: st, Error: errMsg})
+		return
+	}
+
+	tick := time.NewTicker(25 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		// State is read before draining the probes: once a job is terminal
+		// nothing records anymore, so the emit below is complete.
+		st, errMsg := state()
+		emit()
+		if terminal(st) {
+			enc.Encode(progressLine{Job: id, State: st, Error: errMsg})
+			if flusher != nil {
+				flusher.Flush()
+			}
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-tick.C:
+		}
+	}
+}

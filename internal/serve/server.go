@@ -16,6 +16,7 @@ import (
 	"hetsim/internal/experiments/pool"
 	"hetsim/internal/metrics"
 	"hetsim/internal/migrate"
+	"hetsim/internal/obs"
 	"hetsim/internal/telemetry"
 	"hetsim/internal/topology"
 	"hetsim/internal/tune"
@@ -130,6 +131,7 @@ type Server struct {
 	draining      bool
 	jobsSubmitted int
 	jobsDeduped   int
+	jobsProbed    int
 	sweepTotal    metrics.SweepStats
 	httpRequests  uint64
 	tuneRuns      int
@@ -268,6 +270,7 @@ func (s *Server) buildMux() {
 	mux.HandleFunc("POST /v1/sweeps", s.handleSubmitSweep)
 	mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/progress", s.handleProgress)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
 	mux.HandleFunc("GET /v1/figures/{name}", s.handleFigure)
 	mux.HandleFunc("POST /v1/tune", s.handleTune)
@@ -366,24 +369,39 @@ func submitError(w http.ResponseWriter, err error) {
 }
 
 // handleSubmitRun enqueues a single RunConfig. Idempotent: the job is
-// keyed by the config's canonical hash.
+// keyed by the config's canonical hash — unless ?probe= attaches a flight
+// recorder, which makes the submission uncacheable and never deduplicated
+// (each probed job owns its own recorder, streamed via /progress).
 func (s *Server) handleSubmitRun(w http.ResponseWriter, r *http.Request) {
 	var rc experiments.RunConfig
 	if err := json.NewDecoder(r.Body).Decode(&rc); err != nil {
 		writeError(w, http.StatusBadRequest, "decoding RunConfig: "+err.Error())
 		return
 	}
+	probeCfg, err := parseProbe(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	cfgs := []experiments.RunConfig{rc}
 	key := ""
-	if k, ok := experiments.ConfigKey(rc); ok {
-		key = k
+	var probes []*obs.Probe
+	if probeCfg == nil {
+		if k, ok := experiments.ConfigKey(rc); ok {
+			key = k
+		}
+	} else if probes, err = probeConfigs(*probeCfg, cfgs); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
 	}
 	_, root := s.requestTrace(r, "rpc.run")
 	defer root.End()
-	j, err := s.submit("run", key, root, s.sweepExec([]experiments.RunConfig{rc}))
+	j, err := s.submit("run", key, root, s.sweepExec(cfgs))
 	if err != nil {
 		submitError(w, err)
 		return
 	}
+	s.adoptProbes(j, probes)
 	s.respondJob(w, j, http.StatusAccepted)
 }
 
@@ -392,7 +410,9 @@ type sweepRequest struct {
 	Configs []experiments.RunConfig `json:"configs"`
 }
 
-// handleSubmitSweep enqueues a config grid as one job.
+// handleSubmitSweep enqueues a config grid as one job. ?probe= attaches a
+// flight recorder to every config in the grid; like probed runs, probed
+// sweeps are never deduplicated.
 func (s *Server) handleSubmitSweep(w http.ResponseWriter, r *http.Request) {
 	var req sweepRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
@@ -403,9 +423,20 @@ func (s *Server) handleSubmitSweep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "sweep has no configs")
 		return
 	}
+	probeCfg, err := parseProbe(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
 	key := ""
-	if k, ok := sweepKey(req.Configs); ok {
-		key = k
+	var probes []*obs.Probe
+	if probeCfg == nil {
+		if k, ok := sweepKey(req.Configs); ok {
+			key = k
+		}
+	} else if probes, err = probeConfigs(*probeCfg, req.Configs); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
 	}
 	_, root := s.requestTrace(r, "rpc.sweep")
 	defer root.End()
@@ -417,7 +448,23 @@ func (s *Server) handleSubmitSweep(w http.ResponseWriter, r *http.Request) {
 		submitError(w, err)
 		return
 	}
+	s.adoptProbes(j, probes)
 	s.respondJob(w, j, http.StatusAccepted)
+}
+
+// adoptProbes hands a probed submission's recorders to its job for the
+// /progress endpoint. Probed submissions carry an empty idempotency key,
+// so j is always freshly created — never a deduplicated older job. Runs
+// before the submission response is written: a client cannot know the job
+// ID, and so cannot hit /progress, until its probes are in place.
+func (s *Server) adoptProbes(j *Job, probes []*obs.Probe) {
+	if len(probes) == 0 {
+		return
+	}
+	s.mu.Lock()
+	j.probes = probes
+	s.jobsProbed++
+	s.mu.Unlock()
 }
 
 // ClusterRunResponse is the wire form of a synchronous worker-mode run:
@@ -688,7 +735,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.mu.Unlock()
 	if draining {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
-			"status": "draining", "inflight_jobs": inflight,
+			"status": "draining", "inflight_jobs": inflight, "build": Build(),
 		})
 		return
 	}
@@ -696,5 +743,6 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"status":         "ok",
 		"uptime_seconds": time.Since(s.start).Seconds(),
 		"inflight_jobs":  inflight,
+		"build":          Build(),
 	})
 }

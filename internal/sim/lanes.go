@@ -177,6 +177,48 @@ func (w *World) Fired() uint64 {
 	return n
 }
 
+// FillLaneFired copies each lane's executed-event count into dst (one
+// entry per lane, truncating to len(dst)). Allocation-free by design —
+// flight-recorder probes call it at every window barrier. Call from
+// single-threaded code only (setup, window hooks, or after Run).
+func (w *World) FillLaneFired(dst []uint64) {
+	for i := range dst {
+		if i >= len(w.lanes) {
+			return
+		}
+		dst[i] = w.lanes[i].fired
+	}
+}
+
+// Front reports the earliest pending event time across all lanes, or
+// Forever when every lane has drained. At a window barrier this is the
+// next window's start — the global simulated-time frontier: every event
+// strictly before it has fired, on any lane count, which is what makes it
+// a lane-invariant sampling clock for window hooks (see internal/obs).
+// Call from single-threaded code only.
+func (w *World) Front() Time {
+	front := Forever
+	for _, e := range w.lanes {
+		if len(e.events) > 0 && e.events[0].at < front {
+			front = e.events[0].at
+		}
+	}
+	return front
+}
+
+// Now reports the latest lane-local clock — at a barrier, the time of the
+// globally last event fired so far, which is lane-count-invariant (the
+// canonical schedule is). Call from single-threaded code only.
+func (w *World) Now() Time {
+	var now Time
+	for _, e := range w.lanes {
+		if e.now > now {
+			now = e.now
+		}
+	}
+	return now
+}
+
 // Pending reports the total events queued across all lanes.
 func (w *World) Pending() int {
 	n := 0

@@ -27,12 +27,33 @@ type chromeTrace struct {
 	TraceEvents []chromeEvent `json:"traceEvents"`
 }
 
+// Counter is one sample of an in-simulation counter track: a named group
+// of values at a point on the trace timeline. WriteChromeTraceCounters
+// renders each as a Chrome "C" event, which Perfetto draws as stacked
+// counter tracks under the Proc process — the bridge between internal/obs
+// flight-recorder series and the span timeline.
+type Counter struct {
+	Proc string  // process grouping on the timeline (e.g. "sim:bfs.bw-aware")
+	Name string  // counter track name ("util", "wb", "mig", ...)
+	TS   float64 // microseconds on the trace timeline (simulated cycles)
+	Vals map[string]float64
+}
+
 // WriteChromeTrace renders span records as Chrome trace-event JSON: one
 // "X" complete event per span, processes mapped to pids, lanes mapped to
 // tids, timestamps normalized to the earliest span so the timeline starts
 // at zero. The output loads directly in Perfetto (ui.perfetto.dev) or
 // chrome://tracing.
 func WriteChromeTrace(w io.Writer, recs []SpanRecord) error {
+	return WriteChromeTraceCounters(w, recs, nil)
+}
+
+// WriteChromeTraceCounters renders spans plus in-sim counter samples into
+// one timeline file. Counter samples keep their own clock (simulated
+// cycles as microseconds, starting near zero) and live under their own
+// processes, so span tracks (wall clock) and series tracks (sim clock)
+// stay visually separate but load together.
+func WriteChromeTraceCounters(w io.Writer, recs []SpanRecord, counters []Counter) error {
 	var t0 time.Time
 	for i, r := range recs {
 		if i == 0 || r.Start.Before(t0) {
@@ -54,6 +75,12 @@ func WriteChromeTrace(w io.Writer, recs []SpanRecord) error {
 		if _, ok := tids[lk]; !ok {
 			tids[lk] = 0
 			lanes = append(lanes, lk)
+		}
+	}
+	for _, c := range counters {
+		if _, ok := pids[c.Proc]; !ok {
+			pids[c.Proc] = 0
+			procs = append(procs, c.Proc)
 		}
 	}
 	sort.Strings(procs)
@@ -113,6 +140,20 @@ func WriteChromeTrace(w io.Writer, recs []SpanRecord) error {
 		})
 	}
 
+	for _, c := range counters {
+		args := make(map[string]any, len(c.Vals))
+		for k, v := range c.Vals {
+			args[k] = v // json sorts map keys: repeated exports byte-identical
+		}
+		events = append(events, chromeEvent{
+			Name: c.Name,
+			Ph:   "C",
+			Ts:   c.TS,
+			Pid:  pids[c.Proc],
+			Args: args,
+		})
+	}
+
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
 	return enc.Encode(chromeTrace{TraceEvents: events})
@@ -133,6 +174,14 @@ func splitLaneKey(lk string) (proc, lane string) {
 // span events. It is the check behind `hmtrace validate` and the
 // trace-smoke CI gate.
 func ValidateChromeTrace(data []byte) (spans int, err error) {
+	spans, _, err = ValidateChromeTraceCounters(data)
+	return spans, err
+}
+
+// ValidateChromeTraceCounters is ValidateChromeTrace plus the count of
+// "C" counter events — the check behind `hmtrace counters` and the
+// probe-smoke CI gate, which require counters > 0.
+func ValidateChromeTraceCounters(data []byte) (spans, counters int, err error) {
 	var t struct {
 		TraceEvents []struct {
 			Name string   `json:"name"`
@@ -144,32 +193,40 @@ func ValidateChromeTrace(data []byte) (spans int, err error) {
 		} `json:"traceEvents"`
 	}
 	if err := json.Unmarshal(data, &t); err != nil {
-		return 0, fmt.Errorf("not valid JSON: %w", err)
+		return 0, 0, fmt.Errorf("not valid JSON: %w", err)
 	}
 	if t.TraceEvents == nil {
-		return 0, fmt.Errorf("missing traceEvents array")
+		return 0, 0, fmt.Errorf("missing traceEvents array")
 	}
 	for i, e := range t.TraceEvents {
 		if e.Name == "" {
-			return 0, fmt.Errorf("event %d: missing name", i)
+			return 0, 0, fmt.Errorf("event %d: missing name", i)
 		}
 		switch e.Ph {
 		case "M":
 			// metadata: no timing fields required
 		case "X":
 			if e.Ts == nil || *e.Ts < 0 {
-				return 0, fmt.Errorf("event %d (%s): missing or negative ts", i, e.Name)
+				return 0, 0, fmt.Errorf("event %d (%s): missing or negative ts", i, e.Name)
 			}
 			if e.Dur == nil || *e.Dur <= 0 {
-				return 0, fmt.Errorf("event %d (%s): missing or non-positive dur", i, e.Name)
+				return 0, 0, fmt.Errorf("event %d (%s): missing or non-positive dur", i, e.Name)
 			}
 			if e.Pid == nil || e.Tid == nil {
-				return 0, fmt.Errorf("event %d (%s): missing pid/tid", i, e.Name)
+				return 0, 0, fmt.Errorf("event %d (%s): missing pid/tid", i, e.Name)
 			}
 			spans++
+		case "C":
+			if e.Ts == nil || *e.Ts < 0 {
+				return 0, 0, fmt.Errorf("event %d (%s): missing or negative ts", i, e.Name)
+			}
+			if e.Pid == nil {
+				return 0, 0, fmt.Errorf("event %d (%s): missing pid", i, e.Name)
+			}
+			counters++
 		default:
-			return 0, fmt.Errorf("event %d (%s): unsupported phase %q", i, e.Name, e.Ph)
+			return 0, 0, fmt.Errorf("event %d (%s): unsupported phase %q", i, e.Name, e.Ph)
 		}
 	}
-	return spans, nil
+	return spans, counters, nil
 }

@@ -217,11 +217,58 @@ func TestValidateChromeTraceRejects(t *testing.T) {
 		{"unknown phase", `{"traceEvents":[{"name":"a","ph":"B","ts":0,"pid":1,"tid":1}]}`},
 		{"zero duration", `{"traceEvents":[{"name":"a","ph":"X","ts":0,"dur":0,"pid":1,"tid":1}]}`},
 		{"missing pid", `{"traceEvents":[{"name":"a","ph":"X","ts":0,"dur":1,"tid":1}]}`},
+		{"counter without ts", `{"traceEvents":[{"name":"util","ph":"C","pid":1}]}`},
+		{"counter without pid", `{"traceEvents":[{"name":"util","ph":"C","ts":5}]}`},
 	}
 	for _, tt := range bad {
 		if _, err := ValidateChromeTrace([]byte(tt.data)); err == nil {
 			t.Errorf("%s: validator accepted %s", tt.name, tt.data)
 		}
+	}
+}
+
+// TestChromeTraceCounters: counter samples merge into the span timeline as
+// "C" events under their own processes, and the extended validator counts
+// them; byte-determinism holds across repeated exports.
+func TestChromeTraceCounters(t *testing.T) {
+	r := NewRecorder()
+	r.SetEnabled(true)
+	r.SetProc("hmexp")
+	tr := r.Trace("")
+	tr.Start(nil, "sweep").End()
+
+	counters := []Counter{
+		{Proc: "sim:bfs", Name: "util", TS: 0, Vals: map[string]float64{"gddr5": 0, "ddr4": 0}},
+		{Proc: "sim:bfs", Name: "util", TS: 5000, Vals: map[string]float64{"gddr5": 0.9, "ddr4": 0.7}},
+		{Proc: "sim:bfs", Name: "wb", TS: 5000, Vals: map[string]float64{"depth": 3}},
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTraceCounters(&buf, r.Records(), counters); err != nil {
+		t.Fatal(err)
+	}
+	spans, cnt, err := ValidateChromeTraceCounters(buf.Bytes())
+	if err != nil {
+		t.Fatalf("validator rejected our own export: %v\n%s", err, buf.String())
+	}
+	if spans != 1 || cnt != 3 {
+		t.Errorf("validator counted %d spans, %d counters; want 1, 3", spans, cnt)
+	}
+	out := buf.String()
+	for _, want := range []string{`"ph": "C"`, "sim:bfs", "gddr5", `"util"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("export missing %q", want)
+		}
+	}
+	var again bytes.Buffer
+	if err := WriteChromeTraceCounters(&again, r.Records(), counters); err != nil {
+		t.Fatal(err)
+	}
+	if out != again.String() {
+		t.Error("repeated counter export not byte-identical")
+	}
+	// Plain validator accepts counter traces too (hmtrace validate).
+	if _, err := ValidateChromeTrace(buf.Bytes()); err != nil {
+		t.Errorf("ValidateChromeTrace rejected counters: %v", err)
 	}
 }
 

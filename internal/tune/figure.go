@@ -6,7 +6,9 @@ import (
 )
 
 func init() {
-	experiments.Register("figtune", FigTune)
+	experiments.Register("figtune",
+		"policy autotuning: successive-halving search vs default and oracle per topology",
+		FigTune)
 }
 
 // figTuneBudget bounds the per-problem search cost: with three halving
